@@ -1,0 +1,173 @@
+#include "bench_common.hpp"
+
+namespace insitu::bench {
+
+namespace {
+
+miniapp::OscillatorConfig executed_sim_config(
+    const MiniappBenchParams& params) {
+  miniapp::OscillatorConfig cfg;
+  cfg.global_cells = {params.cells_per_axis, params.cells_per_axis,
+                      params.cells_per_axis};
+  cfg.dt = 0.05;
+  const double c = static_cast<double>(params.cells_per_axis) / 2.0;
+  cfg.oscillators = {
+      {miniapp::Oscillator::Kind::kPeriodic, {c, c, c},
+       static_cast<double>(params.cells_per_axis) / 5.0, 2.0 * M_PI, 0.0},
+      {miniapp::Oscillator::Kind::kDamped, {c / 2.0, c, c},
+       static_cast<double>(params.cells_per_axis) / 7.0, 3.0, 0.1},
+      {miniapp::Oscillator::Kind::kDecaying, {c, c / 2.0, 1.5 * c},
+       static_cast<double>(params.cells_per_axis) / 6.0, 0.3, 0.0},
+  };
+  return cfg;
+}
+
+}  // namespace
+
+RunResult run_miniapp_config(MiniappConfig config,
+                             const MiniappBenchParams& params) {
+  RunResult result;
+  result.ranks = params.ranks;
+  std::vector<std::size_t> startup(static_cast<std::size_t>(params.ranks), 0);
+
+  comm::Runtime::Options options;
+  options.machine = params.machine;
+  options.seed = 7;
+
+  comm::RunReport report = comm::Runtime::run(
+      params.ranks, options, [&](comm::Communicator& comm) {
+        // ---- simulation init ----
+        const double t0 = comm.clock().now();
+        miniapp::OscillatorSim sim(comm, executed_sim_config(params));
+        sim.initialize();
+        const double sim_init = comm.clock().now() - t0;
+        startup[static_cast<std::size_t>(comm.rank())] =
+            pal::rank_memory_tracker().current_bytes();
+
+        // ---- "Original": subroutine-called autocorrelation, no SENSEI --
+        if (config == MiniappConfig::kOriginal) {
+          // Direct circular-buffer autocorrelation over the sim's buffer,
+          // no adaptor / bridge in the path.
+          const std::size_t n = sim.values().size();
+          std::vector<double> history(
+              static_cast<std::size_t>(params.window) * n, 0.0);
+          std::vector<double> corr(history.size(), 0.0);
+          pal::TrackedBytes tracked(2 * history.size() * sizeof(double));
+          pal::PhaseTimer sim_t, analysis_t;
+          for (int s = 0; s < params.steps; ++s) {
+            const double ts = comm.clock().now();
+            sim.step();
+            sim_t.add(comm.clock().now() - ts);
+            const double ta = comm.clock().now();
+            const int delays = std::min(s, params.window);
+            for (std::size_t i = 0; i < n; ++i) {
+              const double now = sim.values()[i];
+              for (int d = 1; d <= delays; ++d) {
+                const std::size_t slot =
+                    static_cast<std::size_t>((s - d) % params.window) * n + i;
+                corr[static_cast<std::size_t>(d - 1) * n + i] +=
+                    history[slot] * now;
+              }
+              history[static_cast<std::size_t>(s % params.window) * n + i] =
+                  now;
+            }
+            comm.advance_compute(comm.machine().compute_time(
+                static_cast<std::uint64_t>(n) *
+                static_cast<std::uint64_t>(delays + 1)));
+            analysis_t.add(comm.clock().now() - ta);
+          }
+          // Final top-k reduction, identical to the SENSEI analysis.
+          const double tf = comm.clock().now();
+          for (int d = 0; d < params.window; ++d) {
+            std::vector<double> local(corr.begin() +
+                                          static_cast<std::ptrdiff_t>(d * n),
+                                      corr.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              (d + 1) * n));
+            std::partial_sort(
+                local.begin(),
+                local.begin() + std::min<std::ptrdiff_t>(params.top_k,
+                                                         local.size()),
+                local.end(), std::greater<>());
+            local.resize(static_cast<std::size_t>(params.top_k));
+            (void)comm.gatherv(std::span<const double>(local), 0);
+          }
+          if (comm.rank() == 0) {
+            result.sim_init = sim_init;
+            result.per_step_sim = sim_t.mean();
+            result.per_step_analysis = analysis_t.mean();
+            result.finalize = comm.clock().now() - tf;
+          }
+          return;
+        }
+
+        // ---- SENSEI-instrumented configurations ----
+        miniapp::OscillatorDataAdaptor adaptor(sim);
+        core::InSituBridge bridge(&comm);
+        std::shared_ptr<analysis::Autocorrelation> autocorr;
+        switch (config) {
+          case MiniappConfig::kBaseline:
+            break;
+          case MiniappConfig::kHistogram:
+            bridge.add_analysis(std::make_shared<analysis::HistogramAnalysis>(
+                "data", data::Association::kPoint, params.histogram_bins));
+            break;
+          case MiniappConfig::kAutocorrelation:
+            autocorr = std::make_shared<analysis::Autocorrelation>(
+                "data", data::Association::kPoint, params.window,
+                params.top_k);
+            bridge.add_analysis(autocorr);
+            break;
+          case MiniappConfig::kCatalystSlice: {
+            backends::CatalystSliceConfig cs;
+            cs.image_width = params.image_w;
+            cs.image_height = params.image_h;
+            cs.scalar_min = -1.5;
+            cs.scalar_max = 1.5;
+            bridge.add_analysis(
+                std::make_shared<backends::CatalystSlice>(cs));
+            break;
+          }
+          case MiniappConfig::kLibsimSlice: {
+            backends::LibsimConfig lc;
+            lc.session_text =
+                "[session]\narray=data\ncolormap=cool_warm\nmin=-1.5\n"
+                "max=1.5\nwidth=" +
+                std::to_string(params.image_w) +
+                "\nheight=" + std::to_string(params.image_w) +
+                "\n[plot0]\ntype=slice\naxis=2\nvalue=" +
+                std::to_string(params.cells_per_axis / 2.0) + "\n";
+            bridge.add_analysis(std::make_shared<backends::LibsimRender>(lc));
+            break;
+          }
+          case MiniappConfig::kOriginal:
+            break;  // handled above
+        }
+
+        (void)bridge.initialize();
+        pal::PhaseTimer sim_t;
+        for (int s = 0; s < params.steps; ++s) {
+          const double ts = comm.clock().now();
+          sim.step();
+          sim_t.add(comm.clock().now() - ts);
+          (void)bridge.execute(adaptor, sim.time(), s);
+        }
+        (void)bridge.finalize();
+
+        if (comm.rank() == 0) {
+          result.sim_init = sim_init;
+          result.analysis_init = bridge.timings().initialize_seconds;
+          result.per_step_sim = sim_t.mean();
+          result.per_step_analysis =
+              bridge.timings().analysis_per_step.mean();
+          result.finalize = bridge.timings().finalize_seconds;
+        }
+      });
+
+  result.total = report.max_virtual_seconds();
+  result.mem_high_water = report.total_high_water_bytes();
+  for (const std::size_t bytes : startup) result.mem_startup += bytes;
+  return result;
+}
+
+}  // namespace insitu::bench

@@ -1,0 +1,86 @@
+#pragma once
+
+// Shared harness for the per-figure bench binaries.
+//
+// Every bench prints two kinds of rows (DESIGN.md §2):
+//  * EXECUTED rows: the full pipeline really runs on N rank-threads with
+//    real (small) data; times are the deterministic virtual clock.
+//  * PAPER-SCALE rows: the same cost functions evaluated analytically at
+//    the paper's rank counts and workloads (src/perfmodel).
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/autocorrelation.hpp"
+#include "analysis/histogram.hpp"
+#include "backends/catalyst.hpp"
+#include "backends/libsim.hpp"
+#include "comm/runtime.hpp"
+#include "core/bridge.hpp"
+#include "miniapp/adaptor.hpp"
+#include "pal/table.hpp"
+#include "perfmodel/paper_model.hpp"
+
+namespace insitu::bench {
+
+/// The miniapp in situ configurations of §4.1.1.
+enum class MiniappConfig {
+  kOriginal,         // no SENSEI; analysis (if any) by subroutine call
+  kBaseline,         // SENSEI enabled, no analysis
+  kHistogram,        // SENSEI -> histogram (no infrastructure)
+  kAutocorrelation,  // SENSEI -> autocorrelation (no infrastructure)
+  kCatalystSlice,    // SENSEI -> Catalyst-like slice render
+  kLibsimSlice,      // SENSEI -> Libsim-like slice render
+};
+
+inline const char* to_string(MiniappConfig config) {
+  switch (config) {
+    case MiniappConfig::kOriginal: return "Original";
+    case MiniappConfig::kBaseline: return "Baseline";
+    case MiniappConfig::kHistogram: return "Histogram";
+    case MiniappConfig::kAutocorrelation: return "Autocorrelation";
+    case MiniappConfig::kCatalystSlice: return "Catalyst-slice";
+    case MiniappConfig::kLibsimSlice: return "Libsim-slice";
+  }
+  return "?";
+}
+
+struct RunResult {
+  int ranks = 0;
+  double sim_init = 0.0;
+  double analysis_init = 0.0;
+  double per_step_sim = 0.0;       // mean, virtual seconds
+  double per_step_analysis = 0.0;  // mean, virtual seconds
+  double finalize = 0.0;
+  double total = 0.0;              // job virtual time-to-solution
+  std::size_t mem_startup = 0;     // tracked bytes after sim init (sum)
+  std::size_t mem_high_water = 0;  // tracked bytes HWM (sum over ranks)
+};
+
+struct MiniappBenchParams {
+  int ranks = 8;
+  std::int64_t cells_per_axis = 16;  // executed global grid
+  int steps = 10;
+  int histogram_bins = 64;
+  int window = 10;
+  int top_k = 3;
+  int image_w = 256;
+  int image_h = 144;
+  comm::MachineModel machine = comm::cori_haswell();
+};
+
+/// Run one miniapp configuration end-to-end at executed scale.
+RunResult run_miniapp_config(MiniappConfig config,
+                             const MiniappBenchParams& params);
+
+/// Standard executed-scale rank counts for the weak-scaling tables.
+inline std::vector<int> executed_ranks() { return {4, 8, 16}; }
+
+/// Paper-scale specs (812 / 6496 / 45440 on Cori).
+inline std::vector<perfmodel::MiniappScale> paper_scales() {
+  return {perfmodel::cori_1k(), perfmodel::cori_6k(), perfmodel::cori_45k()};
+}
+
+}  // namespace insitu::bench

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underneath the
+// figure-level benches: histogram binning, autocorrelation updates, slice
+// and isosurface extraction, rasterization, DEFLATE, compositing merges,
+// and the collective rendezvous. These quantify the *real* (wall-clock)
+// cost of the substrate on the host machine, complementing the virtual-
+// clock results.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/contour.hpp"
+#include "analysis/histogram.hpp"
+#include "comm/runtime.hpp"
+#include "data/image_data.hpp"
+#include "render/compositor.hpp"
+#include "render/png.hpp"
+#include "render/rasterizer.hpp"
+
+namespace {
+
+using namespace insitu;
+
+data::ImageDataPtr make_grid_with_field(std::int64_t n) {
+  data::IndexBox box;
+  box.cells = {n, n, n};
+  auto img = std::make_shared<data::ImageData>(box, data::Vec3{},
+                                               data::Vec3{1, 1, 1});
+  auto values = data::DataArray::create<double>("s", img->num_points(), 1);
+  double* dst = values->component_base<double>(0);
+  for (std::int64_t i = 0; i < img->num_points(); ++i) {
+    const data::Vec3 p = img->point(i);
+    dst[i] = std::sin(0.4 * p.x) * std::cos(0.3 * p.y) + 0.1 * p.z;
+  }
+  img->point_fields().add(values);
+  return img;
+}
+
+void BM_HistogramBinning(benchmark::State& state) {
+  const auto n = state.range(0);
+  auto img = make_grid_with_field(n);
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    data::MultiBlockDataSet mesh(1);
+    mesh.add_block(0, img);
+    for (auto _ : state) {
+      auto r = analysis::compute_histogram(comm, mesh, "s",
+                                           data::Association::kPoint, 64);
+      benchmark::DoNotOptimize(r);
+    }
+  });
+  state.SetItemsProcessed(state.iterations() * img->num_points());
+}
+BENCHMARK(BM_HistogramBinning)->Arg(16)->Arg(32);
+
+void BM_SliceExtraction(benchmark::State& state) {
+  auto img = make_grid_with_field(state.range(0));
+  for (auto _ : state) {
+    auto mesh = analysis::slice_axis(*img, "s", 2, state.range(0) / 2.0);
+    benchmark::DoNotOptimize(mesh);
+  }
+  state.SetItemsProcessed(state.iterations() * img->num_cells());
+}
+BENCHMARK(BM_SliceExtraction)->Arg(16)->Arg(32);
+
+void BM_Isosurface(benchmark::State& state) {
+  auto img = make_grid_with_field(state.range(0));
+  for (auto _ : state) {
+    auto mesh = analysis::isosurface(*img, "s", 0.3);
+    benchmark::DoNotOptimize(mesh);
+  }
+  state.SetItemsProcessed(state.iterations() * img->num_cells());
+}
+BENCHMARK(BM_Isosurface)->Arg(16)->Arg(32);
+
+void BM_Rasterize(benchmark::State& state) {
+  auto img = make_grid_with_field(24);
+  auto mesh = analysis::isosurface(*img, "s", 0.3);
+  render::RenderConfig cfg;
+  cfg.width = static_cast<int>(state.range(0));
+  cfg.height = static_cast<int>(state.range(0));
+  cfg.camera = render::default_slice_camera(img->bounds());
+  render::Image target(cfg.width, cfg.height);
+  for (auto _ : state) {
+    target.clear(cfg.background);
+    benchmark::DoNotOptimize(render::rasterize(*mesh, cfg, target));
+  }
+  state.SetItemsProcessed(state.iterations() * mesh->num_triangles());
+}
+BENCHMARK(BM_Rasterize)->Arg(256)->Arg(512);
+
+void BM_DeflateFixed(benchmark::State& state) {
+  // Pseudocolor-image-like data: smooth with repeats.
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>((i / 16) & 0xFF);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::png::deflate_fixed(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeflateFixed)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PngEncode(benchmark::State& state) {
+  render::Image img(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)));
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      img.pixel(x, y) = {static_cast<std::uint8_t>(x),
+                         static_cast<std::uint8_t>(y), 128, 255};
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::png::encode(img));
+  }
+  state.SetBytesProcessed(state.iterations() * img.num_pixels() * 4);
+}
+BENCHMARK(BM_PngEncode)->Arg(256)->Arg(512);
+
+void BM_ImageCompositeMerge(benchmark::State& state) {
+  render::Image a(static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(0)));
+  render::Image b = a;
+  for (std::int64_t i = 0; i < b.num_pixels(); ++i) {
+    b.depths()[static_cast<std::size_t>(i)] = static_cast<float>(i % 3);
+  }
+  for (auto _ : state) {
+    a.composite_over(b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * a.num_pixels());
+}
+BENCHMARK(BM_ImageCompositeMerge)->Arg(512)->Arg(1024);
+
+void BM_AllreduceRendezvous(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    comm::Runtime::run(p, [](comm::Communicator& comm) {
+      std::vector<double> v(256, 1.0);
+      for (int i = 0; i < 50; ++i) {
+        comm.allreduce(std::span<double>(v), comm::ReduceOp::kSum);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_AllreduceRendezvous)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

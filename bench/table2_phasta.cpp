@@ -1,0 +1,123 @@
+// Reproduces Table 2: PHASTA + SENSEI/Catalyst on Mira.
+//
+//   Run  One-Time  In Situ/Step  Total   %InSitu
+//   IS1  1.76      1.40          1051    8.2     (800x200 image)
+//   IS2  1.07      5.24          962     33      (2900x725 image)
+//   IS3  1.93      5.62          653     13      (6.33B elements, 1M ranks)
+//
+// Plus the §4.2.1 root-cause experiment: on an 8-process toy problem the
+// in situ step drops from 4.03 s to 0.518 s when PNG compression is
+// skipped — the serial rank-0 zlib encode dominates large images.
+
+#include <cstdio>
+
+#include "backends/catalyst.hpp"
+#include "comm/runtime.hpp"
+#include "core/bridge.hpp"
+#include "pal/table.hpp"
+#include "perfmodel/paper_model.hpp"
+#include "proxy/phasta.hpp"
+
+namespace {
+
+using namespace insitu;
+
+void paper_scale_table() {
+  const comm::MachineModel mira = comm::mira_bgq();
+  pal::TablePrinter table("Table 2 (paper-scale model): PHASTA on Mira");
+  table.set_header({"run", "one-time (s)", "paper", "in situ/step (s)",
+                    "paper", "total (s)", "paper", "% in situ"});
+  struct Row {
+    const char* name;
+    perfmodel::PhastaScale scale;
+    double paper_onetime, paper_step, paper_total, paper_pct;
+  };
+  const Row rows[] = {
+      {"IS1", perfmodel::phasta_is1(), 1.76, 1.40, 1051, 8.2},
+      {"IS2", perfmodel::phasta_is2(), 1.07, 5.24, 962, 33},
+      {"IS3", perfmodel::phasta_is3(), 1.93, 5.62, 653, 13},
+  };
+  for (const Row& row : rows) {
+    const double onetime =
+        perfmodel::phasta_insitu_onetime_seconds(mira, row.scale);
+    const double step =
+        perfmodel::phasta_insitu_step_seconds(mira, row.scale, true);
+    const double solver =
+        perfmodel::phasta_solver_step_seconds(mira, row.scale);
+    const int rendered = row.scale.steps / row.scale.render_every;
+    const double total =
+        row.scale.steps * solver + rendered * step + onetime;
+    const double pct = 100.0 * (rendered * step + onetime) / total;
+    table.add_row({row.name, pal::TablePrinter::num(onetime, 2),
+                   pal::TablePrinter::num(row.paper_onetime, 2),
+                   pal::TablePrinter::num(step, 2),
+                   pal::TablePrinter::num(row.paper_step, 2),
+                   pal::TablePrinter::num(total, 0),
+                   pal::TablePrinter::num(row.paper_total, 0),
+                   pal::TablePrinter::num(pct, 1)});
+  }
+  table.add_note("IS2 step >> IS1 step: image size (PNG encode), not scale");
+  table.add_note("IS2 vs IS3 step nearly equal despite 4x ranks/5x elements");
+  table.print();
+
+  pal::TablePrinter sizes("§4.2.1: executable size with Catalyst Edition");
+  sizes.set_header({"link", "size"});
+  sizes.add_row({"PHASTA + SENSEI + Catalyst (static, rendering edition)",
+                 pal::TablePrinter::bytes(static_cast<double>(
+                     backends::edition_executable_bytes(
+                         backends::CatalystEdition::kRenderingBase)))});
+  sizes.add_note("paper: 153 MB static / 87 MB dynamic");
+  sizes.print();
+}
+
+void toy_compression_ablation() {
+  // The 8-process toy problem, executed for real: same pipeline, PNG
+  // compression on vs off, on the Mira machine model.
+  pal::TablePrinter table(
+      "§4.2.1 (executed, 8 ranks): PNG compression ablation");
+  table.set_header({"png compression", "in situ/step (s)", "paper"});
+  for (const bool compress : {true, false}) {
+    double step_cost = 0.0;
+    comm::Runtime::Options options;
+    options.machine = comm::mira_bgq();
+    comm::Runtime::run(8, options, [&](comm::Communicator& comm) {
+      proxy::PhastaConfig cfg;
+      cfg.cells_per_rank = {6, 6, 6};
+      proxy::PhastaSim sim(comm, cfg);
+      sim.initialize();
+      proxy::PhastaDataAdaptor adaptor(sim);
+      backends::CatalystSliceConfig cs;
+      cs.array = "velocity_magnitude";
+      cs.image_width = 2900 / 4;  // toy-size images, full-size shape
+      cs.image_height = 725 / 4;
+      cs.scalar_min = 0.0;
+      cs.scalar_max = 2.0;
+      cs.compress_png = compress;
+      auto slice = std::make_shared<backends::CatalystSlice>(cs);
+      core::InSituBridge bridge(&comm);
+      bridge.add_analysis(slice);
+      (void)bridge.initialize();
+      for (long s = 0; s < 3; ++s) {
+        sim.step();
+        (void)bridge.execute(adaptor, sim.time(), s);
+      }
+      if (comm.rank() == 0) {
+        step_cost = bridge.timings().analysis_per_step.mean();
+      }
+    });
+    table.add_row({compress ? "on" : "off",
+                   pal::TablePrinter::num(step_cost, 4),
+                   compress ? "4.03 s" : "0.518 s"});
+  }
+  table.add_note("serial DEFLATE on rank 0 dominates when enabled");
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== bench: Table 2 — PHASTA at up to 1M ranks (Mira) ===\n");
+  paper_scale_table();
+  toy_compression_ablation();
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+
+// Temporal autocorrelation analysis (§3.3):
+//
+// "Given a signal f(x) and a delay t, we find sum_x f(x) f(x+t). Starting
+//  with an integer time delay t, we maintain in a circular buffer, for
+//  each grid cell, a window of values of the last t time steps. We also
+//  maintain a window of running correlations for each t' <= t. When called,
+//  the analysis updates the autocorrelations and the circular buffer. When
+//  the execution completes, all processes perform a global reduction to
+//  determine the top k autocorrelations for each delay t' <= t. For
+//  periodic oscillators, this reduction identifies the centers of the
+//  oscillators. Each MPI rank performs O(N^3) work per time step ... and
+//  maintains two circular buffers, each of size O(t N^3)."
+//
+// This is the paper's prototypical *time-dependent* in situ analysis — the
+// kind that is impossible post hoc unless every timestep was saved.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analysis_adaptor.hpp"
+#include "data/multiblock.hpp"
+#include "data/types.hpp"
+#include "pal/memory_tracker.hpp"
+
+namespace insitu::analysis {
+
+class Autocorrelation final : public core::AnalysisAdaptor {
+ public:
+  /// One of the top-k correlation peaks for some delay.
+  struct Peak {
+    double correlation = 0.0;
+    data::Vec3 position;  ///< center of the peak cell/point
+  };
+
+  /// `window`: the maximum delay t (in steps). `top_k`: peaks reported per
+  /// delay in the final reduction.
+  Autocorrelation(std::string array, data::Association association,
+                  int window, int top_k)
+      : array_(std::move(array)),
+        association_(association),
+        window_(window),
+        top_k_(top_k) {}
+
+  std::string name() const override { return "autocorrelation"; }
+
+  StatusOr<bool> execute(core::DataAdaptor& data) override;
+
+  /// Global top-k reduction; peaks available on rank 0 afterwards.
+  Status finalize(comm::Communicator& comm) override;
+
+  /// [delay-1][k] peaks, delays 1..window. Root rank only, post-finalize.
+  const std::vector<std::vector<Peak>>& top_peaks() const { return peaks_; }
+
+  long steps_processed() const { return steps_; }
+
+  /// Tracked buffer bytes currently held (the 2 * O(t N^3) footprint).
+  std::size_t buffer_bytes() const;
+
+ private:
+  struct BlockState {
+    std::int64_t values_per_step = 0;
+    std::vector<double> history;       // circular: window x values
+    std::vector<double> correlation;   // window x values, running sums
+    std::vector<data::Vec3> centers;   // element centers, cached lazily
+    pal::TrackedBytes tracked;
+  };
+
+  std::string array_;
+  data::Association association_;
+  int window_;
+  int top_k_;
+  long steps_ = 0;
+  std::vector<BlockState> blocks_;
+  std::vector<std::vector<Peak>> peaks_;
+};
+
+}  // namespace insitu::analysis

@@ -1,0 +1,185 @@
+#include "analysis/feature_tracking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace insitu::analysis {
+
+std::vector<Feature> segment_block(const data::ImageData& grid,
+                                   const data::DataArray& values,
+                                   double threshold, std::int64_t min_size) {
+  const std::int64_t nx = grid.point_dim(0);
+  const std::int64_t ny = grid.point_dim(1);
+  const std::int64_t nz = grid.point_dim(2);
+  const std::int64_t n = grid.num_points();
+  std::vector<std::int32_t> label(static_cast<std::size_t>(n), -1);
+
+  std::vector<Feature> features;
+  std::deque<std::int64_t> queue;
+  for (std::int64_t seed = 0; seed < n; ++seed) {
+    if (label[static_cast<std::size_t>(seed)] != -1) continue;
+    if (values.get(seed) < threshold) continue;
+
+    // BFS flood fill with 6-connectivity.
+    const auto component = static_cast<std::int32_t>(features.size());
+    Feature feature;
+    double weight_sum = 0.0;
+    data::Vec3 weighted_centroid;
+    label[static_cast<std::size_t>(seed)] = component;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      const std::int64_t p = queue.front();
+      queue.pop_front();
+      const double v = values.get(p);
+      ++feature.size;
+      feature.peak = std::max(feature.peak, v);
+      const double w = std::max(v, 1e-12);
+      weighted_centroid = weighted_centroid + grid.point(p) * w;
+      weight_sum += w;
+
+      const std::int64_t i = p % nx;
+      const std::int64_t j = (p / nx) % ny;
+      const std::int64_t k = p / (nx * ny);
+      const std::int64_t neighbors[6][3] = {
+          {i - 1, j, k}, {i + 1, j, k}, {i, j - 1, k},
+          {i, j + 1, k}, {i, j, k - 1}, {i, j, k + 1}};
+      for (const auto& nb : neighbors) {
+        if (nb[0] < 0 || nb[0] >= nx || nb[1] < 0 || nb[1] >= ny ||
+            nb[2] < 0 || nb[2] >= nz) {
+          continue;
+        }
+        const std::int64_t q = grid.point_id(nb[0], nb[1], nb[2]);
+        if (label[static_cast<std::size_t>(q)] != -1) continue;
+        if (values.get(q) < threshold) continue;
+        label[static_cast<std::size_t>(q)] = component;
+        queue.push_back(q);
+      }
+    }
+    feature.centroid = weighted_centroid * (1.0 / weight_sum);
+    if (feature.size >= min_size) features.push_back(feature);
+  }
+  return features;
+}
+
+namespace {
+
+/// Greedy merge of fragments whose centroids lie within `distance`
+/// (union over transitive closure via repeated passes).
+std::vector<Feature> merge_fragments(std::vector<Feature> fragments,
+                                     double distance) {
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    for (std::size_t a = 0; a < fragments.size() && !merged_any; ++a) {
+      for (std::size_t b = a + 1; b < fragments.size(); ++b) {
+        if ((fragments[a].centroid - fragments[b].centroid).norm() >
+            distance) {
+          continue;
+        }
+        Feature& fa = fragments[a];
+        const Feature& fb = fragments[b];
+        const double wa = static_cast<double>(fa.size);
+        const double wb = static_cast<double>(fb.size);
+        fa.centroid = (fa.centroid * wa + fb.centroid * wb) *
+                      (1.0 / (wa + wb));
+        fa.size += fb.size;
+        fa.peak = std::max(fa.peak, fb.peak);
+        fragments.erase(fragments.begin() + static_cast<std::ptrdiff_t>(b));
+        merged_any = true;
+        break;
+      }
+    }
+  }
+  return fragments;
+}
+
+struct WireFeature {
+  std::int64_t size;
+  double cx, cy, cz, peak;
+};
+
+}  // namespace
+
+StatusOr<bool> FeatureTracker::execute(core::DataAdaptor& data) {
+  comm::Communicator& comm = *data.communicator();
+  INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh,
+                          data.mesh(/*structure_only=*/false));
+  INSITU_RETURN_IF_ERROR(
+      data.add_array(*mesh, data::Association::kPoint, config_.array));
+
+  // Segment every local block.
+  std::vector<WireFeature> local;
+  std::int64_t scanned = 0;
+  for (std::size_t b = 0; b < mesh->num_local_blocks(); ++b) {
+    const auto* grid =
+        dynamic_cast<const data::ImageData*>(mesh->block(b).get());
+    if (grid == nullptr) {
+      return Status::Unimplemented(
+          "feature tracker: uniform grids only");
+    }
+    INSITU_ASSIGN_OR_RETURN(
+        data::DataArrayPtr values,
+        grid->point_fields().require(config_.array));
+    for (const Feature& f :
+         segment_block(*grid, *values, config_.threshold, config_.min_size)) {
+      local.push_back(WireFeature{f.size, f.centroid.x, f.centroid.y,
+                                  f.centroid.z, f.peak});
+    }
+    scanned += grid->num_points();
+  }
+  comm.advance_compute(comm.machine().compute_time(
+      static_cast<std::uint64_t>(scanned), 4.0));
+
+  // Root gathers fragments, merges across rank boundaries, and tracks.
+  auto gathered = comm.gatherv(std::span<const WireFeature>(local), 0);
+  if (comm.rank() != 0) return true;
+
+  std::vector<Feature> fragments;
+  for (const auto& chunk : gathered) {
+    for (const WireFeature& w : chunk) {
+      Feature f;
+      f.size = w.size;
+      f.centroid = {w.cx, w.cy, w.cz};
+      f.peak = w.peak;
+      fragments.push_back(f);
+    }
+  }
+  std::vector<Feature> merged =
+      merge_fragments(std::move(fragments), config_.merge_distance);
+
+  // Track: match to the previous step's features by nearest centroid.
+  FeatureStepRecord record;
+  record.step = data.time_step();
+  std::vector<bool> previous_used(current_.size(), false);
+  for (Feature& f : merged) {
+    double best = config_.track_distance;
+    int match = -1;
+    for (std::size_t p = 0; p < current_.size(); ++p) {
+      if (previous_used[p]) continue;
+      const double d = (f.centroid - current_[p].centroid).norm();
+      if (d < best) {
+        best = d;
+        match = static_cast<int>(p);
+      }
+    }
+    if (match >= 0) {
+      f.id = current_[static_cast<std::size_t>(match)].id;
+      previous_used[static_cast<std::size_t>(match)] = true;
+    } else {
+      f.id = next_track_id_++;
+      ++record.births;
+    }
+  }
+  for (std::size_t p = 0; p < current_.size(); ++p) {
+    if (!previous_used[p]) ++record.deaths;
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Feature& a, const Feature& b) { return a.id < b.id; });
+  record.features = merged;
+  history_.push_back(record);
+  current_ = std::move(merged);
+  return true;
+}
+
+}  // namespace insitu::analysis

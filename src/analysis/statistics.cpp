@@ -1,0 +1,63 @@
+#include "analysis/statistics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace insitu::analysis {
+
+StatusOr<FieldStatistics> compute_statistics(
+    comm::Communicator& comm, const data::MultiBlockDataSet& mesh,
+    const std::string& array, data::Association association) {
+  double local_min = std::numeric_limits<double>::max();
+  double local_max = std::numeric_limits<double>::lowest();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::int64_t count = 0;
+
+  for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
+    const data::DataSet& block = *mesh.block(b);
+    const data::DataArrayPtr values = block.fields(association).get(array);
+    if (values == nullptr) continue;
+    const std::int64_t n = values->num_tuples();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (association == data::Association::kCell && block.is_ghost_cell(i)) {
+        continue;
+      }
+      const double v = values->get(i);
+      local_min = std::min(local_min, v);
+      local_max = std::max(local_max, v);
+      sum += v;
+      sum_sq += v * v;
+      ++count;
+    }
+  }
+  comm.advance_compute(
+      comm.machine().compute_time(static_cast<std::uint64_t>(count)));
+
+  // Pack all additive moments into one allreduce; min/max separately.
+  std::array<double, 3> sums = {static_cast<double>(count), sum, sum_sq};
+  comm.allreduce(std::span<double>(sums), comm::ReduceOp::kSum);
+
+  FieldStatistics stats;
+  stats.count = static_cast<std::int64_t>(sums[0]);
+  stats.min = comm.allreduce_value(local_min, comm::ReduceOp::kMin);
+  stats.max = comm.allreduce_value(local_max, comm::ReduceOp::kMax);
+  if (stats.count > 0) {
+    stats.mean = sums[1] / sums[0];
+    stats.variance = std::max(0.0, sums[2] / sums[0] - stats.mean * stats.mean);
+  }
+  return stats;
+}
+
+StatusOr<bool> StatisticsAnalysis::execute(core::DataAdaptor& data) {
+  INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh,
+                          data.mesh(/*structure_only=*/false));
+  INSITU_RETURN_IF_ERROR(data.add_array(*mesh, association_, array_));
+  INSITU_ASSIGN_OR_RETURN(
+      FieldStatistics stats,
+      compute_statistics(*data.communicator(), *mesh, array_, association_));
+  last_ = stats;
+  return true;
+}
+
+}  // namespace insitu::analysis

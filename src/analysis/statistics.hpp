@@ -1,0 +1,48 @@
+#pragma once
+
+// Distributed descriptive statistics (count/min/max/mean/variance) via
+// single-pass moment reductions. A lightweight BSP analysis in the same
+// family as the histogram; used by the Nyx proxy runs and as an extra
+// design-pattern data point in the overhead studies.
+
+#include <string>
+
+#include "comm/communicator.hpp"
+#include "core/analysis_adaptor.hpp"
+#include "data/multiblock.hpp"
+
+namespace insitu::analysis {
+
+struct FieldStatistics {
+  std::int64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Collective: all ranks receive identical statistics (allreduce-based).
+/// Ghost cells are excluded for cell arrays.
+StatusOr<FieldStatistics> compute_statistics(comm::Communicator& comm,
+                                             const data::MultiBlockDataSet& mesh,
+                                             const std::string& array,
+                                             data::Association association);
+
+class StatisticsAnalysis final : public core::AnalysisAdaptor {
+ public:
+  StatisticsAnalysis(std::string array, data::Association association)
+      : array_(std::move(array)), association_(association) {}
+
+  std::string name() const override { return "statistics"; }
+
+  StatusOr<bool> execute(core::DataAdaptor& data) override;
+
+  const FieldStatistics& last_result() const { return last_; }
+
+ private:
+  std::string array_;
+  data::Association association_;
+  FieldStatistics last_;
+};
+
+}  // namespace insitu::analysis

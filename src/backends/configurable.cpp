@@ -1,0 +1,145 @@
+#include "backends/configurable.hpp"
+
+#include <algorithm>
+
+#include "analysis/autocorrelation.hpp"
+#include "analysis/histogram.hpp"
+#include "analysis/statistics.hpp"
+#include "backends/catalyst.hpp"
+#include "backends/cinema.hpp"
+#include "backends/extracts.hpp"
+#include "backends/libsim.hpp"
+
+namespace insitu::backends {
+
+namespace {
+
+StatusOr<data::Association> parse_association(const std::string& text) {
+  if (text == "point") return data::Association::kPoint;
+  if (text == "cell") return data::Association::kCell;
+  return Status::InvalidArgument("unknown association '" + text + "'");
+}
+
+}  // namespace
+
+StatusOr<std::vector<core::AnalysisAdaptorPtr>> configure_analyses(
+    const pal::Config& config) {
+  std::vector<core::AnalysisAdaptorPtr> analyses;
+
+  if (config.get_bool_or("histogram.enabled", false)) {
+    INSITU_ASSIGN_OR_RETURN(
+        data::Association assoc,
+        parse_association(config.get_string_or("histogram.association",
+                                               "point")));
+    const auto bins = static_cast<int>(config.get_int_or("histogram.bins", 64));
+    if (bins <= 0) {
+      return Status::InvalidArgument("histogram.bins must be positive");
+    }
+    analyses.push_back(std::make_shared<analysis::HistogramAnalysis>(
+        config.get_string_or("histogram.array", "data"), assoc, bins));
+  }
+
+  if (config.get_bool_or("autocorrelation.enabled", false)) {
+    const auto window =
+        static_cast<int>(config.get_int_or("autocorrelation.window", 10));
+    const auto k = static_cast<int>(config.get_int_or("autocorrelation.k", 3));
+    if (window <= 0 || k <= 0) {
+      return Status::InvalidArgument(
+          "autocorrelation.window and .k must be positive");
+    }
+    analyses.push_back(std::make_shared<analysis::Autocorrelation>(
+        config.get_string_or("autocorrelation.array", "data"),
+        data::Association::kPoint, window, k));
+  }
+
+  if (config.get_bool_or("statistics.enabled", false)) {
+    INSITU_ASSIGN_OR_RETURN(
+        data::Association assoc,
+        parse_association(config.get_string_or("statistics.association",
+                                               "point")));
+    analyses.push_back(std::make_shared<analysis::StatisticsAnalysis>(
+        config.get_string_or("statistics.array", "data"), assoc));
+  }
+
+  if (config.get_bool_or("catalyst.enabled", false)) {
+    CatalystSliceConfig cs;
+    cs.array = config.get_string_or("catalyst.array", cs.array);
+    cs.axis = static_cast<int>(config.get_int_or("catalyst.axis", cs.axis));
+    if (cs.axis < 0 || cs.axis > 2) {
+      return Status::InvalidArgument("catalyst.axis must be 0..2");
+    }
+    cs.value = config.get_double_or("catalyst.value", cs.value);
+    cs.image_width =
+        static_cast<int>(config.get_int_or("catalyst.width", cs.image_width));
+    cs.image_height = static_cast<int>(
+        config.get_int_or("catalyst.height", cs.image_height));
+    cs.colormap = config.get_string_or("catalyst.colormap", cs.colormap);
+    cs.scalar_min = config.get_double_or("catalyst.min", cs.scalar_min);
+    cs.scalar_max = config.get_double_or("catalyst.max", cs.scalar_max);
+    cs.compress_png = config.get_bool_or("catalyst.compress", cs.compress_png);
+    cs.every_n_steps =
+        static_cast<int>(config.get_int_or("catalyst.every", cs.every_n_steps));
+    cs.output_directory =
+        config.get_string_or("catalyst.output", cs.output_directory);
+    analyses.push_back(std::make_shared<CatalystSlice>(cs));
+  }
+
+  if (config.get_bool_or("cinema.enabled", false)) {
+    CinemaConfig cc;
+    cc.array = config.get_string_or("cinema.array", cc.array);
+    cc.iso_fraction =
+        config.get_double_or("cinema.iso_fraction", cc.iso_fraction);
+    cc.camera_phi =
+        static_cast<int>(config.get_int_or("cinema.phi", cc.camera_phi));
+    cc.camera_theta =
+        static_cast<int>(config.get_int_or("cinema.theta", cc.camera_theta));
+    cc.image_width =
+        static_cast<int>(config.get_int_or("cinema.width", cc.image_width));
+    cc.image_height =
+        static_cast<int>(config.get_int_or("cinema.height", cc.image_height));
+    cc.every_n_steps =
+        static_cast<int>(config.get_int_or("cinema.every", cc.every_n_steps));
+    cc.output_directory =
+        config.get_string_or("cinema.output", cc.output_directory);
+    analyses.push_back(std::make_shared<CinemaExtract>(cc));
+  }
+
+  if (config.get_bool_or("extract.enabled", false)) {
+    ExtractConfig ec;
+    ec.array = config.get_string_or("extract.array", ec.array);
+    const std::string kind = config.get_string_or("extract.kind", "isosurface");
+    if (kind == "slice") {
+      ec.kind = ExtractConfig::Kind::kSlice;
+      ec.axis = static_cast<int>(config.get_int_or("extract.axis", ec.axis));
+      if (ec.axis < 0 || ec.axis > 2) {
+        return Status::InvalidArgument("extract.axis must be 0..2");
+      }
+    } else if (kind != "isosurface") {
+      return Status::InvalidArgument("extract.kind must be slice|isosurface");
+    }
+    INSITU_ASSIGN_OR_RETURN(ec.value, config.get_double("extract.value"));
+    ec.every_n_steps =
+        static_cast<int>(config.get_int_or("extract.every", ec.every_n_steps));
+    ec.output_directory =
+        config.get_string_or("extract.output", ec.output_directory);
+    analyses.push_back(std::make_shared<ExtractWriter>(ec));
+  }
+
+  if (config.get_bool_or("libsim.enabled", false)) {
+    LibsimConfig lc;
+    INSITU_ASSIGN_OR_RETURN(std::string session,
+                            config.get_string("libsim.session"));
+    // Inline sessions use ';' as the line separator.
+    std::replace(session.begin(), session.end(), ';', '\n');
+    lc.session_text = std::move(session);
+    lc.every_n_steps =
+        static_cast<int>(config.get_int_or("libsim.every", lc.every_n_steps));
+    lc.output_directory =
+        config.get_string_or("libsim.output", lc.output_directory);
+    analyses.push_back(std::make_shared<LibsimRender>(lc));
+  }
+
+  return analyses;
+}
+
+}  // namespace insitu::backends

@@ -1,0 +1,30 @@
+#pragma once
+
+// ConfigurableAnalysis: build a bridge's analysis set from a text/CLI
+// configuration, with no code changes to the instrumented simulation —
+// the end-user face of the "write once, use anywhere" property
+// ("application end-users can easily choose between ParaView/Catalyst and
+// VisIt/Libsim for generating visualizations in situ", §3.2).
+//
+// Recognized sections (all optional; any combination may be enabled):
+//   [histogram]        enabled=true array=data association=point bins=64
+//   [autocorrelation]  enabled=true array=data window=10 k=3
+//   [statistics]       enabled=true array=data association=point
+//   [catalyst]         enabled=true array=data axis=2 value=nan width=1920
+//                      height=1080 colormap=cool_warm min=-1 max=1
+//                      compress=true every=1 output=
+//   [libsim]           enabled=true every=5 session=<inline session text
+//                      with ';' as line separator> output=
+
+#include <vector>
+
+#include "core/analysis_adaptor.hpp"
+#include "pal/config.hpp"
+
+namespace insitu::backends {
+
+/// Build the analysis adaptors requested by `config`.
+StatusOr<std::vector<core::AnalysisAdaptorPtr>> configure_analyses(
+    const pal::Config& config);
+
+}  // namespace insitu::backends

@@ -1,0 +1,56 @@
+#pragma once
+
+// Geometry-extract output: Libsim "can save images for movie-making or it
+// can save reduced-size data extracts for post hoc analysis" (§2.2.3).
+// ExtractWriter saves the extracted slice/isosurface geometry (triangle
+// soup + scalars) per step — orders of magnitude smaller than the volume
+// data, yet re-renderable post hoc from any angle.
+
+#include <string>
+
+#include "analysis/geometry.hpp"
+#include "core/analysis_adaptor.hpp"
+
+namespace insitu::backends {
+
+/// Serialize / deserialize a TriangleMesh (the extract file payload).
+std::vector<std::byte> serialize_mesh(const analysis::TriangleMesh& mesh);
+StatusOr<analysis::TriangleMesh> deserialize_mesh(
+    std::span<const std::byte> bytes);
+
+struct ExtractConfig {
+  std::string array = "data";
+  enum class Kind { kSlice, kIsosurface } kind = Kind::kIsosurface;
+  int axis = 2;        ///< slice
+  double value = 0.0;  ///< slice coordinate or isovalue
+  int every_n_steps = 1;
+  /// Gather extracts to rank 0 and write one file per step; empty keeps
+  /// only counters (bench mode).
+  std::string output_directory;
+};
+
+class ExtractWriter final : public core::AnalysisAdaptor {
+ public:
+  explicit ExtractWriter(ExtractConfig config) : config_(std::move(config)) {}
+
+  std::string name() const override { return "extract-writer"; }
+
+  StatusOr<bool> execute(core::DataAdaptor& data) override;
+
+  long extracts_written() const { return extracts_; }
+  /// Triangles in the last global (gathered) extract — rank 0.
+  std::int64_t last_global_triangles() const { return last_triangles_; }
+  /// Bytes of the last written extract vs the full field payload it came
+  /// from (the data-reduction ratio headline).
+  std::uint64_t last_extract_bytes() const { return last_extract_bytes_; }
+  std::uint64_t last_field_bytes() const { return last_field_bytes_; }
+
+ private:
+  ExtractConfig config_;
+  long extracts_ = 0;
+  std::int64_t last_triangles_ = 0;
+  std::uint64_t last_extract_bytes_ = 0;
+  std::uint64_t last_field_bytes_ = 0;
+};
+
+}  // namespace insitu::backends

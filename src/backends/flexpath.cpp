@@ -1,0 +1,137 @@
+#include "backends/flexpath.hpp"
+
+namespace insitu::backends {
+
+namespace {
+constexpr int kTagContact = 8301;
+constexpr int kTagMeta = 8302;
+constexpr int kTagData = 8303;
+constexpr int kTagCredit = 8304;
+}  // namespace
+
+Status FlexPathWriter::initialize(comm::Communicator& comm) {
+  const double start = comm.clock().now();
+  // Contact-information handshake with the endpoint.
+  const std::int32_t hello = comm.rank();
+  world_->send_values(partner_, kTagContact,
+                      std::span<const std::int32_t>(&hello, 1));
+  (void)world_->recv_values<std::int32_t>(partner_, kTagContact);
+  credits_ = options_.queue_depth;
+  timings_.initialize = comm.clock().now() - start;
+  return Status::Ok();
+}
+
+StatusOr<bool> FlexPathWriter::execute(core::DataAdaptor& data) {
+  comm::Communicator& comm = *data.communicator();
+
+  // Materialize + serialize the step (the transport is not zero-copy).
+  INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
+  std::vector<std::byte> payload = bp_serialize(*mesh);
+  comm.advance_compute(comm.machine().memcpy_time(payload.size()));
+
+  // adios::advance — metadata sync with the reader.
+  const double advance_start = comm.clock().now();
+  const BpIndex index = bp_index_for(*mesh, data.time_step());
+  world_->send(partner_, kTagMeta, index.serialize());
+  timings_.advance.add(comm.clock().now() - advance_start);
+
+  // adios::analysis — transmit, blocking when the reader is behind.
+  const double analysis_start = comm.clock().now();
+  if (credits_ == 0) {
+    (void)world_->recv(partner_, kTagCredit);  // block until reader drains
+    ++credits_;
+  }
+  --credits_;
+  world_->send(partner_, kTagData, payload);
+  timings_.analysis.add(comm.clock().now() - analysis_start);
+  return true;
+}
+
+Status FlexPathWriter::finalize(comm::Communicator& comm) {
+  (void)comm;
+  BpIndex eos;
+  eos.step = -1;  // end-of-stream sentinel
+  world_->send(partner_, kTagMeta, eos.serialize());
+  return Status::Ok();
+}
+
+std::vector<int> FlexPathEndpoint::writers_for_endpoint(int n_writers,
+                                                        int n_endpoints,
+                                                        int endpoint_index) {
+  std::vector<int> writers;
+  for (int w = endpoint_index; w < n_writers; w += n_endpoints) {
+    writers.push_back(w);
+  }
+  return writers;
+}
+
+Status FlexPathEndpoint::run(comm::Communicator& endpoint_comm,
+                             core::InSituBridge& bridge) {
+  // Reader bootstrap (connection setup; §4.1.4's expensive phase on Cori).
+  const double init_start = endpoint_comm.clock().now();
+  for (const int partner : partners_) {
+    (void)world_->recv_values<std::int32_t>(partner, kTagContact);
+    const std::int32_t hello = world_->rank();
+    world_->send_values(partner, kTagContact,
+                        std::span<const std::int32_t>(&hello, 1));
+  }
+  endpoint_comm.advance_compute(options_.reader_init_seconds);
+  timings_.initialize = endpoint_comm.clock().now() - init_start;
+
+  core::StagedDataAdaptor adaptor(nullptr);
+  std::vector<bool> live(partners_.size(), true);
+  std::size_t n_live = partners_.size();
+  while (n_live > 0) {
+    // Collect this step from every live writer, merging their blocks.
+    const double recv_start = endpoint_comm.clock().now();
+    data::MultiBlockPtr mesh;
+    long step = -1;
+    std::size_t total_payload = 0;
+    for (std::size_t p = 0; p < partners_.size(); ++p) {
+      if (!live[p]) continue;
+      const int partner = partners_[p];
+      const std::vector<std::byte> meta_bytes =
+          world_->recv(partner, kTagMeta);
+      INSITU_ASSIGN_OR_RETURN(BpIndex index,
+                              BpIndex::deserialize(meta_bytes));
+      if (index.step < 0) {  // this writer closed its stream
+        live[p] = false;
+        --n_live;
+        continue;
+      }
+      step = index.step;
+      const std::vector<std::byte> payload = world_->recv(partner, kTagData);
+      world_->send(partner, kTagCredit, {});  // replenish writer credit
+      total_payload += payload.size();
+      INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr part,
+                              bp_deserialize(payload));
+      if (mesh == nullptr) {
+        mesh = part;
+      } else {
+        for (std::size_t b = 0; b < part->num_local_blocks(); ++b) {
+          mesh->add_block(part->block_id(b), part->block(b));
+        }
+      }
+    }
+    if (mesh == nullptr) break;  // every stream ended this round
+    endpoint_comm.advance_compute(
+        endpoint_comm.machine().memcpy_time(total_payload));
+    timings_.receive.add(endpoint_comm.clock().now() - recv_start);
+
+    const double analysis_start = endpoint_comm.clock().now();
+    adaptor.set_mesh(mesh);
+    INSITU_ASSIGN_OR_RETURN(bool keep, bridge.execute(adaptor, 0.0, step));
+    (void)keep;
+    // Hyperthread co-scheduling: the analysis core is shared with the
+    // simulation thread, inflating analysis time.
+    const double analysis_elapsed =
+        endpoint_comm.clock().now() - analysis_start;
+    endpoint_comm.advance_compute(
+        (options_.hyperthread_slowdown - 1.0) * analysis_elapsed);
+    timings_.analysis.add(endpoint_comm.clock().now() - analysis_start);
+    ++timings_.steps;
+  }
+  return Status::Ok();
+}
+
+}  // namespace insitu::backends

@@ -1,0 +1,115 @@
+#pragma once
+
+// FlexPath-like staging transport: the ADIOS in transit configuration of
+// §4.1.4.
+//
+// "the ADIOS FlexPath approach leads to having two different executables
+//  ... we report two different timing schemes: those for the
+//  writer/simulation, and those for the endpoint/analysis."
+//
+// Here both "executables" are rank groups of one SPMD world (the paper
+// co-schedules them on hyperthreads of the same cores): ranks [0, P) run
+// the simulation + FlexPathWriter, ranks [P, 2P) run FlexPathEndpoint.
+// Writer i streams to endpoint i over the world communicator with
+// credit-based backpressure (the `adios::analysis` phase blocks "if the
+// reader is not yet ready"). The per-step metadata handshake is the
+// `adios::advance` phase. The transport is NOT zero-copy — each step pays
+// serialize + deserialize buffer costs, one source of the ~50% penalty
+// §4.1.4 reports versus inlined analysis.
+
+#include "backends/adios_bp.hpp"
+#include "core/analysis_adaptor.hpp"
+#include "core/bridge.hpp"
+#include "core/staged_adaptor.hpp"
+#include "pal/timer.hpp"
+
+namespace insitu::backends {
+
+struct FlexPathOptions {
+  int queue_depth = 2;  ///< staged steps in flight before the writer blocks
+  /// Reader-side connection/bootstrap cost (seconds). §4.1.4: "the
+  /// initialization times for the reader on Cori requires additional
+  /// tuning" — an order of magnitude higher than Titan.
+  double reader_init_seconds = 1.0;
+  /// Extra slowdown applied to endpoint analysis compute from sharing the
+  /// core with the simulation hyperthread.
+  double hyperthread_slowdown = 1.35;
+};
+
+struct FlexPathWriterTimings {
+  double initialize = 0.0;
+  pal::PhaseTimer advance;   ///< per-step metadata sync
+  pal::PhaseTimer analysis;  ///< per-step payload transmit + blocking
+};
+
+/// Simulation-side transport, exposed as just another AnalysisAdaptor
+/// (under SENSEI, "ADIOS ... [is] treated as an analysis routine").
+class FlexPathWriter final : public core::AnalysisAdaptor {
+ public:
+  /// `world`: the combined writer+endpoint communicator.
+  /// `partner`: world rank of this writer's endpoint.
+  FlexPathWriter(comm::Communicator& world, int partner,
+                 FlexPathOptions options = {})
+      : world_(&world), partner_(partner), options_(options) {}
+
+  std::string name() const override { return "adios-flexpath-writer"; }
+
+  Status initialize(comm::Communicator& comm) override;
+  StatusOr<bool> execute(core::DataAdaptor& data) override;
+  Status finalize(comm::Communicator& comm) override;
+
+  const FlexPathWriterTimings& timings() const { return timings_; }
+
+ private:
+  comm::Communicator* world_;
+  int partner_;
+  FlexPathOptions options_;
+  FlexPathWriterTimings timings_;
+  int credits_ = 0;
+};
+
+struct FlexPathEndpointTimings {
+  double initialize = 0.0;
+  pal::PhaseTimer receive;   ///< per-step wait + deserialize
+  pal::PhaseTimer analysis;  ///< per-step analysis execution
+  long steps = 0;
+};
+
+/// Analysis-side transport: pumps staged steps into an InSituBridge whose
+/// analyses were registered by the caller (histogram, autocorrelation,
+/// Catalyst-slice — anything).
+///
+/// Supports M:N fan-in (FlexPath's multi-node deployment shape): one
+/// endpoint may drain several writers; their blocks are merged into one
+/// staged mesh per step before analysis.
+class FlexPathEndpoint {
+ public:
+  /// Single-writer endpoint (the paper's hyperthread-paired layout).
+  FlexPathEndpoint(comm::Communicator& world, int partner,
+                   FlexPathOptions options = {})
+      : FlexPathEndpoint(world, std::vector<int>{partner}, options) {}
+
+  /// Fan-in endpoint: drains every writer in `partners`.
+  FlexPathEndpoint(comm::Communicator& world, std::vector<int> partners,
+                   FlexPathOptions options = {})
+      : world_(&world), partners_(std::move(partners)), options_(options) {}
+
+  /// Blocks until every writer signals end-of-stream, running each staged
+  /// step through `bridge` (which must already be initialized).
+  Status run(comm::Communicator& endpoint_comm, core::InSituBridge& bridge);
+
+  const FlexPathEndpointTimings& timings() const { return timings_; }
+
+  /// World ranks of the writers assigned to endpoint `e` of `n_endpoints`
+  /// when `n_writers` writers hold world ranks [0, n_writers).
+  static std::vector<int> writers_for_endpoint(int n_writers, int n_endpoints,
+                                               int endpoint_index);
+
+ private:
+  comm::Communicator* world_;
+  std::vector<int> partners_;
+  FlexPathOptions options_;
+  FlexPathEndpointTimings timings_;
+};
+
+}  // namespace insitu::backends

@@ -1,0 +1,153 @@
+#include "backends/glean.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "core/staged_adaptor.hpp"
+#include "io/block_io.hpp"
+
+namespace insitu::backends {
+
+namespace {
+constexpr int kTagGleanData = 8501;
+
+struct StepHeader {
+  long step = 0;       // -1 = end-of-stream
+  std::int32_t src = 0;
+};
+}  // namespace
+
+GleanTopology GleanTopology::for_world(int world_size, int ratio) {
+  GleanTopology topo;
+  // Solve compute + ceil(compute/ratio) <= world_size with max compute.
+  topo.compute_ranks = world_size * ratio / (ratio + 1);
+  while (topo.compute_ranks > 0 &&
+         topo.compute_ranks + (topo.compute_ranks + ratio - 1) / ratio >
+             world_size) {
+    --topo.compute_ranks;
+  }
+  topo.aggregator_ranks = (topo.compute_ranks + ratio - 1) / ratio;
+  return topo;
+}
+
+StatusOr<bool> GleanWriter::execute(core::DataAdaptor& data) {
+  comm::Communicator& comm = *data.communicator();
+  INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
+  std::vector<std::byte> payload = bp_serialize(*mesh);
+  comm.advance_compute(comm.machine().memcpy_time(payload.size()));
+
+  StepHeader header{data.time_step(), world_->rank()};
+  std::vector<std::byte> framed(sizeof header + payload.size());
+  std::memcpy(framed.data(), &header, sizeof header);
+  std::memcpy(framed.data() + sizeof header, payload.data(), payload.size());
+  world_->send(aggregator_, kTagGleanData, framed);
+  return true;
+}
+
+Status GleanWriter::finalize(comm::Communicator& comm) {
+  (void)comm;
+  StepHeader eos{-1, world_->rank()};
+  std::vector<std::byte> framed(sizeof eos);
+  std::memcpy(framed.data(), &eos, sizeof eos);
+  world_->send(aggregator_, kTagGleanData, framed);
+  return Status::Ok();
+}
+
+Status GleanAggregator::run(comm::Communicator& aggregator_comm,
+                            core::InSituBridge* bridge) {
+  core::StagedDataAdaptor adaptor(nullptr);
+  // Steps can arrive interleaved across sources; assemble per-step groups
+  // and process a step once every live source has contributed it.
+  std::map<long, std::vector<std::vector<std::byte>>> pending;
+  std::size_t live_sources = sources_.size();
+  long next_step_to_process = 0;
+
+  while (live_sources > 0 || !pending.empty()) {
+    if (live_sources > 0) {
+      const double recv_start = aggregator_comm.clock().now();
+      const std::vector<std::byte> framed =
+          world_->recv_any(kTagGleanData, nullptr);
+      StepHeader header;
+      std::memcpy(&header, framed.data(), sizeof header);
+      timings_.receive.add(aggregator_comm.clock().now() - recv_start);
+      if (header.step < 0) {
+        --live_sources;
+        continue;
+      }
+      pending[header.step].emplace_back(framed.begin() + sizeof header,
+                                        framed.end());
+    }
+
+    // Process complete steps in order. Producers may skip step numbers
+    // (every_n_steps cadences): once EVERY source has contributed some
+    // later step, per-source FIFO ordering guarantees nothing earlier can
+    // still arrive, so the gap can be jumped immediately.
+    while (true) {
+      auto it = pending.find(next_step_to_process);
+      if (it == pending.end() || it->second.size() < sources_.size()) {
+        if (!pending.empty() &&
+            pending.begin()->first > next_step_to_process &&
+            pending.begin()->second.size() == sources_.size()) {
+          next_step_to_process = pending.begin()->first;
+          it = pending.begin();
+        } else {
+          break;
+        }
+      }
+
+      // Merge every source's blocks into one staged mesh.
+      auto merged = std::make_shared<data::MultiBlockDataSet>(0);
+      std::uint64_t payload_bytes = 0;
+      for (const auto& payload : it->second) {
+        payload_bytes += payload.size();
+        INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr part,
+                                bp_deserialize(payload));
+        merged->set_num_global_blocks(part->num_global_blocks());
+        for (std::size_t b = 0; b < part->num_local_blocks(); ++b) {
+          merged->add_block(part->block_id(b), part->block(b));
+        }
+      }
+      aggregator_comm.advance_compute(
+          aggregator_comm.machine().memcpy_time(payload_bytes));
+
+      if (bridge != nullptr) {
+        const double analysis_start = aggregator_comm.clock().now();
+        adaptor.set_mesh(merged);
+        INSITU_ASSIGN_OR_RETURN(
+            bool keep,
+            bridge->execute(adaptor, 0.0, next_step_to_process));
+        (void)keep;
+        timings_.analysis.add(aggregator_comm.clock().now() - analysis_start);
+      }
+      if (options_.write_bp_files && !options_.output_directory.empty()) {
+        const double io_start = aggregator_comm.clock().now();
+        char name[96];
+        std::snprintf(name, sizeof name, "/glean_r%04d_step_%06ld.bp",
+                      aggregator_comm.rank(), next_step_to_process);
+        INSITU_RETURN_IF_ERROR(
+            bp_write_file(options_.output_directory + name, *merged));
+        timings_.io.add(aggregator_comm.clock().now() - io_start);
+      }
+      ++timings_.steps;
+      pending.erase(it);
+      ++next_step_to_process;
+    }
+
+    // Once every source has closed, completeness is final: skip gaps in
+    // the step numbering and reject permanently incomplete steps.
+    if (live_sources == 0 && !pending.empty()) {
+      const auto& [first_step, contributions] = *pending.begin();
+      if (first_step > next_step_to_process) {
+        next_step_to_process = first_step;
+      } else if (contributions.size() < sources_.size()) {
+        return Status::Internal(
+            "glean aggregator: step " + std::to_string(first_step) +
+            " incomplete after end-of-stream");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace insitu::backends

@@ -1,0 +1,90 @@
+#pragma once
+
+// GleanLike: topology-aware aggregation staging in the style of GLEAN
+// (§2.2.3): "an infrastructure for accelerating I/O, interfacing to
+// running simulations for in transit analysis, and/or an interface for in
+// situ analysis with zero or minimal modifications to the existing
+// application code base."
+//
+// Topology: N compute ranks funnel their timesteps to N/ratio aggregator
+// ranks (GLEAN's I/O acceleration shape: far fewer writers than compute
+// ranks). An aggregator either runs analyses over the merged blocks of its
+// group (in transit analysis) or writes one BP file per step (accelerated
+// I/O), or both.
+
+#include <string>
+
+#include "backends/adios_bp.hpp"
+#include "core/analysis_adaptor.hpp"
+#include "core/bridge.hpp"
+#include "pal/timer.hpp"
+
+namespace insitu::backends {
+
+struct GleanOptions {
+  int aggregation_ratio = 4;  ///< compute ranks per aggregator
+  bool write_bp_files = false;
+  std::string output_directory;
+};
+
+/// World layout: compute ranks are [0, P); aggregators are [P, P + P/ratio).
+/// Compute rank r streams to aggregator P + r / ratio.
+struct GleanTopology {
+  int compute_ranks = 0;
+  int aggregator_ranks = 0;
+
+  static GleanTopology for_world(int world_size, int ratio);
+  bool is_compute(int world_rank) const { return world_rank < compute_ranks; }
+  int aggregator_of(int compute_rank, int ratio) const {
+    return compute_ranks + compute_rank / ratio;
+  }
+};
+
+/// Compute-side: forwards each step's serialized blocks to the assigned
+/// aggregator. Fire-and-forget (eager buffered send): the simulation is
+/// perturbed only by the serialization cost.
+class GleanWriter final : public core::AnalysisAdaptor {
+ public:
+  GleanWriter(comm::Communicator& world, int aggregator_world_rank)
+      : world_(&world), aggregator_(aggregator_world_rank) {}
+
+  std::string name() const override { return "glean-writer"; }
+
+  StatusOr<bool> execute(core::DataAdaptor& data) override;
+  Status finalize(comm::Communicator& comm) override;
+
+ private:
+  comm::Communicator* world_;
+  int aggregator_;
+};
+
+struct GleanAggregatorTimings {
+  pal::PhaseTimer receive;
+  pal::PhaseTimer analysis;
+  pal::PhaseTimer io;
+  long steps = 0;
+};
+
+/// Aggregator-side pump: drains its compute group until every member has
+/// signaled end-of-stream.
+class GleanAggregator {
+ public:
+  /// `sources`: world ranks of the compute ranks assigned to this
+  /// aggregator. `bridge` may be null (pure I/O acceleration).
+  GleanAggregator(comm::Communicator& world, std::vector<int> sources,
+                  GleanOptions options)
+      : world_(&world), sources_(std::move(sources)), options_(options) {}
+
+  Status run(comm::Communicator& aggregator_comm,
+             core::InSituBridge* bridge);
+
+  const GleanAggregatorTimings& timings() const { return timings_; }
+
+ private:
+  comm::Communicator* world_;
+  std::vector<int> sources_;
+  GleanOptions options_;
+  GleanAggregatorTimings timings_;
+};
+
+}  // namespace insitu::backends

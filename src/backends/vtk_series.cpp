@@ -1,0 +1,55 @@
+#include "backends/vtk_series.hpp"
+
+#include <cstdio>
+
+#include "data/image_data.hpp"
+#include "io/vtk_xml.hpp"
+
+namespace insitu::backends {
+
+Status VtkSeriesWriter::initialize(comm::Communicator& comm) {
+  (void)comm;
+  if (config_.output_directory.empty()) {
+    return Status::InvalidArgument(
+        "vtk series writer requires output_directory");
+  }
+  return Status::Ok();
+}
+
+StatusOr<bool> VtkSeriesWriter::execute(core::DataAdaptor& data) {
+  comm::Communicator& comm = *data.communicator();
+  if (data.time_step() % config_.every_n_steps != 0) return true;
+
+  INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
+  if (mesh->num_local_blocks() != 1) {
+    return Status::Unimplemented(
+        "vtk series writer: one block per rank expected");
+  }
+  const auto* block =
+      dynamic_cast<const data::ImageData*>(mesh->block(0).get());
+  if (block == nullptr) {
+    return Status::Unimplemented("vtk series writer: uniform grids only");
+  }
+
+  char base[128];
+  std::snprintf(base, sizeof base, "%s_%06ld", config_.series_name.c_str(),
+                data.time_step());
+  INSITU_ASSIGN_OR_RETURN(
+      std::string pvti,
+      io::write_pvti(comm, config_.output_directory, base, *block));
+  if (comm.rank() == 0) {
+    // The .pvd references dataset files relative to its own directory.
+    timesteps_.emplace_back(data.time(),
+                            std::string(base) + ".pvti");
+  }
+  return true;
+}
+
+Status VtkSeriesWriter::finalize(comm::Communicator& comm) {
+  if (comm.rank() != 0 || timesteps_.empty()) return Status::Ok();
+  return io::write_pvd(
+      config_.output_directory + "/" + config_.series_name + ".pvd",
+      timesteps_);
+}
+
+}  // namespace insitu::backends

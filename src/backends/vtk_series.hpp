@@ -1,0 +1,42 @@
+#pragma once
+
+// VtkSeriesWriter: an AnalysisAdaptor that saves each trigger step as a
+// ParaView-loadable .pvti (one .vti piece per rank) and maintains a .pvd
+// time-series index — the "save data extracts in a standard format"
+// workflow, interoperable with stock post hoc tools.
+
+#include <string>
+#include <vector>
+
+#include "core/analysis_adaptor.hpp"
+
+namespace insitu::backends {
+
+struct VtkSeriesConfig {
+  std::string output_directory;  ///< required
+  std::string series_name = "series";
+  int every_n_steps = 1;
+};
+
+class VtkSeriesWriter final : public core::AnalysisAdaptor {
+ public:
+  explicit VtkSeriesWriter(VtkSeriesConfig config)
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "vtk-series-writer"; }
+
+  Status initialize(comm::Communicator& comm) override;
+  StatusOr<bool> execute(core::DataAdaptor& data) override;
+  /// Writes the .pvd index on rank 0.
+  Status finalize(comm::Communicator& comm) override;
+
+  long steps_written() const {
+    return static_cast<long>(timesteps_.size());
+  }
+
+ private:
+  VtkSeriesConfig config_;
+  std::vector<std::pair<double, std::string>> timesteps_;  // rank 0
+};
+
+}  // namespace insitu::backends

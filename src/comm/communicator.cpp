@@ -1,0 +1,363 @@
+#include "comm/communicator.hpp"
+
+#include "comm/group_factory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace insitu::comm {
+namespace detail {
+
+namespace {
+struct Message {
+  int src = 0;
+  int tag = 0;
+  double arrival_vtime = 0.0;
+  std::vector<std::byte> payload;
+};
+}  // namespace
+
+/// Shared state for one communicator: per-rank mailboxes plus a reusable
+/// collective rendezvous slot. Thread-safe; one instance is shared by all
+/// rank threads of the communicator.
+class Group {
+ public:
+  explicit Group(int size) : size_(size), mailboxes_(size) {}
+
+  int size() const { return size_; }
+
+  // ---- point to point ----
+
+  void deliver(int dest, Message msg) {
+    Mailbox& box = mailboxes_[dest];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+    box.cv.notify_all();
+  }
+
+  Message take(int dest, int src, int tag) {
+    Mailbox& box = mailboxes_[dest];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    while (true) {
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if ((src < 0 || it->src == src) && it->tag == tag) {
+          Message msg = std::move(*it);
+          box.queue.erase(it);
+          return msg;
+        }
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  bool probe(int dest, int src, int tag) const {
+    const Mailbox& box = mailboxes_[dest];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    for (const auto& msg : box.queue) {
+      if ((src < 0 || msg.src == src) && msg.tag == tag) return true;
+    }
+    return false;
+  }
+
+  // ---- collective rendezvous ----
+  //
+  // One reusable slot: ranks arrive, contribute, and the last arrival
+  // publishes the result; ranks then drain (copy results out) before the
+  // slot can be reused. Generation counting makes the slot reusable
+  // back-to-back without races.
+
+  struct CollectiveState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    long generation = 0;
+    int arrived = 0;
+    int readers_pending = 0;
+    double max_entry = 0.0;
+    double root_entry = 0.0;
+    // Payload areas; meaning depends on the operation.
+    std::vector<std::byte> buffer;
+    std::vector<std::vector<std::byte>> blobs;
+    bool buffer_initialized = false;
+    // split(): first proposer per color registers the new group here.
+    std::map<int, std::shared_ptr<Group>> split_registry;
+  };
+
+  CollectiveState& collective() { return collective_; }
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  int size_;
+  std::vector<Mailbox> mailboxes_;
+  CollectiveState collective_;
+};
+
+std::shared_ptr<Group> make_group(int size) {
+  return std::make_shared<Group>(size);
+}
+
+}  // namespace detail
+
+using detail::Group;
+
+Communicator::Communicator(std::shared_ptr<detail::Group> group, int rank,
+                           VirtualClock* clock, const MachineModel* machine,
+                           pal::Rng* rng)
+    : group_(std::move(group)),
+      rank_(rank),
+      clock_(clock),
+      machine_(machine),
+      rng_(rng) {}
+
+int Communicator::size() const { return group_->size(); }
+
+void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
+  assert(dest >= 0 && dest < size());
+  detail::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.assign(data.begin(), data.end());
+  // Sender-side injection overhead, then in-flight transit.
+  const double inject = machine_->alpha * 0.5;
+  clock_->advance(inject);
+  msg.arrival_vtime = clock_->now() + machine_->ptp_time(data.size());
+  group_->deliver(dest, std::move(msg));
+}
+
+std::vector<std::byte> Communicator::recv(int src, int tag) {
+  detail::Message msg = group_->take(rank_, src, tag);
+  clock_->observe(msg.arrival_vtime);
+  return std::move(msg.payload);
+}
+
+std::vector<std::byte> Communicator::recv_any(int tag, int* src_out) {
+  detail::Message msg = group_->take(rank_, /*src=*/-1, tag);
+  clock_->observe(msg.arrival_vtime);
+  if (src_out != nullptr) *src_out = msg.src;
+  return std::move(msg.payload);
+}
+
+bool Communicator::probe(int src, int tag) const {
+  return group_->probe(rank_, src, tag);
+}
+
+namespace {
+
+/// Runs one collective round trip against the group's rendezvous slot.
+/// `contribute` runs under the slot lock when this rank arrives;
+/// `finalize` runs under the lock on the *last* arriving rank;
+/// `collect` runs under the lock once results are published.
+/// Returns the max entry virtual time across ranks.
+struct CollectiveRound {
+  Group::CollectiveState& slot;
+  int group_size;
+
+  template <typename ContributeFn, typename FinalizeFn, typename CollectFn>
+  double run(double my_entry, ContributeFn&& contribute,
+             FinalizeFn&& finalize, CollectFn&& collect) {
+    std::unique_lock<std::mutex> lock(slot.mutex);
+    // Wait for the previous collective's readers to drain.
+    slot.cv.wait(lock, [&] { return slot.readers_pending == 0; });
+    if (slot.arrived == 0) {
+      slot.max_entry = my_entry;
+      slot.buffer.clear();
+      slot.blobs.assign(static_cast<std::size_t>(group_size), {});
+      slot.buffer_initialized = false;
+    } else {
+      slot.max_entry = std::max(slot.max_entry, my_entry);
+    }
+    contribute();
+    ++slot.arrived;
+    const long my_generation = slot.generation;
+    if (slot.arrived == group_size) {
+      finalize();
+      slot.arrived = 0;
+      slot.readers_pending = group_size;
+      ++slot.generation;
+      slot.cv.notify_all();
+    } else {
+      slot.cv.wait(lock, [&] { return slot.generation != my_generation; });
+    }
+    const double max_entry = slot.max_entry;
+    collect();
+    if (--slot.readers_pending == 0) slot.cv.notify_all();
+    return max_entry;
+  }
+};
+
+}  // namespace
+
+void Communicator::barrier() {
+  auto& slot = group_->collective();
+  CollectiveRound round{slot, size()};
+  const double max_entry =
+      round.run(clock_->now(), [] {}, [] {}, [] {});
+  clock_->observe(max_entry + machine_->barrier_time(size()));
+}
+
+std::vector<std::byte> Communicator::coll_bcast(
+    std::span<const std::byte> data, int root) {
+  auto& slot = group_->collective();
+  CollectiveRound round{slot, size()};
+  std::vector<std::byte> result;
+  round.run(
+      clock_->now(),
+      [&] {
+        if (rank_ == root) {
+          slot.buffer.assign(data.begin(), data.end());
+          slot.root_entry = clock_->now();
+        }
+      },
+      [] {},
+      [&] {
+        if (rank_ != root) {
+          result.assign(slot.buffer.begin(), slot.buffer.end());
+        }
+      });
+  const std::size_t bytes = rank_ == root ? data.size() : result.size();
+  clock_->observe(slot.root_entry + machine_->bcast_time(size(), bytes));
+  return result;
+}
+
+void Communicator::coll_reduce(
+    const void* in, void* out, std::size_t bytes, int root, bool all,
+    const std::function<void(void*, const void*, std::size_t)>& combine) {
+  auto& slot = group_->collective();
+  CollectiveRound round{slot, size()};
+  const auto* in_bytes = static_cast<const std::byte*>(in);
+  const double max_entry = round.run(
+      clock_->now(),
+      [&] {
+        if (!slot.buffer_initialized) {
+          slot.buffer.assign(in_bytes, in_bytes + bytes);
+          slot.buffer_initialized = true;
+        } else {
+          combine(slot.buffer.data(), in, bytes);
+        }
+      },
+      [] {},
+      [&] {
+        if (all || rank_ == root) {
+          std::memcpy(out, slot.buffer.data(), bytes);
+        }
+      });
+  if (all) {
+    clock_->observe(max_entry + machine_->allreduce_time(size(), bytes));
+  } else if (rank_ == root) {
+    clock_->observe(max_entry + machine_->reduce_time(size(), bytes));
+  } else {
+    // Non-root ranks participate in the tree but do not wait for the root's
+    // final combine.
+    clock_->advance(machine_->reduce_time(size(), bytes));
+  }
+}
+
+std::vector<std::vector<std::byte>> Communicator::coll_gather(
+    std::span<const std::byte> mine, int root) {
+  auto& slot = group_->collective();
+  CollectiveRound round{slot, size()};
+  std::vector<std::vector<std::byte>> result;
+  std::size_t max_blob = 0;
+  const double max_entry = round.run(
+      clock_->now(),
+      [&] {
+        slot.blobs[static_cast<std::size_t>(rank_)].assign(mine.begin(),
+                                                           mine.end());
+      },
+      [] {},
+      [&] {
+        for (const auto& blob : slot.blobs) {
+          max_blob = std::max(max_blob, blob.size());
+        }
+        if (rank_ == root) result = slot.blobs;
+      });
+  if (rank_ == root) {
+    clock_->observe(max_entry + machine_->gather_time(size(), max_blob));
+  } else {
+    clock_->advance(machine_->ptp_time(mine.size()));
+  }
+  return result;
+}
+
+std::vector<std::vector<std::byte>> Communicator::coll_exchange(
+    std::span<const std::byte> mine) {
+  auto& slot = group_->collective();
+  CollectiveRound round{slot, size()};
+  std::vector<std::vector<std::byte>> result;
+  const double max_entry = round.run(
+      clock_->now(),
+      [&] {
+        slot.blobs[static_cast<std::size_t>(rank_)].assign(mine.begin(),
+                                                           mine.end());
+      },
+      [] {},
+      [&] { result = slot.blobs; });
+  std::size_t total = 0;
+  for (const auto& blob : result) total += blob.size();
+  // Allgather ~ gather to a virtual root + broadcast of the concatenation.
+  clock_->observe(max_entry + machine_->gather_time(size(), mine.size()) +
+                  machine_->bcast_time(size(), total));
+  return result;
+}
+
+Communicator Communicator::split(int color, int key) {
+  struct Entry {
+    int color;
+    int key;
+    int old_rank;
+  };
+  const Entry mine{color, key, rank_};
+  std::vector<std::vector<std::byte>> blobs = coll_exchange(
+      std::as_bytes(std::span<const Entry>(&mine, 1)));
+
+  // Deterministically order the members of my color group.
+  std::vector<Entry> members;
+  for (const auto& blob : blobs) {
+    Entry e;
+    std::memcpy(&e, blob.data(), sizeof e);
+    if (e.color == color) members.push_back(e);
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.old_rank < b.old_rank;
+  });
+  int new_rank = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].old_rank == rank_) new_rank = static_cast<int>(i);
+  }
+
+  // The first arriving rank of each color registers the new Group in the
+  // parent slot's registry; everyone of that color picks it up under the
+  // same lock. The last arrival clears the registry for reuse.
+  auto& slot = group_->collective();
+  CollectiveRound round{slot, size()};
+  std::shared_ptr<detail::Group> picked;
+  const int my_size = static_cast<int>(members.size());
+  round.run(
+      clock_->now(),
+      [&] {
+        auto it = slot.split_registry.find(color);
+        if (it == slot.split_registry.end()) {
+          it = slot.split_registry
+                   .emplace(color, std::make_shared<detail::Group>(my_size))
+                   .first;
+        }
+        picked = it->second;
+      },
+      [] {},
+      [&] {
+        if (slot.readers_pending == 1) slot.split_registry.clear();
+      });
+  clock_->observe(clock_->now() + machine_->barrier_time(size()));
+  return Communicator(picked, new_rank, clock_, machine_, rng_);
+}
+
+}  // namespace insitu::comm

@@ -1,0 +1,15 @@
+#pragma once
+
+// Internal: factory for the communicator's shared Group state, whose
+// definition is private to communicator.cpp. Used by the Runtime to create
+// the world group.
+
+#include <memory>
+
+namespace insitu::comm::detail {
+
+class Group;
+
+std::shared_ptr<Group> make_group(int size);
+
+}  // namespace insitu::comm::detail

@@ -1,0 +1,130 @@
+#pragma once
+
+// Machine cost models.
+//
+// The paper's measurements were taken on Cori Phase I (Cray XC, Haswell,
+// Aries dragonfly, Lustre), Mira (BG/Q) and Titan (Cray XK7). We reproduce
+// the *shape* of those measurements on one laptop core by advancing a
+// per-rank virtual clock with analytic component costs. The same cost
+// functions are evaluated directly at the paper's rank counts to produce
+// the paper-scale rows in each bench (see DESIGN.md §2).
+//
+// Communication uses a postal (alpha-beta) model; collectives use binomial
+// tree / recursive-doubling structures; compute kernels use per-element
+// rates; the filesystem uses a striped-OST model with seeded log-normal
+// interference (see io/lustre_model.hpp).
+
+#include <cstdint>
+#include <string>
+
+namespace insitu::comm {
+
+/// Parameters of the simulated parallel filesystem attached to a machine.
+struct FileSystemParams {
+  double per_ost_bandwidth = 500e6;  ///< bytes/sec sustained per OST
+  int ost_count = 248;               ///< object storage targets
+  double open_latency = 2e-3;        ///< per-file open/create cost (s)
+  double metadata_latency = 5e-4;    ///< per-metadata-op cost (s)
+  double interference_sigma = 0.25;  ///< log-normal sigma of shared-system
+                                     ///< interference on I/O times
+  int default_stripe_count = 4;      ///< stripes for large shared files
+};
+
+/// Analytic model of one HPC platform.
+struct MachineModel {
+  std::string name;
+
+  // -- network (postal model) --
+  double alpha = 1.5e-6;   ///< point-to-point latency (s)
+  double beta = 1.6e-10;   ///< seconds per byte (~6 GB/s effective)
+
+  // -- per-core compute rates --
+  double cell_update_rate = 4.0e8;   ///< simple grid-cell updates per second
+  double flop_rate = 8.0e9;          ///< scalar flops per second per core
+  double pixel_blend_rate = 6.0e8;   ///< composited pixels per second
+  double compress_rate = 3.5e7;      ///< DEFLATE input bytes per second
+                                     ///< (serial; matches the paper's PNG
+                                     ///< bottleneck on rank 0)
+  double memcpy_rate = 6.0e9;        ///< bytes per second for buffer copies
+
+  // -- system effects --
+  double noise_sigma = 0.0;          ///< relative OS-jitter sigma applied by
+                                     ///< benches that model variability
+  double startup_per_rank = 1.2e-5;  ///< per-rank share of job launch /
+                                     ///< library init scan costs
+  int cores_per_node = 32;
+
+  FileSystemParams fs;
+
+  // ---- component cost functions (seconds) ----
+
+  /// One point-to-point message of `bytes`.
+  double ptp_time(std::uint64_t bytes) const {
+    return alpha + beta * static_cast<double>(bytes);
+  }
+
+  /// ceil(log2(p)), the depth of a binomial tree over p ranks.
+  static int tree_depth(int p);
+
+  /// Broadcast of `bytes` over `p` ranks (binomial tree).
+  double bcast_time(int p, std::uint64_t bytes) const;
+
+  /// Reduce of `bytes` over `p` ranks (binomial tree; includes per-byte
+  /// combine work).
+  double reduce_time(int p, std::uint64_t bytes) const;
+
+  /// Allreduce of `bytes` over `p` ranks (recursive doubling).
+  double allreduce_time(int p, std::uint64_t bytes) const;
+
+  /// Barrier over `p` ranks (dissemination).
+  double barrier_time(int p) const;
+
+  /// Gather of `bytes` per rank to the root over `p` ranks.
+  double gather_time(int p, std::uint64_t bytes_per_rank) const;
+
+  /// Image compositing over `p_active` ranks of an RGBA image with `pixels`
+  /// pixels using a direct-send tree (the "hierarchical set of ranks"
+  /// described in §4.1.3).
+  double composite_tree_time(int p_active, std::uint64_t pixels) const;
+
+  /// Binary-swap compositing (the alternative algorithm; each stage moves
+  /// half the remaining image).
+  double composite_binary_swap_time(int p_active, std::uint64_t pixels) const;
+
+  /// Grid-kernel compute time: `updates` cell updates at `work_per_cell`
+  /// relative cost (1.0 = one simple update).
+  double compute_time(std::uint64_t updates, double work_per_cell = 1.0) const {
+    return static_cast<double>(updates) * work_per_cell / cell_update_rate;
+  }
+
+  /// Serial DEFLATE/PNG encode of `bytes` of raw image data on one rank.
+  double compress_time(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) / compress_rate;
+  }
+
+  /// Buffer copy of `bytes` (used by non-zero-copy transports).
+  double memcpy_time(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) / memcpy_rate;
+  }
+};
+
+/// Cori Phase I: Cray XC, 2x16-core Haswell/node, Aries dragonfly, Lustre
+/// (30 PB, >700 GB/s aggregate). Miniapp study platform.
+MachineModel cori_haswell();
+
+/// Mira: IBM Blue Gene/Q, 16 cores/node (64 hw threads), 5D torus, GPFS.
+/// PHASTA platform. Slower cores, faster relative network.
+MachineModel mira_bgq();
+
+/// Titan: Cray XK7, 16-core AMD Interlagos/node, Gemini, Lustre (Spider).
+/// AVF-LESLIE platform.
+MachineModel titan();
+
+/// The machine the tests run on: negligible latency so executed-scale runs
+/// are dominated by real work when virtual time is not the metric.
+MachineModel localhost_model();
+
+/// Look up a preset by name ("cori", "mira", "titan", "localhost").
+MachineModel machine_by_name(const std::string& name);
+
+}  // namespace insitu::comm

@@ -1,0 +1,91 @@
+#include "comm/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "pal/log.hpp"
+#include "pal/memory_tracker.hpp"
+
+#include "comm/group_factory.hpp"
+
+namespace insitu::comm {
+
+double RunReport::max_virtual_seconds() const {
+  double out = 0.0;
+  for (const auto& r : ranks) out = std::max(out, r.virtual_seconds);
+  return out;
+}
+
+double RunReport::mean_virtual_seconds() const {
+  if (ranks.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : ranks) sum += r.virtual_seconds;
+  return sum / static_cast<double>(ranks.size());
+}
+
+std::size_t RunReport::total_high_water_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& r : ranks) sum += r.mem_high_water;
+  return sum;
+}
+
+std::size_t RunReport::max_high_water_bytes() const {
+  std::size_t out = 0;
+  for (const auto& r : ranks) out = std::max(out, r.mem_high_water);
+  return out;
+}
+
+RunReport Runtime::run(int nranks,
+                       const Options& options,
+                       const std::function<void(Communicator&)>& body) {
+  RunReport report;
+  report.ranks.resize(static_cast<std::size_t>(nranks));
+
+  std::shared_ptr<detail::Group> world = detail::make_group(nranks);
+  std::mutex failure_mutex;
+
+  auto rank_main = [&](int rank) {
+    pal::set_thread_log_label("rank " + std::to_string(rank));
+    pal::rank_memory_tracker().reset();
+
+    VirtualClock clock;
+    pal::Rng rng = pal::Rng(options.seed).split(static_cast<std::uint64_t>(rank));
+    Communicator comm(world, rank, &clock, &options.machine, &rng);
+
+    if (options.model_startup) {
+      // Job launch + library init scales with job size (per-rank share of
+      // a system-wide scan, e.g. Libsim's per-rank config file checks).
+      clock.advance(options.machine.startup_per_rank * nranks);
+    }
+
+    try {
+      body(comm);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      report.failed = true;
+      if (report.failure_message.empty()) {
+        report.failure_message =
+            "rank " + std::to_string(rank) + ": " + e.what();
+      }
+      INSITU_ERROR << "rank " << rank << " failed: " << e.what();
+    }
+
+    RankStats& stats = report.ranks[static_cast<std::size_t>(rank)];
+    stats.rank = rank;
+    stats.virtual_seconds = clock.now();
+    stats.mem_high_water = pal::rank_memory_tracker().high_water_bytes();
+    stats.mem_final = pal::rank_memory_tracker().current_bytes();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
+  for (auto& t : threads) t.join();
+  return report;
+}
+
+}  // namespace insitu::comm

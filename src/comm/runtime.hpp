@@ -1,0 +1,65 @@
+#pragma once
+
+// SPMD runtime: launches N ranks as threads, hands each a Communicator
+// bound to a shared world group, and collects per-rank statistics
+// (virtual time, tracked memory high-water mark) when the job completes.
+//
+// This is the substitute for `mpirun` + MPI_COMM_WORLD described in
+// DESIGN.md: executed-scale runs really move data between rank threads
+// while the virtual clock reproduces cluster-scale cost shapes.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/machine_model.hpp"
+
+namespace insitu::comm {
+
+/// Statistics reported by each rank at the end of a run.
+struct RankStats {
+  int rank = 0;
+  double virtual_seconds = 0.0;   ///< rank's virtual clock at exit
+  std::size_t mem_high_water = 0; ///< tracked bytes, high-water mark
+  std::size_t mem_final = 0;      ///< tracked bytes still allocated at exit
+};
+
+/// Aggregate view of one SPMD job.
+struct RunReport {
+  std::vector<RankStats> ranks;
+  bool failed = false;
+  std::string failure_message;
+
+  /// Job virtual time-to-solution: the slowest rank.
+  double max_virtual_seconds() const;
+  /// Mean per-rank virtual time.
+  double mean_virtual_seconds() const;
+  /// Sum of per-rank memory high-water marks (the paper's memory metric).
+  std::size_t total_high_water_bytes() const;
+  std::size_t max_high_water_bytes() const;
+};
+
+class Runtime {
+ public:
+  struct Options {
+    MachineModel machine = localhost_model();
+    std::uint64_t seed = 42;
+    /// Charge each rank the machine's modeled startup share at launch.
+    bool model_startup = false;
+  };
+
+  /// Run `body` on `nranks` SPMD ranks and block until all complete.
+  /// `body` receives this rank's world communicator. Any uncaught exception
+  /// in a rank marks the report failed (message from the first failure).
+  static RunReport run(int nranks, const Options& options,
+                       const std::function<void(Communicator&)>& body);
+
+  /// Convenience overload with default options.
+  static RunReport run(int nranks,
+                       const std::function<void(Communicator&)>& body) {
+    return run(nranks, Options{}, body);
+  }
+};
+
+}  // namespace insitu::comm

@@ -1,0 +1,35 @@
+#pragma once
+
+// Per-rank virtual clock.
+//
+// Each simulated rank owns a VirtualClock. Kernels advance it with modeled
+// compute costs; the communicator advances it at message-match points with
+// modeled network costs. Because nothing feeds wall-clock time into it,
+// every run's virtual timeline is bit-deterministic, which is what lets a
+// single laptop core reproduce 45K-core scaling curves.
+
+#include <algorithm>
+
+namespace insitu::comm {
+
+class VirtualClock {
+ public:
+  /// Current virtual time in seconds since rank start.
+  double now() const { return now_; }
+
+  /// Advance by a modeled duration (must be non-negative).
+  void advance(double seconds) {
+    if (seconds > 0.0) now_ += seconds;
+  }
+
+  /// Move forward to an absolute virtual time if it is in the future
+  /// (used when a message or collective completes later than local time).
+  void observe(double absolute_time) { now_ = std::max(now_, absolute_time); }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace insitu::comm

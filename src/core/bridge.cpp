@@ -1,0 +1,50 @@
+#include "core/bridge.hpp"
+
+namespace insitu::core {
+
+Status InSituBridge::initialize() {
+  if (initialized_) {
+    return Status::FailedPrecondition("bridge already initialized");
+  }
+  const double start = comm_->clock().now();
+  for (const auto& analysis : analyses_) {
+    INSITU_RETURN_IF_ERROR(analysis->initialize(*comm_));
+  }
+  timings_.initialize_seconds = comm_->clock().now() - start;
+  initialized_ = true;
+  return Status::Ok();
+}
+
+StatusOr<bool> InSituBridge::execute(DataAdaptor& adaptor, double time,
+                                     long step) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("bridge not initialized");
+  }
+  adaptor.set_communicator(comm_);
+  adaptor.set_time(time, step);
+
+  const double start = comm_->clock().now();
+  bool keep_running = true;
+  for (const auto& analysis : analyses_) {
+    INSITU_ASSIGN_OR_RETURN(bool cont, analysis->execute(adaptor));
+    keep_running = keep_running && cont;
+  }
+  INSITU_RETURN_IF_ERROR(adaptor.release_data());
+  timings_.analysis_per_step.add(comm_->clock().now() - start);
+  return keep_running;
+}
+
+Status InSituBridge::finalize() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("bridge not initialized");
+  }
+  const double start = comm_->clock().now();
+  for (const auto& analysis : analyses_) {
+    INSITU_RETURN_IF_ERROR(analysis->finalize(*comm_));
+  }
+  timings_.finalize_seconds = comm_->clock().now() - start;
+  initialized_ = false;
+  return Status::Ok();
+}
+
+}  // namespace insitu::core

@@ -1,0 +1,17 @@
+#include "core/data_adaptor.hpp"
+
+namespace insitu::core {
+
+StatusOr<data::MultiBlockPtr> DataAdaptor::full_mesh() {
+  INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh,
+                          this->mesh(/*structure_only=*/false));
+  for (const data::Association assoc :
+       {data::Association::kPoint, data::Association::kCell}) {
+    for (const std::string& name : available_arrays(assoc)) {
+      INSITU_RETURN_IF_ERROR(add_array(*mesh, assoc, name));
+    }
+  }
+  return mesh;
+}
+
+}  // namespace insitu::core

@@ -1,0 +1,201 @@
+#include "data/data_array.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+namespace insitu::data {
+
+std::size_t size_of(DataType type) {
+  switch (type) {
+    case DataType::kFloat32: return 4;
+    case DataType::kFloat64: return 8;
+    case DataType::kInt32: return 4;
+    case DataType::kInt64: return 8;
+    case DataType::kUInt8: return 1;
+  }
+  return 0;
+}
+
+std::string_view to_string(DataType type) {
+  switch (type) {
+    case DataType::kFloat32: return "float32";
+    case DataType::kFloat64: return "float64";
+    case DataType::kInt32: return "int32";
+    case DataType::kInt64: return "int64";
+    case DataType::kUInt8: return "uint8";
+  }
+  return "unknown";
+}
+
+DataArrayPtr DataArray::create_typed(std::string name, DataType type,
+                                     std::int64_t tuples, int components,
+                                     Layout layout) {
+  assert(tuples >= 0 && components >= 1);
+  auto array = DataArrayPtr(new DataArray());
+  array->name_ = std::move(name);
+  array->type_ = type;
+  array->layout_ = layout;
+  array->tuples_ = tuples;
+  array->components_ = components;
+  array->owned_ = true;
+
+  const std::size_t bytes =
+      static_cast<std::size_t>(tuples) * components * size_of(type);
+  array->storage_.assign(bytes, std::byte{0});
+  array->tracked_ = pal::TrackedBytes(bytes);
+
+  const std::size_t elem = size_of(type);
+  array->bases_.resize(static_cast<std::size_t>(components));
+  array->strides_.resize(static_cast<std::size_t>(components));
+  for (int c = 0; c < components; ++c) {
+    if (layout == Layout::kAos) {
+      array->bases_[static_cast<std::size_t>(c)] =
+          array->storage_.data() + static_cast<std::size_t>(c) * elem;
+      array->strides_[static_cast<std::size_t>(c)] = components;
+    } else {
+      array->bases_[static_cast<std::size_t>(c)] =
+          array->storage_.data() +
+          static_cast<std::size_t>(c) * static_cast<std::size_t>(tuples) * elem;
+      array->strides_[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+  return array;
+}
+
+DataArrayPtr DataArray::wrap_typed(std::string name, DataType type,
+                                   std::int64_t tuples, int components,
+                                   std::vector<void*> component_bases,
+                                   std::vector<std::int64_t> component_strides,
+                                   Layout nominal_layout) {
+  assert(component_bases.size() == static_cast<std::size_t>(components));
+  assert(component_strides.size() == static_cast<std::size_t>(components));
+  auto array = DataArrayPtr(new DataArray());
+  array->name_ = std::move(name);
+  array->type_ = type;
+  array->layout_ = nominal_layout;
+  array->tuples_ = tuples;
+  array->components_ = components;
+  array->owned_ = false;
+  array->bases_ = std::move(component_bases);
+  array->strides_ = std::move(component_strides);
+  return array;
+}
+
+namespace {
+template <typename T>
+double load_as_double(const void* base, std::int64_t index) {
+  return static_cast<double>(static_cast<const T*>(base)[index]);
+}
+template <typename T>
+void store_from_double(void* base, std::int64_t index, double value) {
+  static_cast<T*>(base)[index] = static_cast<T>(value);
+}
+}  // namespace
+
+double DataArray::get(std::int64_t tuple, int component) const {
+  const void* base = bases_[static_cast<std::size_t>(component)];
+  const std::int64_t index =
+      tuple * strides_[static_cast<std::size_t>(component)];
+  switch (type_) {
+    case DataType::kFloat32: return load_as_double<float>(base, index);
+    case DataType::kFloat64: return load_as_double<double>(base, index);
+    case DataType::kInt32: return load_as_double<std::int32_t>(base, index);
+    case DataType::kInt64: return load_as_double<std::int64_t>(base, index);
+    case DataType::kUInt8: return load_as_double<std::uint8_t>(base, index);
+  }
+  return 0.0;
+}
+
+void DataArray::set(std::int64_t tuple, int component, double value) {
+  void* base = bases_[static_cast<std::size_t>(component)];
+  const std::int64_t index =
+      tuple * strides_[static_cast<std::size_t>(component)];
+  switch (type_) {
+    case DataType::kFloat32: store_from_double<float>(base, index, value); break;
+    case DataType::kFloat64: store_from_double<double>(base, index, value); break;
+    case DataType::kInt32: store_from_double<std::int32_t>(base, index, value); break;
+    case DataType::kInt64: store_from_double<std::int64_t>(base, index, value); break;
+    case DataType::kUInt8: store_from_double<std::uint8_t>(base, index, value); break;
+  }
+}
+
+bool DataArray::is_contiguous() const {
+  if (components_ == 1) return strides_[0] == 1;
+  if (layout_ != Layout::kAos) return false;
+  const auto* first = static_cast<const std::byte*>(bases_[0]);
+  for (int c = 0; c < components_; ++c) {
+    if (strides_[static_cast<std::size_t>(c)] != components_) return false;
+    const auto* base = static_cast<const std::byte*>(bases_[static_cast<std::size_t>(c)]);
+    if (base != first + static_cast<std::size_t>(c) * size_of(type_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::pair<double, double> DataArray::range(int component) const {
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (std::int64_t i = 0; i < tuples_; ++i) {
+    const double v = get(i, component);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (tuples_ == 0) return {0.0, 0.0};
+  return {lo, hi};
+}
+
+DataArrayPtr DataArray::deep_copy() const {
+  DataArrayPtr copy =
+      create_typed(name_, type_, tuples_, components_, Layout::kAos);
+  for (int c = 0; c < components_; ++c) {
+    for (std::int64_t i = 0; i < tuples_; ++i) {
+      copy->set(i, c, get(i, c));
+    }
+  }
+  return copy;
+}
+
+std::vector<std::byte> DataArray::to_bytes() const {
+  const std::size_t elem = size_of(type_);
+  std::vector<std::byte> out(size_bytes());
+  if (is_contiguous()) {
+    std::memcpy(out.data(), bases_[0], out.size());
+    return out;
+  }
+  // Element-wise AoS packing for strided/SoA sources.
+  for (std::int64_t i = 0; i < tuples_; ++i) {
+    for (int c = 0; c < components_; ++c) {
+      const auto* src =
+          static_cast<const std::byte*>(bases_[static_cast<std::size_t>(c)]) +
+          static_cast<std::size_t>(i *
+                                   strides_[static_cast<std::size_t>(c)]) *
+              elem;
+      std::memcpy(out.data() +
+                      (static_cast<std::size_t>(i) * components_ + c) * elem,
+                  src, elem);
+    }
+  }
+  return out;
+}
+
+StatusOr<DataArrayPtr> DataArray::from_bytes(std::string name, DataType type,
+                                             std::int64_t tuples,
+                                             int components,
+                                             std::span<const std::byte> bytes) {
+  const std::size_t expected =
+      static_cast<std::size_t>(tuples) * components * size_of(type);
+  if (bytes.size() != expected) {
+    return Status::InvalidArgument(
+        "DataArray::from_bytes: payload size " + std::to_string(bytes.size()) +
+        " != expected " + std::to_string(expected));
+  }
+  DataArrayPtr array =
+      create_typed(std::move(name), type, tuples, components, Layout::kAos);
+  std::memcpy(array->bases_[0], bytes.data(), expected);
+  return array;
+}
+
+}  // namespace insitu::data

@@ -1,0 +1,60 @@
+#include "data/dataset.hpp"
+
+namespace insitu::data {
+
+void FieldCollection::add(DataArrayPtr array) {
+  arrays_[array->name()] = std::move(array);
+}
+
+bool FieldCollection::has(std::string_view name) const {
+  return arrays_.find(name) != arrays_.end();
+}
+
+DataArrayPtr FieldCollection::get(std::string_view name) const {
+  auto it = arrays_.find(name);
+  return it == arrays_.end() ? nullptr : it->second;
+}
+
+StatusOr<DataArrayPtr> FieldCollection::require(std::string_view name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) {
+    return Status::NotFound("no field named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+void FieldCollection::remove(std::string_view name) {
+  auto it = arrays_.find(name);
+  if (it != arrays_.end()) arrays_.erase(it);
+}
+
+std::vector<std::string> FieldCollection::names() const {
+  std::vector<std::string> out;
+  out.reserve(arrays_.size());
+  for (const auto& [name, array] : arrays_) out.push_back(name);
+  return out;
+}
+
+std::size_t FieldCollection::owned_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, array] : arrays_) total += array->owned_bytes();
+  return total;
+}
+
+std::size_t FieldCollection::payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, array] : arrays_) total += array->size_bytes();
+  return total;
+}
+
+std::string_view to_string(DataSetKind kind) {
+  switch (kind) {
+    case DataSetKind::kImageData: return "image_data";
+    case DataSetKind::kRectilinearGrid: return "rectilinear_grid";
+    case DataSetKind::kStructuredGrid: return "structured_grid";
+    case DataSetKind::kUnstructuredGrid: return "unstructured_grid";
+  }
+  return "unknown";
+}
+
+}  // namespace insitu::data

@@ -1,0 +1,50 @@
+#include "data/image_data.hpp"
+
+#include <cmath>
+
+namespace insitu::data {
+
+std::array<int, 3> decompose_factors(int ranks) {
+  // Greedy near-cubic factorization: peel off the largest factor <=
+  // cbrt(remaining) for z, then split the rest near-squarely.
+  std::array<int, 3> f = {1, 1, 1};
+  int remaining = ranks;
+  for (int axis = 2; axis >= 1; --axis) {
+    const double target = std::pow(static_cast<double>(remaining),
+                                   1.0 / (axis + 1));
+    int best = 1;
+    for (int d = 1; d <= remaining && d <= static_cast<int>(target + 1e-9);
+         ++d) {
+      if (remaining % d == 0) best = d;
+    }
+    f[static_cast<std::size_t>(axis)] = best;
+    remaining /= best;
+  }
+  f[0] = remaining;
+  return f;
+}
+
+IndexBox decompose_regular(const std::array<std::int64_t, 3>& global_cells,
+                           int ranks, int rank) {
+  const std::array<int, 3> f = decompose_factors(ranks);
+  const int pi = rank % f[0];
+  const int pj = (rank / f[0]) % f[1];
+  const int pk = rank / (f[0] * f[1]);
+  const std::array<int, 3> coords = {pi, pj, pk};
+
+  IndexBox box;
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto a = static_cast<std::size_t>(axis);
+    const std::int64_t n = global_cells[a];
+    const std::int64_t p = f[a];
+    const std::int64_t c = coords[a];
+    const std::int64_t base = n / p;
+    const std::int64_t extra = n % p;
+    // First `extra` slabs get one extra cell.
+    box.cells[a] = base + (c < extra ? 1 : 0);
+    box.offset[a] = c * base + std::min<std::int64_t>(c, extra);
+  }
+  return box;
+}
+
+}  // namespace insitu::data

@@ -1,0 +1,97 @@
+#pragma once
+
+// ImageData: uniform rectilinear grid (origin + spacing + local index box).
+// This is the mesh type of the oscillator miniapp, AVF-LESLIE proxy, and
+// Nyx boxes. The local box records its offset in the global index space so
+// SPMD analyses (slicing, compositing) know where each rank's data lives.
+
+#include "data/dataset.hpp"
+
+namespace insitu::data {
+
+class ImageData final : public DataSet {
+ public:
+  /// `box`: local cell counts + global cell offset. `origin`/`spacing`
+  /// define the *global* grid; local point 0 sits at
+  /// origin + spacing * box.offset.
+  ImageData(IndexBox box, Vec3 origin, Vec3 spacing)
+      : box_(box), origin_(origin), spacing_(spacing) {}
+
+  DataSetKind kind() const override { return DataSetKind::kImageData; }
+
+  const IndexBox& box() const { return box_; }
+  Vec3 origin() const { return origin_; }
+  Vec3 spacing() const { return spacing_; }
+
+  std::int64_t num_points() const override { return box_.point_count(); }
+  std::int64_t num_cells() const override { return box_.cell_count(); }
+
+  // Local point dims along each axis (cells + 1).
+  std::int64_t point_dim(int axis) const { return box_.cells[static_cast<std::size_t>(axis)] + 1; }
+  std::int64_t cell_dim(int axis) const { return box_.cells[static_cast<std::size_t>(axis)]; }
+
+  /// Flatten (i,j,k) local point indices, i fastest.
+  std::int64_t point_id(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return i + point_dim(0) * (j + point_dim(1) * k);
+  }
+  /// Flatten (i,j,k) local cell indices, i fastest.
+  std::int64_t cell_id(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return i + cell_dim(0) * (j + cell_dim(1) * k);
+  }
+
+  Vec3 point(std::int64_t id) const override {
+    const std::int64_t nx = point_dim(0), ny = point_dim(1);
+    const std::int64_t i = id % nx;
+    const std::int64_t j = (id / nx) % ny;
+    const std::int64_t k = id / (nx * ny);
+    return {origin_.x + spacing_.x * static_cast<double>(box_.offset[0] + i),
+            origin_.y + spacing_.y * static_cast<double>(box_.offset[1] + j),
+            origin_.z + spacing_.z * static_cast<double>(box_.offset[2] + k)};
+  }
+
+  void cell_points(std::int64_t cell,
+                   std::vector<std::int64_t>& out) const override {
+    const std::int64_t cx = cell_dim(0), cy = cell_dim(1);
+    const std::int64_t i = cell % cx;
+    const std::int64_t j = (cell / cx) % cy;
+    const std::int64_t k = cell / (cx * cy);
+    const std::int64_t p = point_id(i, j, k);
+    const std::int64_t nx = point_dim(0);
+    const std::int64_t nxy = nx * point_dim(1);
+    out.assign({p, p + 1, p + 1 + nx, p + nx,
+                p + nxy, p + 1 + nxy, p + 1 + nx + nxy, p + nx + nxy});
+  }
+
+  Bounds bounds() const override {
+    Bounds b;
+    b.expand(point(0));
+    b.expand(point(num_points() - 1));
+    return b;
+  }
+
+  /// Does the axis-aligned plane x_axis = value intersect this block?
+  bool intersects_plane(int axis, double value) const {
+    const Bounds b = bounds();
+    const double lo = axis == 0 ? b.lo.x : axis == 1 ? b.lo.y : b.lo.z;
+    const double hi = axis == 0 ? b.hi.x : axis == 1 ? b.hi.y : b.hi.z;
+    return value >= lo && value <= hi;
+  }
+
+ private:
+  IndexBox box_;
+  Vec3 origin_;
+  Vec3 spacing_;
+};
+
+using ImageDataPtr = std::shared_ptr<ImageData>;
+
+/// Regular 3D decomposition of a global cell grid over `ranks` ranks,
+/// mirroring the miniapp's partitioning. Factors ranks into a near-cubic
+/// (px, py, pz) grid and returns rank r's local box.
+IndexBox decompose_regular(const std::array<std::int64_t, 3>& global_cells,
+                           int ranks, int rank);
+
+/// The (px,py,pz) factorization used by decompose_regular.
+std::array<int, 3> decompose_factors(int ranks);
+
+}  // namespace insitu::data

@@ -1,0 +1,68 @@
+#pragma once
+
+// MultiBlockDataSet: the per-rank view of a distributed dataset. Each rank
+// holds the block(s) it owns; block ids are global so analyses can reason
+// about the whole domain. Mirrors VTK's composite-dataset role in SENSEI.
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace insitu::data {
+
+class MultiBlockDataSet {
+ public:
+  /// `global_blocks`: total number of blocks across all ranks.
+  explicit MultiBlockDataSet(std::int64_t global_blocks = 0)
+      : global_blocks_(global_blocks) {}
+
+  void add_block(std::int64_t global_id, DataSetPtr block) {
+    ids_.push_back(global_id);
+    blocks_.push_back(std::move(block));
+  }
+
+  std::int64_t num_global_blocks() const { return global_blocks_; }
+  void set_num_global_blocks(std::int64_t n) { global_blocks_ = n; }
+
+  std::size_t num_local_blocks() const { return blocks_.size(); }
+  std::int64_t block_id(std::size_t local_index) const {
+    return ids_[local_index];
+  }
+  const DataSetPtr& block(std::size_t local_index) const {
+    return blocks_[local_index];
+  }
+
+  /// Union of local block bounds.
+  Bounds local_bounds() const {
+    Bounds b;
+    for (const auto& blk : blocks_) b.merge(blk->bounds());
+    return b;
+  }
+
+  std::int64_t local_points() const {
+    std::int64_t n = 0;
+    for (const auto& blk : blocks_) n += blk->num_points();
+    return n;
+  }
+  std::int64_t local_cells() const {
+    std::int64_t n = 0;
+    for (const auto& blk : blocks_) n += blk->num_cells();
+    return n;
+  }
+
+  std::size_t owned_bytes() const {
+    std::size_t total = 0;
+    for (const auto& blk : blocks_) total += blk->owned_bytes();
+    return total;
+  }
+
+ private:
+  std::int64_t global_blocks_;
+  std::vector<std::int64_t> ids_;
+  std::vector<DataSetPtr> blocks_;
+};
+
+using MultiBlockPtr = std::shared_ptr<MultiBlockDataSet>;
+
+}  // namespace insitu::data

@@ -1,0 +1,83 @@
+#pragma once
+
+// RectilinearGrid: axis-aligned grid with per-axis coordinate arrays
+// (possibly non-uniform). Used for the Nyx proxy's BoxLib boxes and for
+// adaptor tests of non-uniform spacing.
+
+#include "data/dataset.hpp"
+
+namespace insitu::data {
+
+class RectilinearGrid final : public DataSet {
+ public:
+  /// Coordinate arrays are per-axis *point* coordinates; each must have at
+  /// least 2 entries (1 cell). They may be zero-copy wraps.
+  RectilinearGrid(DataArrayPtr x_coords, DataArrayPtr y_coords,
+                  DataArrayPtr z_coords)
+      : coords_{std::move(x_coords), std::move(y_coords),
+                std::move(z_coords)} {}
+
+  DataSetKind kind() const override { return DataSetKind::kRectilinearGrid; }
+
+  std::int64_t point_dim(int axis) const {
+    return coords_[static_cast<std::size_t>(axis)]->num_tuples();
+  }
+  std::int64_t cell_dim(int axis) const { return point_dim(axis) - 1; }
+
+  std::int64_t num_points() const override {
+    return point_dim(0) * point_dim(1) * point_dim(2);
+  }
+  std::int64_t num_cells() const override {
+    return cell_dim(0) * cell_dim(1) * cell_dim(2);
+  }
+
+  double coord(int axis, std::int64_t index) const {
+    return coords_[static_cast<std::size_t>(axis)]->get(index);
+  }
+
+  std::int64_t point_id(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return i + point_dim(0) * (j + point_dim(1) * k);
+  }
+
+  Vec3 point(std::int64_t id) const override {
+    const std::int64_t nx = point_dim(0), ny = point_dim(1);
+    const std::int64_t i = id % nx;
+    const std::int64_t j = (id / nx) % ny;
+    const std::int64_t k = id / (nx * ny);
+    return {coord(0, i), coord(1, j), coord(2, k)};
+  }
+
+  void cell_points(std::int64_t cell,
+                   std::vector<std::int64_t>& out) const override {
+    const std::int64_t cx = cell_dim(0), cy = cell_dim(1);
+    const std::int64_t i = cell % cx;
+    const std::int64_t j = (cell / cx) % cy;
+    const std::int64_t k = cell / (cx * cy);
+    const std::int64_t p = point_id(i, j, k);
+    const std::int64_t nx = point_dim(0);
+    const std::int64_t nxy = nx * point_dim(1);
+    out.assign({p, p + 1, p + 1 + nx, p + nx,
+                p + nxy, p + 1 + nxy, p + 1 + nx + nxy, p + nx + nxy});
+  }
+
+  Bounds bounds() const override {
+    Bounds b;
+    b.expand({coord(0, 0), coord(1, 0), coord(2, 0)});
+    b.expand({coord(0, point_dim(0) - 1), coord(1, point_dim(1) - 1),
+              coord(2, point_dim(2) - 1)});
+    return b;
+  }
+
+  std::size_t owned_bytes() const override {
+    std::size_t total = DataSet::owned_bytes();
+    for (const auto& c : coords_) total += c->owned_bytes();
+    return total;
+  }
+
+ private:
+  std::array<DataArrayPtr, 3> coords_;
+};
+
+using RectilinearGridPtr = std::shared_ptr<RectilinearGrid>;
+
+}  // namespace insitu::data

@@ -1,0 +1,76 @@
+#pragma once
+
+// Small geometric/value types shared across the data model.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace insitu::data {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+};
+
+/// Axis-aligned bounding box.
+struct Bounds {
+  Vec3 lo{std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max()};
+  Vec3 hi{std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest()};
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  void expand(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  void merge(const Bounds& o) {
+    if (!o.valid()) return;
+    expand(o.lo);
+    expand(o.hi);
+  }
+
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  Vec3 extent() const { return hi - lo; }
+};
+
+/// Local box of a regular decomposition in global index space.
+/// Dimensions are in *cells*; point dimensions are cells+1 per axis.
+struct IndexBox {
+  std::array<std::int64_t, 3> offset = {0, 0, 0};  ///< global cell offset
+  std::array<std::int64_t, 3> cells = {0, 0, 0};   ///< local cell counts
+
+  std::int64_t cell_count() const { return cells[0] * cells[1] * cells[2]; }
+  std::int64_t point_count() const {
+    return (cells[0] + 1) * (cells[1] + 1) * (cells[2] + 1);
+  }
+};
+
+/// Ghost-flag values, matching the vtkGhostLevels convention the Nyx
+/// integration uses: 0 = owned, nonzero = ghost/blanked.
+inline constexpr std::uint8_t kGhostNone = 0;
+inline constexpr std::uint8_t kGhostDuplicate = 1;
+
+}  // namespace insitu::data

@@ -1,0 +1,31 @@
+#pragma once
+
+// Serialization of ImageData blocks (+ attribute arrays) to a simple
+// self-describing binary format — the stand-in for VTK's .vti files in the
+// post hoc pipeline. Real bytes are written/read at executed scale; the
+// LustreModel supplies the cluster-scale timing.
+
+#include <string>
+
+#include "data/image_data.hpp"
+#include "pal/status.hpp"
+
+namespace insitu::io {
+
+/// Serialize one block with all its point/cell arrays.
+std::vector<std::byte> serialize_block(const data::ImageData& block);
+
+/// Inverse of serialize_block.
+StatusOr<data::ImageDataPtr> deserialize_block(
+    std::span<const std::byte> bytes);
+
+/// Write bytes to / read bytes from a file.
+Status write_file_bytes(const std::string& path,
+                        std::span<const std::byte> bytes);
+StatusOr<std::vector<std::byte>> read_file_bytes(const std::string& path);
+
+/// Canonical per-step, per-block filename inside a dataset directory.
+std::string block_file_name(const std::string& directory, long step,
+                            std::int64_t block_id);
+
+}  // namespace insitu::io

@@ -1,0 +1,62 @@
+#include "io/lustre_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace insitu::io {
+
+double LustreModel::file_per_rank_write_time(
+    int writers, std::uint64_t bytes_per_writer) const {
+  if (writers <= 0 || bytes_per_writer == 0) return 0.0;
+  // Aggregate bandwidth: every client is limited by its own link; the
+  // filesystem by a contention-limited fraction of peak once many clients
+  // hammer the OSTs.
+  const double aggregate =
+      std::min(static_cast<double>(writers) * per_writer_link_bandwidth,
+               peak_bandwidth() * file_per_rank_efficiency);
+  const double transfer =
+      static_cast<double>(writers) * static_cast<double>(bytes_per_writer) /
+      aggregate;
+  // Metadata: `writers` file creates funneled through a finite-parallelism
+  // metadata service, plus this rank's own open.
+  const double metadata =
+      params_.open_latency +
+      static_cast<double>(writers) * params_.metadata_latency /
+          std::max(1, metadata_parallelism);
+  return transfer + metadata;
+}
+
+double LustreModel::collective_write_time(int writers,
+                                          std::uint64_t total_bytes,
+                                          int stripe_count) const {
+  if (writers <= 0 || total_bytes == 0) return 0.0;
+  const double stripe_bw = static_cast<double>(stripe_count) *
+                           params_.per_ost_bandwidth * collective_efficiency;
+  const double aggregate =
+      std::min(static_cast<double>(writers) * per_writer_link_bandwidth,
+               stripe_bw);
+  // Two-phase collective buffering: the payload crosses memory once more
+  // on the aggregators before hitting the OSTs.
+  const double shuffle = static_cast<double>(total_bytes) / peak_bandwidth();
+  return params_.open_latency + shuffle +
+         static_cast<double>(total_bytes) / aggregate;
+}
+
+double LustreModel::read_time(int readers, std::uint64_t total_bytes) const {
+  if (readers <= 0 || total_bytes == 0) return 0.0;
+  const double aggregate =
+      std::min(static_cast<double>(readers) * per_writer_link_bandwidth,
+               peak_bandwidth() * read_efficiency);
+  const double metadata =
+      params_.open_latency +
+      static_cast<double>(readers) * params_.metadata_latency /
+          std::max(1, metadata_parallelism);
+  return metadata + static_cast<double>(total_bytes) / aggregate;
+}
+
+double LustreModel::interference(pal::Rng& rng) const {
+  if (params_.interference_sigma <= 0.0) return 1.0;
+  return std::exp(params_.interference_sigma * rng.next_gaussian());
+}
+
+}  // namespace insitu::io

@@ -1,0 +1,178 @@
+#include "io/vtk_xml.hpp"
+
+#include <sstream>
+
+#include "io/block_io.hpp"
+
+namespace insitu::io {
+
+namespace {
+
+const char* vtk_type_name(data::DataType type) {
+  switch (type) {
+    case data::DataType::kFloat32: return "Float32";
+    case data::DataType::kFloat64: return "Float64";
+    case data::DataType::kInt32: return "Int32";
+    case data::DataType::kInt64: return "Int64";
+    case data::DataType::kUInt8: return "UInt8";
+  }
+  return "Float64";
+}
+
+void emit_array(std::ostringstream& out, const data::DataArray& array) {
+  out << "      <DataArray type=\"" << vtk_type_name(array.type())
+      << "\" Name=\"" << array.name() << "\" NumberOfComponents=\""
+      << array.num_components() << "\" format=\"ascii\">\n        ";
+  const std::int64_t n = array.num_tuples();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (int c = 0; c < array.num_components(); ++c) {
+      out << array.get(i, c);
+      out << ((i + 1 == n && c + 1 == array.num_components()) ? "" : " ");
+    }
+    if ((i + 1) % 8 == 0 && i + 1 < n) out << "\n        ";
+  }
+  out << "\n      </DataArray>\n";
+}
+
+std::string extent_string(const data::IndexBox& box) {
+  std::ostringstream out;
+  for (int a = 0; a < 3; ++a) {
+    const auto ax = static_cast<std::size_t>(a);
+    out << box.offset[ax] << " " << box.offset[ax] + box.cells[ax]
+        << (a < 2 ? " " : "");
+  }
+  return out.str();
+}
+
+void emit_fields(std::ostringstream& out, const data::ImageData& block) {
+  out << "    <PointData>\n";
+  for (const auto& name : block.point_fields().names()) {
+    emit_array(out, *block.point_fields().get(name));
+  }
+  out << "    </PointData>\n    <CellData>\n";
+  for (const auto& name : block.cell_fields().names()) {
+    emit_array(out, *block.cell_fields().get(name));
+  }
+  out << "    </CellData>\n";
+}
+
+}  // namespace
+
+std::string vti_text(const data::ImageData& block) {
+  std::ostringstream out;
+  const std::string extent = extent_string(block.box());
+  out << "<?xml version=\"1.0\"?>\n";
+  out << "<VTKFile type=\"ImageData\" version=\"0.1\" "
+         "byte_order=\"LittleEndian\">\n";
+  out << "  <ImageData WholeExtent=\"" << extent << "\" Origin=\""
+      << block.origin().x << " " << block.origin().y << " "
+      << block.origin().z << "\" Spacing=\"" << block.spacing().x << " "
+      << block.spacing().y << " " << block.spacing().z << "\">\n";
+  out << "  <Piece Extent=\"" << extent << "\">\n";
+  emit_fields(out, block);
+  out << "  </Piece>\n  </ImageData>\n</VTKFile>\n";
+  return out.str();
+}
+
+namespace {
+Status write_text(const std::string& path, const std::string& text) {
+  std::vector<std::byte> bytes(text.size());
+  std::memcpy(bytes.data(), text.data(), text.size());
+  return write_file_bytes(path, bytes);
+}
+}  // namespace
+
+Status write_vti(const std::string& path, const data::ImageData& block) {
+  return write_text(path, vti_text(block));
+}
+
+StatusOr<std::string> write_pvti(comm::Communicator& comm,
+                                 const std::string& directory,
+                                 const std::string& basename,
+                                 const data::ImageData& local) {
+  // Each rank writes its piece.
+  const std::string piece_name =
+      basename + "_r" + std::to_string(comm.rank()) + ".vti";
+  INSITU_RETURN_IF_ERROR(write_vti(directory + "/" + piece_name, local));
+
+  // Rank 0 collects extents and writes the parallel index.
+  struct Extent {
+    std::int64_t lo[3], hi[3];
+  };
+  Extent mine;
+  for (int a = 0; a < 3; ++a) {
+    const auto ax = static_cast<std::size_t>(a);
+    mine.lo[a] = local.box().offset[ax];
+    mine.hi[a] = local.box().offset[ax] + local.box().cells[ax];
+  }
+  auto extents = comm.gatherv(std::span<const Extent>(&mine, 1), 0);
+  if (comm.rank() != 0) return std::string{};
+
+  Extent whole = mine;
+  for (const auto& chunk : extents) {
+    for (const Extent& e : chunk) {
+      for (int a = 0; a < 3; ++a) {
+        whole.lo[a] = std::min(whole.lo[a], e.lo[a]);
+        whole.hi[a] = std::max(whole.hi[a], e.hi[a]);
+      }
+    }
+  }
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\"?>\n";
+  out << "<VTKFile type=\"PImageData\" version=\"0.1\" "
+         "byte_order=\"LittleEndian\">\n";
+  out << "  <PImageData WholeExtent=\"";
+  for (int a = 0; a < 3; ++a) {
+    out << whole.lo[a] << " " << whole.hi[a] << (a < 2 ? " " : "");
+  }
+  out << "\" GhostLevel=\"0\" Origin=\"" << local.origin().x << " "
+      << local.origin().y << " " << local.origin().z << "\" Spacing=\""
+      << local.spacing().x << " " << local.spacing().y << " "
+      << local.spacing().z << "\">\n";
+  out << "    <PPointData>\n";
+  for (const auto& name : local.point_fields().names()) {
+    const auto array = local.point_fields().get(name);
+    out << "      <PDataArray type=\"" << vtk_type_name(array->type())
+        << "\" Name=\"" << name << "\" NumberOfComponents=\""
+        << array->num_components() << "\"/>\n";
+  }
+  out << "    </PPointData>\n    <PCellData>\n";
+  for (const auto& name : local.cell_fields().names()) {
+    const auto array = local.cell_fields().get(name);
+    out << "      <PDataArray type=\"" << vtk_type_name(array->type())
+        << "\" Name=\"" << name << "\" NumberOfComponents=\""
+        << array->num_components() << "\"/>\n";
+  }
+  out << "    </PCellData>\n";
+  int rank = 0;
+  for (const auto& chunk : extents) {
+    for (const Extent& e : chunk) {
+      out << "    <Piece Extent=\"";
+      for (int a = 0; a < 3; ++a) {
+        out << e.lo[a] << " " << e.hi[a] << (a < 2 ? " " : "");
+      }
+      out << "\" Source=\"" << basename << "_r" << rank << ".vti\"/>\n";
+      ++rank;
+    }
+  }
+  out << "  </PImageData>\n</VTKFile>\n";
+  const std::string pvti_path = directory + "/" + basename + ".pvti";
+  INSITU_RETURN_IF_ERROR(write_text(pvti_path, out.str()));
+  return pvti_path;
+}
+
+Status write_pvd(const std::string& path,
+                 const std::vector<std::pair<double, std::string>>& steps) {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\"?>\n";
+  out << "<VTKFile type=\"Collection\" version=\"0.1\" "
+         "byte_order=\"LittleEndian\">\n  <Collection>\n";
+  for (const auto& [time, file] : steps) {
+    out << "    <DataSet timestep=\"" << time
+        << "\" group=\"\" part=\"0\" file=\"" << file << "\"/>\n";
+  }
+  out << "  </Collection>\n</VTKFile>\n";
+  return write_text(path, out.str());
+}
+
+}  // namespace insitu::io

@@ -1,0 +1,37 @@
+#pragma once
+
+// Legal VTK XML output (.vti ImageData pieces, .pvti parallel index,
+// .pvd time-series index) so datasets produced by this library open
+// directly in stock ParaView/VisIt — the interchange role the paper's
+// real stack gets from VTK. ASCII-format DataArrays: larger than binary
+// but simple, portable, and valid.
+
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "data/image_data.hpp"
+#include "pal/status.hpp"
+
+namespace insitu::io {
+
+/// Serialize one block to .vti XML text.
+std::string vti_text(const data::ImageData& block);
+
+/// Write one block as <basename>.vti.
+Status write_vti(const std::string& path, const data::ImageData& block);
+
+/// Collective: every rank writes <basename>_r<rank>.vti and rank 0 writes
+/// <basename>.pvti referencing all pieces with the global whole extent.
+/// Requires single-block-per-rank uniform grids with matching
+/// origin/spacing. Returns the .pvti path (rank 0).
+StatusOr<std::string> write_pvti(comm::Communicator& comm,
+                                 const std::string& directory,
+                                 const std::string& basename,
+                                 const data::ImageData& local);
+
+/// Write a ParaView .pvd time-series index: (time, dataset file) pairs.
+Status write_pvd(const std::string& path,
+                 const std::vector<std::pair<double, std::string>>& steps);
+
+}  // namespace insitu::io

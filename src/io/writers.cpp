@@ -1,0 +1,146 @@
+#include "io/writers.hpp"
+
+#include <algorithm>
+
+#include "io/block_io.hpp"
+
+namespace insitu::io {
+
+namespace {
+
+constexpr int kTagCollectiveWrite = 7201;
+
+StatusOr<std::uint64_t> serialize_local_blocks(
+    const data::MultiBlockDataSet& mesh,
+    std::vector<std::pair<std::int64_t, std::vector<std::byte>>>& out) {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
+    const auto* img =
+        dynamic_cast<const data::ImageData*>(mesh.block(b).get());
+    if (img == nullptr) {
+      return Status::Unimplemented(
+          "writers: only ImageData blocks are supported");
+    }
+    std::vector<std::byte> bytes = serialize_block(*img);
+    total += bytes.size();
+    out.emplace_back(mesh.block_id(b), std::move(bytes));
+  }
+  return total;
+}
+
+}  // namespace
+
+StatusOr<double> VtkMultiFileWriter::write_step(
+    comm::Communicator& comm, const data::MultiBlockDataSet& mesh,
+    long step) {
+  std::vector<std::pair<std::int64_t, std::vector<std::byte>>> blocks;
+  INSITU_ASSIGN_OR_RETURN(std::uint64_t local_bytes,
+                          serialize_local_blocks(mesh, blocks));
+  last_local_bytes_ = local_bytes;
+
+  if (write_to_disk_) {
+    for (const auto& [id, bytes] : blocks) {
+      INSITU_RETURN_IF_ERROR(
+          write_file_bytes(block_file_name(directory_, step, id), bytes));
+    }
+  }
+
+  // Everyone writes concurrently; the step's write phase ends when the
+  // slowest rank finishes. Interference is sampled identically on all
+  // ranks from the shared per-rank-0 stream so the collective cost is
+  // consistent.
+  const std::uint64_t max_bytes =
+      comm.allreduce_value(local_bytes, comm::ReduceOp::kMax);
+  const double base =
+      model_.file_per_rank_write_time(comm.size(), max_bytes);
+  double jitter = comm.rank() == 0 ? model_.interference(comm.rng()) : 0.0;
+  comm.broadcast_value(jitter, 0);
+  const double cost = base * jitter;
+  comm.advance_compute(cost);
+  return cost;
+}
+
+StatusOr<double> CollectiveWriter::write_step(
+    comm::Communicator& comm, const data::MultiBlockDataSet& mesh,
+    long step) {
+  std::vector<std::pair<std::int64_t, std::vector<std::byte>>> blocks;
+  INSITU_ASSIGN_OR_RETURN(std::uint64_t local_bytes,
+                          serialize_local_blocks(mesh, blocks));
+
+  // Funnel every block to rank 0 (the aggregator of our two-phase write).
+  std::uint64_t total_bytes = local_bytes;
+  comm.allreduce(std::span<std::uint64_t>(&total_bytes, 1),
+                 comm::ReduceOp::kSum);
+  if (comm.rank() == 0) {
+    std::vector<std::byte> shard;
+    // Own blocks first, then everyone else's.
+    std::vector<std::vector<std::byte>> all;
+    for (auto& [id, bytes] : blocks) all.push_back(std::move(bytes));
+    for (int src = 1; src < comm.size(); ++src) {
+      int n_from_src = 0;
+      {
+        auto header = comm.recv(src, kTagCollectiveWrite);
+        std::memcpy(&n_from_src, header.data(), sizeof n_from_src);
+      }
+      for (int i = 0; i < n_from_src; ++i) {
+        all.push_back(comm.recv(src, kTagCollectiveWrite));
+      }
+    }
+    if (write_to_disk_) {
+      std::vector<std::byte> file;
+      const auto count = static_cast<std::int64_t>(all.size());
+      file.insert(file.end(), reinterpret_cast<const std::byte*>(&count),
+                  reinterpret_cast<const std::byte*>(&count) + sizeof count);
+      for (const auto& bytes : all) {
+        const auto size = static_cast<std::int64_t>(bytes.size());
+        file.insert(file.end(), reinterpret_cast<const std::byte*>(&size),
+                    reinterpret_cast<const std::byte*>(&size) + sizeof size);
+        file.insert(file.end(), bytes.begin(), bytes.end());
+      }
+      char name[64];
+      std::snprintf(name, sizeof name, "/shared_step_%06ld.isvtk", step);
+      INSITU_RETURN_IF_ERROR(write_file_bytes(directory_ + name, file));
+    }
+  } else {
+    const int n = static_cast<int>(blocks.size());
+    std::vector<std::byte> header(sizeof n);
+    std::memcpy(header.data(), &n, sizeof n);
+    comm.send(0, kTagCollectiveWrite, header);
+    for (const auto& [id, bytes] : blocks) {
+      comm.send(0, kTagCollectiveWrite, bytes);
+    }
+  }
+
+  const double base = model_.collective_write_time(
+      comm.size(), total_bytes, model_.params().default_stripe_count);
+  double jitter = comm.rank() == 0 ? model_.interference(comm.rng()) : 0.0;
+  comm.broadcast_value(jitter, 0);
+  const double cost = base * jitter;
+  comm.advance_compute(cost);
+  return cost;
+}
+
+StatusOr<data::MultiBlockPtr> PostHocReader::read_step(
+    comm::Communicator& comm, long step, int total_blocks) {
+  auto mesh = std::make_shared<data::MultiBlockDataSet>(total_blocks);
+  std::uint64_t local_bytes = 0;
+  for (std::int64_t id = comm.rank(); id < total_blocks; id += comm.size()) {
+    INSITU_ASSIGN_OR_RETURN(
+        std::vector<std::byte> bytes,
+        read_file_bytes(block_file_name(directory_, step, id)));
+    local_bytes += bytes.size();
+    INSITU_ASSIGN_OR_RETURN(data::ImageDataPtr block,
+                            deserialize_block(bytes));
+    mesh->add_block(id, block);
+  }
+  std::uint64_t total_bytes = local_bytes;
+  comm.allreduce(std::span<std::uint64_t>(&total_bytes, 1),
+                 comm::ReduceOp::kSum);
+  const double base = model_.read_time(comm.size(), total_bytes);
+  double jitter = comm.rank() == 0 ? model_.interference(comm.rng()) : 0.0;
+  comm.broadcast_value(jitter, 0);
+  comm.advance_compute(base * jitter);
+  return mesh;
+}
+
+}  // namespace insitu::io

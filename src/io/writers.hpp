@@ -1,0 +1,79 @@
+#pragma once
+
+// Post hoc pipeline pieces: the two write paths of Table 1 (file-per-rank
+// "VTK I/O" and collective single-shared-file "MPI-IO") and the reduced-
+// concurrency reader of Fig 11. All really move bytes (to disk / through
+// the communicator) at executed scale; virtual time is charged from the
+// LustreModel so cluster-scale cost shapes appear in the virtual clock.
+
+#include <string>
+
+#include "comm/communicator.hpp"
+#include "data/multiblock.hpp"
+#include "io/lustre_model.hpp"
+#include "pal/status.hpp"
+
+namespace insitu::io {
+
+/// File-per-rank writer: each rank writes its block(s) to private files.
+class VtkMultiFileWriter {
+ public:
+  /// `directory` must exist. When `write_to_disk` is false only the
+  /// timing/virtual work is performed (used by large parameter sweeps).
+  VtkMultiFileWriter(std::string directory, LustreModel model,
+                     bool write_to_disk = true)
+      : directory_(std::move(directory)),
+        model_(model),
+        write_to_disk_(write_to_disk) {}
+
+  /// Collective. Returns the modeled write seconds charged this step.
+  StatusOr<double> write_step(comm::Communicator& comm,
+                              const data::MultiBlockDataSet& mesh, long step);
+
+  /// Bytes written by the calling rank on the last write_step.
+  std::uint64_t last_local_bytes() const { return last_local_bytes_; }
+
+ private:
+  std::string directory_;
+  LustreModel model_;
+  bool write_to_disk_;
+  std::uint64_t last_local_bytes_ = 0;
+};
+
+/// Collective single-shared-file writer (MPI-IO style): blocks are
+/// funneled to rank 0, which writes one file per step.
+class CollectiveWriter {
+ public:
+  CollectiveWriter(std::string directory, LustreModel model,
+                   bool write_to_disk = true)
+      : directory_(std::move(directory)),
+        model_(model),
+        write_to_disk_(write_to_disk) {}
+
+  StatusOr<double> write_step(comm::Communicator& comm,
+                              const data::MultiBlockDataSet& mesh, long step);
+
+ private:
+  std::string directory_;
+  LustreModel model_;
+  bool write_to_disk_;
+};
+
+/// Post hoc reader: `readers` ranks (typically 10% of the writers) load the
+/// blocks of one step, round-robin by block id. Returns this rank's share.
+class PostHocReader {
+ public:
+  PostHocReader(std::string directory, LustreModel model)
+      : directory_(std::move(directory)), model_(model) {}
+
+  /// Collective over the *reader* communicator. `total_blocks` is the
+  /// number of block files written per step.
+  StatusOr<data::MultiBlockPtr> read_step(comm::Communicator& comm,
+                                          long step, int total_blocks);
+
+ private:
+  std::string directory_;
+  LustreModel model_;
+};
+
+}  // namespace insitu::io

@@ -1,0 +1,45 @@
+#include "miniapp/adaptor.hpp"
+
+namespace insitu::miniapp {
+
+StatusOr<data::MultiBlockPtr> OscillatorDataAdaptor::mesh(
+    bool structure_only) {
+  (void)structure_only;  // geometry is implicit for uniform grids
+  if (cached_ == nullptr) {
+    cached_ = std::make_shared<data::MultiBlockDataSet>(
+        communicator() != nullptr ? communicator()->size() : 1);
+    cached_->add_block(communicator() != nullptr ? communicator()->rank() : 0,
+                       sim_->make_grid());
+    ++mesh_builds_;
+  }
+  return cached_;
+}
+
+Status OscillatorDataAdaptor::add_array(data::MultiBlockDataSet& mesh,
+                                        data::Association association,
+                                        const std::string& name) {
+  if (association != data::Association::kPoint || name != kArrayName) {
+    return Status::NotFound("oscillator adaptor: no array '" + name + "'");
+  }
+  for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
+    data::DataSet& block = *mesh.block(b);
+    if (block.point_fields().has(kArrayName)) continue;
+    // Zero-copy wrap of the simulation's native buffer.
+    block.point_fields().add(data::DataArray::wrap_aos(
+        kArrayName, sim_->values().data(), sim_->local_points(), 1));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> OscillatorDataAdaptor::available_arrays(
+    data::Association association) const {
+  if (association == data::Association::kPoint) return {kArrayName};
+  return {};
+}
+
+Status OscillatorDataAdaptor::release_data() {
+  cached_.reset();
+  return Status::Ok();
+}
+
+}  // namespace insitu::miniapp

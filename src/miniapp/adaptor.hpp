@@ -1,0 +1,43 @@
+#pragma once
+
+// SENSEI data adaptor for the oscillator miniapp. The "instrument once"
+// artifact: this is the only miniapp-specific in situ code; every analysis
+// and infrastructure backend consumes it unchanged.
+//
+// The value array is a zero-copy wrap of the simulation's native buffer
+// (both sides are structured grids, the easy case §4.1.2 calls out), and
+// the mesh is built lazily so the Baseline configuration — SENSEI enabled,
+// no analysis — does almost no work.
+
+#include "core/data_adaptor.hpp"
+#include "miniapp/oscillator.hpp"
+
+namespace insitu::miniapp {
+
+class OscillatorDataAdaptor final : public core::DataAdaptor {
+ public:
+  explicit OscillatorDataAdaptor(OscillatorSim& sim) : sim_(&sim) {}
+
+  static constexpr const char* kArrayName = "data";
+
+  StatusOr<data::MultiBlockPtr> mesh(bool structure_only) override;
+
+  Status add_array(data::MultiBlockDataSet& mesh,
+                   data::Association association,
+                   const std::string& name) override;
+
+  std::vector<std::string> available_arrays(
+      data::Association association) const override;
+
+  Status release_data() override;
+
+  /// How many times mesh construction actually happened (laziness probe).
+  long mesh_builds() const { return mesh_builds_; }
+
+ private:
+  OscillatorSim* sim_;
+  data::MultiBlockPtr cached_;
+  long mesh_builds_ = 0;
+};
+
+}  // namespace insitu::miniapp

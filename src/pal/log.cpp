@@ -1,0 +1,50 @@
+#include "pal/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace insitu::pal {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+thread_local std::string t_label;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_thread_log_label(std::string label) { t_label = std::move(label); }
+
+void log_message(LogLevel level, std::string_view msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (t_label.empty()) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(level_name(level).size()),
+                 level_name(level).data(), static_cast<int>(msg.size()),
+                 msg.data());
+  } else {
+    std::fprintf(stderr, "[%.*s][%s] %.*s\n",
+                 static_cast<int>(level_name(level).size()),
+                 level_name(level).data(), t_label.c_str(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+}
+
+}  // namespace insitu::pal

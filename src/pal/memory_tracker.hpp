@@ -1,0 +1,94 @@
+#pragma once
+
+// Per-rank memory accounting with high-water-mark tracking.
+//
+// The paper reports memory footprint as "the sum of the high water marks
+// from all MPI ranks". Our ranks are threads, so /proc VmHWM cannot
+// separate them; instead all data-model and substrate allocations are
+// registered with the thread-local MemoryTracker, giving deterministic
+// per-rank footprints that can be summed exactly as the paper does.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace insitu::pal {
+
+/// Tracks bytes currently allocated and the high-water mark for one rank.
+class MemoryTracker {
+ public:
+  void allocate(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > high_water_) high_water_ = current_;
+  }
+
+  void release(std::size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  std::size_t current_bytes() const { return current_; }
+  std::size_t high_water_bytes() const { return high_water_; }
+
+  /// Resets both counters; used between bench configurations.
+  void reset() {
+    current_ = 0;
+    high_water_ = 0;
+  }
+
+  /// Record a baseline (e.g. executable + startup footprint) so reports can
+  /// separate "startup" from "run high-water" as Fig 7 does.
+  void set_baseline(std::size_t bytes) { baseline_ = bytes; }
+  std::size_t baseline_bytes() const { return baseline_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t baseline_ = 0;
+};
+
+/// The tracker for the calling rank (thread). SPMD code and the data model
+/// charge allocations here.
+MemoryTracker& rank_memory_tracker();
+
+/// RAII registration of a block of bytes against the calling rank.
+class TrackedBytes {
+ public:
+  TrackedBytes() = default;
+  explicit TrackedBytes(std::size_t bytes) : bytes_(bytes) {
+    rank_memory_tracker().allocate(bytes_);
+  }
+  ~TrackedBytes() { rank_memory_tracker().release(bytes_); }
+
+  TrackedBytes(const TrackedBytes&) = delete;
+  TrackedBytes& operator=(const TrackedBytes&) = delete;
+
+  TrackedBytes(TrackedBytes&& other) noexcept : bytes_(other.bytes_) {
+    other.bytes_ = 0;
+  }
+  TrackedBytes& operator=(TrackedBytes&& other) noexcept {
+    if (this != &other) {
+      rank_memory_tracker().release(bytes_);
+      bytes_ = other.bytes_;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  /// Change the tracked size (e.g. on vector resize).
+  void resize(std::size_t bytes) {
+    rank_memory_tracker().release(bytes_);
+    bytes_ = bytes;
+    rank_memory_tracker().allocate(bytes_);
+  }
+
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  std::size_t bytes_ = 0;
+};
+
+/// Process-wide resident-set high-water mark from the OS (VmHWM), in bytes.
+/// Used to report whole-process numbers alongside the per-rank trackers.
+std::uint64_t process_high_water_bytes();
+
+}  // namespace insitu::pal

@@ -1,0 +1,10 @@
+#include "pal/rng.hpp"
+
+#include <cmath>
+
+namespace insitu::pal {
+
+double Rng::fast_sqrt(double x) { return std::sqrt(x); }
+double Rng::fast_log(double x) { return std::log(x); }
+
+}  // namespace insitu::pal

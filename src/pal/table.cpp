@@ -1,0 +1,84 @@
+#include "pal/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace insitu::pal {
+
+void TablePrinter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_note(std::string note) {
+  notes_.push_back(std::move(note));
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string TablePrinter::bytes(double byte_count) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (byte_count >= 1024.0 && unit < 4) {
+    byte_count /= 1024.0;
+    ++unit;
+  }
+  return num(byte_count, 2) + " " + units[unit];
+}
+
+std::string TablePrinter::to_string() const {
+  // Column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell;
+      if (c + 1 < ncols) {
+        out << std::string(width[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ncols; ++c) total += width[c] + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  for (const auto& note : notes_) out << "  * " << note << '\n';
+  return out.str();
+}
+
+void TablePrinter::print() const {
+  const std::string text = to_string();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace insitu::pal

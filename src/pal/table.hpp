@@ -1,0 +1,37 @@
+#pragma once
+
+// ASCII table printing for bench output. Every bench binary reproduces one
+// paper table/figure; TablePrinter renders its rows in a uniform format so
+// EXPERIMENTS.md entries can be pasted directly from bench output.
+
+#include <string>
+#include <vector>
+
+namespace insitu::pal {
+
+/// Column-aligned text table with a title and optional footnotes.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void add_note(std::string note);
+
+  /// Format a double with the given precision, trimming trailing zeros.
+  static std::string num(double value, int precision = 3);
+  /// Format a byte count using binary units (KiB / MiB / GiB).
+  static std::string bytes(double byte_count);
+
+  /// Render to a string (used by tests) and print to stdout.
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace insitu::pal

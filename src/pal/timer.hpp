@@ -1,0 +1,59 @@
+#pragma once
+
+// Wall-clock timing helpers. The virtual clock used for modeled cluster
+// time lives in comm/; this header is for real elapsed time only.
+
+#include <chrono>
+#include <cstdint>
+
+namespace insitu::pal {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or last reset().
+  std::int64_t nanoseconds() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations (init / per-step / finalize), the
+/// measurement structure used throughout the paper's figures.
+class PhaseTimer {
+ public:
+  void add(double seconds) {
+    total_ += seconds;
+    ++count_;
+    if (seconds > max_) max_ = seconds;
+    if (count_ == 1 || seconds < min_) min_ = seconds;
+  }
+
+  double total() const { return total_; }
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : total_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+
+ private:
+  double total_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace insitu::pal

@@ -1,0 +1,281 @@
+#include "perfmodel/paper_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace insitu::perfmodel {
+
+MiniappScale cori_1k() {
+  MiniappScale s;
+  s.ranks = 812;
+  s.points_per_rank = 328509;
+  return s;
+}
+
+MiniappScale cori_6k() {
+  MiniappScale s;
+  s.ranks = 6496;
+  s.points_per_rank = 328509;
+  return s;
+}
+
+MiniappScale cori_45k() {
+  MiniappScale s;
+  s.ranks = 45440;
+  // "the amount of work per core originally planned for the 50K-core
+  // configuration": ~100K dof/core more.
+  s.points_per_rank = 362000;
+  return s;
+}
+
+double sim_step_seconds(const comm::MachineModel& m, const MiniappScale& s) {
+  return m.compute_time(
+      static_cast<std::uint64_t>(s.points_per_rank) *
+          static_cast<std::uint64_t>(s.oscillators),
+      s.sim_work_per_update);
+}
+
+double histogram_step_seconds(const comm::MachineModel& m,
+                              const MiniappScale& s, int bins) {
+  const double local = m.compute_time(
+      static_cast<std::uint64_t>(2 * s.points_per_rank));
+  const double minmax = 2.0 * m.allreduce_time(s.ranks, sizeof(double));
+  const double reduce =
+      m.reduce_time(s.ranks, static_cast<std::uint64_t>(bins) * 8);
+  return local + minmax + reduce;
+}
+
+double autocorrelation_step_seconds(const comm::MachineModel& m,
+                                    const MiniappScale& s, int window) {
+  return m.compute_time(static_cast<std::uint64_t>(s.points_per_rank) *
+                        static_cast<std::uint64_t>(window + 1));
+}
+
+double autocorrelation_finalize_seconds(const comm::MachineModel& m,
+                                        const MiniappScale& s, int window,
+                                        int top_k) {
+  // Per delay: local partial_sort ~ N log k, then a gather of k peaks and
+  // a root-side merge over ranks*k entries.
+  const double local_select = m.compute_time(
+      static_cast<std::uint64_t>(s.points_per_rank) *
+      static_cast<std::uint64_t>(std::max(1, (int)std::log2(top_k + 1))));
+  const std::uint64_t peak_bytes = static_cast<std::uint64_t>(top_k) * 32;
+  const double gather = m.gather_time(s.ranks, peak_bytes);
+  const double merge = m.compute_time(
+      static_cast<std::uint64_t>(s.ranks) * static_cast<std::uint64_t>(top_k),
+      4.0);
+  return window * (local_select + gather + merge);
+}
+
+double slice_render_step_seconds(const comm::MachineModel& m,
+                                 const MiniappScale& s, std::int64_t pixels,
+                                 bool tree_composite, bool compress_png) {
+  // Extraction: ranks intersecting the plane scan their cells; the slab
+  // that intersects holds ~N^(2/3) * thickness cells but the scan visits
+  // all local cells once (bounds test), plus the slice plane's cells for
+  // geometry.
+  const double extract = m.compute_time(
+      static_cast<std::uint64_t>(s.points_per_rank), 2.0);
+  // Rasterization: the plane covers ~the full image split over the
+  // intersecting ranks (~ranks^(2/3) of them hold a piece).
+  const double intersecting =
+      std::max(1.0, std::cbrt(static_cast<double>(s.ranks)) *
+                        std::cbrt(static_cast<double>(s.ranks)));
+  const double raster =
+      static_cast<double>(pixels) / intersecting / m.pixel_blend_rate * 4.0;
+  const double composite =
+      tree_composite
+          ? m.composite_tree_time(s.ranks, static_cast<std::uint64_t>(pixels))
+          : m.composite_binary_swap_time(s.ranks,
+                                         static_cast<std::uint64_t>(pixels));
+  const std::uint64_t raw = static_cast<std::uint64_t>(pixels) * 4;
+  const double encode =
+      compress_png ? m.compress_time(raw) : m.memcpy_time(raw);
+  const double write = 0.02;  // one small PNG to the filesystem
+  return extract + raster + composite + encode + write;
+}
+
+double libsim_init_seconds(const comm::MachineModel& m, int ranks) {
+  (void)m;
+  return 75e-6 * ranks;  // per-rank config-file checks (§4.1.3)
+}
+
+double sensei_baseline_step_seconds(const comm::MachineModel& m) {
+  return 64.0 / m.memcpy_rate * 16.0 + 2e-7;  // pointer bookkeeping only
+}
+
+std::uint64_t miniapp_step_bytes_per_rank(const MiniappScale& s) {
+  return static_cast<std::uint64_t>(s.points_per_rank) * sizeof(double);
+}
+
+double posthoc_write_seconds(const io::LustreModel& fs,
+                             const MiniappScale& s) {
+  return fs.file_per_rank_write_time(s.ranks, miniapp_step_bytes_per_rank(s));
+}
+
+double posthoc_collective_write_seconds(const io::LustreModel& fs,
+                                        const MiniappScale& s,
+                                        int stripe_count) {
+  return fs.collective_write_time(
+      s.ranks,
+      miniapp_step_bytes_per_rank(s) * static_cast<std::uint64_t>(s.ranks),
+      stripe_count);
+}
+
+double posthoc_read_seconds_per_step(const io::LustreModel& fs,
+                                     const MiniappScale& s,
+                                     double reader_fraction) {
+  const int readers =
+      std::max(1, static_cast<int>(s.ranks * reader_fraction));
+  const std::uint64_t total =
+      miniapp_step_bytes_per_rank(s) * static_cast<std::uint64_t>(s.ranks);
+  return fs.read_time(readers, total);
+}
+
+PhastaScale phasta_is1() {
+  PhastaScale s;
+  s.ranks = 262144;
+  s.elements_per_rank = 1280000000ll / 262144;
+  s.image_pixels = 800 * 200;
+  s.steps = 120;
+  s.ranks_per_core = 4;  // 64 ranks/node
+  return s;
+}
+
+PhastaScale phasta_is2() {
+  PhastaScale s = phasta_is1();
+  s.image_pixels = 2900 * 725;
+  s.ranks_per_core = 2;  // halved to fit the larger images in memory
+  return s;
+}
+
+PhastaScale phasta_is3() {
+  PhastaScale s;
+  s.ranks = 1048576;
+  s.elements_per_rank = 6330000000ll / 1048576;
+  s.image_pixels = 2900 * 725;
+  s.steps = 30;
+  s.ranks_per_core = 2;
+  // At 32768 nodes the implicit solve's strong-scaling efficiency drops
+  // (partition quality / network); calibrated to the paper's IS3 step.
+  s.solver_efficiency = 0.27;
+  return s;
+}
+
+double phasta_insitu_step_seconds(const comm::MachineModel& m,
+                                  const PhastaScale& s, bool compress_png) {
+  // Slice extraction over the local unstructured mesh + per-step VTK
+  // pipeline update (grows weakly with ranks) + rasterize + composite +
+  // serial PNG on rank 0. On Mira the serial PNG dominates at 2900x725
+  // (the paper's IS2 finding).
+  const double extract = m.compute_time(
+      static_cast<std::uint64_t>(s.elements_per_rank), 3.0);
+  const double pipeline = 0.5 + 1.0e-6 * s.ranks;
+  const double composite = m.composite_tree_time(
+      s.ranks, static_cast<std::uint64_t>(s.image_pixels));
+  const std::uint64_t raw = static_cast<std::uint64_t>(s.image_pixels) * 4;
+  const double encode =
+      compress_png ? m.compress_time(raw) : m.memcpy_time(raw);
+  return extract + pipeline + composite + encode;
+}
+
+double phasta_insitu_onetime_seconds(const comm::MachineModel& m,
+                                     const PhastaScale& s) {
+  // Catalyst pipeline setup + first-use allocation; weak rank dependence.
+  return 1.0 + 7.0e-7 * s.ranks + m.barrier_time(s.ranks);
+}
+
+double phasta_solver_step_seconds(const comm::MachineModel& m,
+                                  const PhastaScale& s) {
+  // Implicit stabilized FEM flow solve: tens of Krylov iterations per
+  // step, ~1e5 flops per element per step in aggregate. Oversubscribing
+  // hardware threads (4 ranks/core vs 2) halves per-rank throughput.
+  const double work_per_element = 65000.0;
+  const double oversubscription = s.ranks_per_core / 2.0;
+  return m.compute_time(static_cast<std::uint64_t>(s.elements_per_rank),
+                        work_per_element) *
+             oversubscription / s.solver_efficiency +
+         20 * m.allreduce_time(s.ranks, 8);  // Krylov dot products
+}
+
+double leslie_solver_step_seconds(const comm::MachineModel& m,
+                                  const LeslieScale& s) {
+  const std::int64_t per_rank = s.total_points / s.ranks;
+  // Halo exchange of 6 faces of a near-cubic block.
+  const double face =
+      std::pow(static_cast<double>(per_rank), 2.0 / 3.0) * sizeof(double);
+  return m.compute_time(static_cast<std::uint64_t>(per_rank),
+                        s.work_per_point) +
+         6.0 * m.ptp_time(static_cast<std::uint64_t>(face));
+}
+
+double leslie_insitu_render_seconds(const comm::MachineModel& m,
+                                    const LeslieScale& s) {
+  const std::int64_t per_rank = s.total_points / s.ranks;
+  // Derived vorticity + per-plot VisIt pipeline execution (contour/slice
+  // filter updates + scalable-rendering sync, weakly rank-dependent) +
+  // extraction + binary-swap compositing + serial PNG. The per-plot term
+  // is calibrated to Fig 16's 7-8 s render steps at 65K.
+  const double derived = m.compute_time(
+      static_cast<std::uint64_t>(per_rank), 15.0);
+  const double per_plot_pipeline = 0.75 + 8.0e-6 * s.ranks;
+  const double extract = m.compute_time(
+      static_cast<std::uint64_t>(per_rank), 3.0 * s.plots);
+  const double composite = m.composite_binary_swap_time(
+      s.ranks, static_cast<std::uint64_t>(s.render_pixels));
+  const double encode =
+      m.compress_time(static_cast<std::uint64_t>(s.render_pixels) * 4);
+  return derived + s.plots * per_plot_pipeline + extract + composite +
+         encode + 0.05;
+}
+
+double leslie_adaptor_overhead_seconds(const comm::MachineModel& m,
+                                       const LeslieScale& s) {
+  const std::int64_t per_rank = s.total_points / s.ranks;
+  // Ghost flagging + zero-copy wraps: one light sweep.
+  return m.compute_time(static_cast<std::uint64_t>(per_rank), 0.5);
+}
+
+double nyx_solver_step_seconds(const comm::MachineModel& m,
+                               const NyxScale& s) {
+  const std::int64_t per_rank = s.total_cells / s.ranks;
+  return m.compute_time(static_cast<std::uint64_t>(per_rank),
+                        s.solver_work_per_cell) +
+         10 * m.allreduce_time(s.ranks, 8);
+}
+
+double nyx_histogram_step_seconds(const comm::MachineModel& m,
+                                  const NyxScale& s, int bins) {
+  const std::int64_t per_rank = s.total_cells / s.ranks;
+  return m.compute_time(static_cast<std::uint64_t>(2 * per_rank)) +
+         2.0 * m.allreduce_time(s.ranks, 8) +
+         m.reduce_time(s.ranks, static_cast<std::uint64_t>(bins) * 8);
+}
+
+double nyx_slice_step_seconds(const comm::MachineModel& m,
+                              const NyxScale& s) {
+  const std::int64_t per_rank = s.total_cells / s.ranks;
+  const double extract =
+      m.compute_time(static_cast<std::uint64_t>(per_rank), 2.0);
+  const double composite = m.composite_tree_time(
+      s.ranks, static_cast<std::uint64_t>(s.slice_pixels));
+  const double encode =
+      m.compress_time(static_cast<std::uint64_t>(s.slice_pixels) * 4);
+  return extract + composite + encode + 0.02;
+}
+
+double nyx_plotfile_write_seconds(const io::LustreModel& fs,
+                                  const NyxScale& s, int variables) {
+  // BoxLib's formatted plotfile writer streams slowly per rank and its
+  // aggregate is contention-capped well below the raw Lustre peak;
+  // calibrated against the paper's 17 / 80 / 312 s writes.
+  io::LustreModel plotfile_model = fs;
+  plotfile_model.per_writer_link_bandwidth = 8e6;
+  plotfile_model.file_per_rank_efficiency = 0.0134;
+  const std::uint64_t per_rank_bytes =
+      static_cast<std::uint64_t>(s.total_cells / s.ranks) * sizeof(double) *
+      static_cast<std::uint64_t>(variables);
+  return plotfile_model.file_per_rank_write_time(s.ranks, per_rank_bytes);
+}
+
+}  // namespace insitu::perfmodel

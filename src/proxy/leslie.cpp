@@ -1,0 +1,282 @@
+#include "proxy/leslie.hpp"
+
+#include <cmath>
+
+#include "analysis/derived.hpp"
+#include "data/data_array.hpp"
+
+namespace insitu::proxy {
+
+namespace {
+constexpr int kTagHaloUp = 6101;
+constexpr int kTagHaloDown = 6102;
+}  // namespace
+
+LeslieSim::LeslieSim(comm::Communicator& comm, LeslieConfig config)
+    : comm_(comm), config_(config) {
+  nx_ = config_.global_points[0];
+  ny_ = config_.global_points[1];
+  const std::int64_t nz_global = config_.global_points[2];
+
+  // 1D slab decomposition along z with one ghost plane per interior face.
+  const int p = comm_.size();
+  const int r = comm_.rank();
+  const std::int64_t base = nz_global / p;
+  const std::int64_t extra = nz_global % p;
+  const std::int64_t owned = base + (r < extra ? 1 : 0);
+  const std::int64_t owned_offset =
+      r * base + std::min<std::int64_t>(r, extra);
+  lower_ghost_ = r > 0;
+  upper_ghost_ = r < p - 1;
+  nz_local_ = owned + (lower_ghost_ ? 1 : 0) + (upper_ghost_ ? 1 : 0);
+  z_offset_ = owned_offset - (lower_ghost_ ? 1 : 0);
+
+  const auto n = static_cast<std::size_t>(local_points());
+  u_.assign(n, 0.0);
+  v_.assign(n, 0.0);
+  w_.assign(n, 0.0);
+  scalar_.assign(n, 0.0);
+  u_new_ = u_;
+  v_new_ = v_;
+  w_new_ = w_;
+  scalar_new_ = scalar_;
+  tracked_ = pal::TrackedBytes(8 * n * sizeof(double));
+}
+
+void LeslieSim::initialize() {
+  // Two layers sliding in +/- x, separated at the y midplane, with a
+  // deterministic multi-mode perturbation seeding the KH roll-up.
+  const double y_mid = static_cast<double>(ny_ - 1) / 2.0;
+  pal::Rng rng(config_.seed);  // same seed on all ranks: global coherence
+  const double phase1 = rng.uniform(0.0, 2.0 * M_PI);
+  const double phase2 = rng.uniform(0.0, 2.0 * M_PI);
+  for (std::int64_t k = 0; k < nz_local_; ++k) {
+    const double zg = static_cast<double>(z_offset_ + k);
+    for (std::int64_t j = 0; j < ny_; ++j) {
+      const double y = static_cast<double>(j) - y_mid;
+      const double profile = std::tanh(y / config_.layer_thickness);
+      for (std::int64_t i = 0; i < nx_; ++i) {
+        const double x = static_cast<double>(i);
+        const std::int64_t id = index(i, j, k);
+        const double bump =
+            std::exp(-y * y / (2.0 * config_.layer_thickness *
+                               config_.layer_thickness));
+        u_[static_cast<std::size_t>(id)] = config_.shear_velocity * profile;
+        v_[static_cast<std::size_t>(id)] =
+            config_.perturbation * bump *
+            (std::sin(4.0 * M_PI * x / static_cast<double>(nx_) + phase1) +
+             0.5 * std::sin(8.0 * M_PI * x / static_cast<double>(nx_) +
+                            phase2));
+        w_[static_cast<std::size_t>(id)] =
+            0.25 * config_.perturbation * bump *
+            std::sin(4.0 * M_PI * zg / static_cast<double>(
+                                            config_.global_points[2]));
+        scalar_[static_cast<std::size_t>(id)] = 0.5 * (1.0 + profile);
+      }
+    }
+  }
+  time_ = 0.0;
+  step_ = 0;
+}
+
+void LeslieSim::halo_exchange(std::vector<double>& field) {
+  const std::size_t plane = static_cast<std::size_t>(nx_ * ny_);
+  // Send owned boundary planes, receive into ghost planes. Interior faces
+  // only; ordering avoids deadlock because sends are eager.
+  if (upper_ghost_) {
+    const std::size_t top_owned = static_cast<std::size_t>(nz_local_ - 2) * plane;
+    comm_.send_values(comm_.rank() + 1, kTagHaloUp,
+                      std::span<const double>(field.data() + top_owned, plane));
+  }
+  if (lower_ghost_) {
+    const std::size_t bottom_owned = plane;  // plane 1 is first owned
+    comm_.send_values(comm_.rank() - 1, kTagHaloDown,
+                      std::span<const double>(field.data() + bottom_owned,
+                                              plane));
+  }
+  if (lower_ghost_) {
+    auto ghost = comm_.recv_values<double>(comm_.rank() - 1, kTagHaloUp);
+    std::copy(ghost.begin(), ghost.end(), field.begin());
+  }
+  if (upper_ghost_) {
+    auto ghost = comm_.recv_values<double>(comm_.rank() + 1, kTagHaloDown);
+    std::copy(ghost.begin(), ghost.end(),
+              field.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      static_cast<std::size_t>(nz_local_ - 1) * plane));
+  }
+}
+
+void LeslieSim::apply_halo_all() {
+  halo_exchange(u_);
+  halo_exchange(v_);
+  halo_exchange(w_);
+  halo_exchange(scalar_);
+}
+
+void LeslieSim::step() {
+  apply_halo_all();
+
+  // Semi-Lagrangian-flavoured explicit update: advect by local velocity,
+  // diffuse with a 7-point Laplacian. Periodic in x, free-slip walls in y,
+  // domain boundaries in z clamp.
+  const double dt = config_.dt;
+  const double nu = config_.viscosity;
+  auto at = [&](const std::vector<double>& f, std::int64_t i, std::int64_t j,
+                std::int64_t k) {
+    i = (i + nx_) % nx_;
+    j = std::clamp<std::int64_t>(j, 0, ny_ - 1);
+    k = std::clamp<std::int64_t>(k, 0, nz_local_ - 1);
+    return f[static_cast<std::size_t>(index(i, j, k))];
+  };
+  auto update_field = [&](const std::vector<double>& f,
+                          std::vector<double>& out) {
+    for (std::int64_t k = 0; k < nz_local_; ++k) {
+      for (std::int64_t j = 0; j < ny_; ++j) {
+        for (std::int64_t i = 0; i < nx_; ++i) {
+          const std::size_t id = static_cast<std::size_t>(index(i, j, k));
+          const double uu = u_[id], vv = v_[id], ww = w_[id];
+          const double ddx = (at(f, i + 1, j, k) - at(f, i - 1, j, k)) * 0.5;
+          const double ddy = (at(f, i, j + 1, k) - at(f, i, j - 1, k)) * 0.5;
+          const double ddz = (at(f, i, j, k + 1) - at(f, i, j, k - 1)) * 0.5;
+          const double lap = at(f, i + 1, j, k) + at(f, i - 1, j, k) +
+                             at(f, i, j + 1, k) + at(f, i, j - 1, k) +
+                             at(f, i, j, k + 1) + at(f, i, j, k - 1) -
+                             6.0 * f[id];
+          out[id] = f[id] + dt * (-(uu * ddx + vv * ddy + ww * ddz) +
+                                  nu * lap);
+        }
+      }
+    }
+  };
+  update_field(u_, u_new_);
+  update_field(v_, v_new_);
+  update_field(w_, w_new_);
+  update_field(scalar_, scalar_new_);
+  u_.swap(u_new_);
+  v_.swap(v_new_);
+  w_.swap(w_new_);
+  scalar_.swap(scalar_new_);
+
+  ++step_;
+  time_ += dt;
+
+  const std::int64_t modeled = config_.modeled_points_per_rank > 0
+                                   ? config_.modeled_points_per_rank
+                                   : local_points();
+  comm_.advance_compute(comm_.machine().compute_time(
+      static_cast<std::uint64_t>(modeled), config_.work_per_point));
+}
+
+data::ImageDataPtr LeslieSim::make_grid() const {
+  data::IndexBox box;
+  box.cells = {nx_ - 1, ny_ - 1, nz_local_ - 1};
+  box.offset = {0, 0, z_offset_};
+  return std::make_shared<data::ImageData>(box, data::Vec3{},
+                                           data::Vec3{1, 1, 1});
+}
+
+double LeslieSim::global_kinetic_energy() {
+  double local = 0.0;
+  const std::int64_t k0 = lower_ghost_ ? 1 : 0;
+  const std::int64_t k1 = nz_local_ - (upper_ghost_ ? 1 : 0);
+  for (std::int64_t k = k0; k < k1; ++k) {
+    for (std::int64_t j = 0; j < ny_; ++j) {
+      for (std::int64_t i = 0; i < nx_; ++i) {
+        const std::size_t id = static_cast<std::size_t>(index(i, j, k));
+        local += 0.5 * (u_[id] * u_[id] + v_[id] * v_[id] + w_[id] * w_[id]);
+      }
+    }
+  }
+  return comm_.allreduce_value(local, comm::ReduceOp::kSum);
+}
+
+StatusOr<data::MultiBlockPtr> LeslieDataAdaptor::mesh(bool) {
+  if (cached_ == nullptr) {
+    cached_ = std::make_shared<data::MultiBlockDataSet>(
+        communicator() != nullptr ? communicator()->size() : 1);
+    data::ImageDataPtr grid = sim_->make_grid();
+    // Mark ghost z-plane cells so analyses skip halo data (the paper's
+    // adaptor "exposes data array slices (to remove ghost cells)").
+    if (sim_->has_lower_ghost() || sim_->has_upper_ghost()) {
+      auto ghosts = data::DataArray::create<std::uint8_t>(
+          data::DataSet::kGhostArrayName, grid->num_cells(), 1);
+      const std::int64_t cz = grid->cell_dim(2);
+      for (std::int64_t k = 0; k < cz; ++k) {
+        const bool ghost_plane = (sim_->has_lower_ghost() && k == 0) ||
+                                 (sim_->has_upper_ghost() && k == cz - 1);
+        if (!ghost_plane) continue;
+        for (std::int64_t j = 0; j < grid->cell_dim(1); ++j) {
+          for (std::int64_t i = 0; i < grid->cell_dim(0); ++i) {
+            ghosts->set(grid->cell_id(i, j, k), 0, data::kGhostDuplicate);
+          }
+        }
+      }
+      grid->set_ghost_cells(ghosts);
+    }
+    cached_->add_block(
+        communicator() != nullptr ? communicator()->rank() : 0, grid);
+  }
+  return cached_;
+}
+
+Status LeslieDataAdaptor::add_array(data::MultiBlockDataSet& mesh,
+                                    data::Association assoc,
+                                    const std::string& name) {
+  if (assoc != data::Association::kPoint) {
+    return Status::NotFound("leslie adaptor: only point arrays");
+  }
+  for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
+    data::DataSet& block = *mesh.block(b);
+    if (block.point_fields().has(name)) continue;
+    if (name == "velocity") {
+      // Zero-copy SoA wrap of the FORTRAN-style component arrays.
+      block.point_fields().add(data::DataArray::wrap_soa<double>(
+          "velocity",
+          {sim_->u().data(), sim_->v().data(), sim_->w().data()},
+          sim_->local_points()));
+    } else if (name == "scalar") {
+      block.point_fields().add(data::DataArray::wrap_aos(
+          "scalar", sim_->scalar().data(), sim_->local_points(), 1));
+    } else if (name == "vorticity_magnitude") {
+      // Derived in the adaptor, as the paper's AVF-LESLIE integration does.
+      auto* grid = dynamic_cast<data::ImageData*>(&block);
+      if (grid == nullptr) {
+        return Status::Internal("leslie adaptor: non-image block");
+      }
+      auto velocity = data::DataArray::wrap_soa<double>(
+          "velocity",
+          {sim_->u().data(), sim_->v().data(), sim_->w().data()},
+          sim_->local_points());
+      INSITU_ASSIGN_OR_RETURN(
+          data::DataArrayPtr vorticity,
+          analysis::vorticity_magnitude(*grid, *velocity,
+                                        "vorticity_magnitude"));
+      block.point_fields().add(vorticity);
+      if (communicator() != nullptr) {
+        communicator()->advance_compute(
+            communicator()->machine().compute_time(
+                static_cast<std::uint64_t>(sim_->local_points()),
+                /*work_per_cell=*/15.0));
+      }
+    } else {
+      return Status::NotFound("leslie adaptor: no array '" + name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> LeslieDataAdaptor::available_arrays(
+    data::Association assoc) const {
+  if (assoc == data::Association::kPoint) {
+    return {"scalar", "velocity", "vorticity_magnitude"};
+  }
+  return {};
+}
+
+Status LeslieDataAdaptor::release_data() {
+  cached_.reset();
+  return Status::Ok();
+}
+
+}  // namespace insitu::proxy

@@ -1,0 +1,313 @@
+#include "proxy/nyx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "data/data_array.hpp"
+
+namespace insitu::proxy {
+
+namespace {
+constexpr int kTagMigrateUp = 6301;
+constexpr int kTagMigrateDown = 6302;
+}  // namespace
+
+NyxSim::NyxSim(comm::Communicator& comm, NyxConfig config)
+    : comm_(comm), config_(config) {
+  nx_ = config_.global_cells[0];
+  ny_ = config_.global_cells[1];
+  const std::int64_t nz_global = config_.global_cells[2];
+  const int p = comm_.size();
+  const int r = comm_.rank();
+  const std::int64_t base = nz_global / p;
+  const std::int64_t extra = nz_global % p;
+  owned_nz_ = base + (r < extra ? 1 : 0);
+  owned_z0_ = r * base + std::min<std::int64_t>(r, extra);
+  // Periodic z: every slab carries both ghost planes so CIC deposits near
+  // slab faces can be reduced onto the owning neighbor.
+  lower_ghost_ = p > 1;
+  upper_ghost_ = p > 1;
+  nz_local_ = owned_nz_ + (lower_ghost_ ? 1 : 0) + (upper_ghost_ ? 1 : 0);
+  z_offset_ = owned_z0_ - (lower_ghost_ ? 1 : 0);
+
+  density_.assign(static_cast<std::size_t>(local_cells()), 0.0);
+  tracked_ = pal::TrackedBytes(density_.size() * sizeof(double));
+}
+
+void NyxSim::initialize() {
+  // Particles seeded uniformly in the owned sub-volume with small
+  // Zeldovich-flavoured velocity perturbations.
+  particles_.clear();
+  pal::Rng rng = pal::Rng(config_.seed).split(
+      static_cast<std::uint64_t>(comm_.rank()));
+  const std::int64_t count =
+      nx_ * ny_ * owned_nz_ * config_.particles_per_cell;
+  particles_.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t n = 0; n < count; ++n) {
+    Particle part;
+    part.x = rng.uniform(0.0, static_cast<double>(nx_));
+    part.y = rng.uniform(0.0, static_cast<double>(ny_));
+    part.z = rng.uniform(static_cast<double>(owned_z0_),
+                         static_cast<double>(owned_z0_ + owned_nz_));
+    // Coherent long-wavelength velocity field + thermal jitter.
+    part.vx = 0.2 * std::sin(2.0 * M_PI * part.y / ny_) +
+              0.02 * rng.next_gaussian();
+    part.vy = 0.2 * std::sin(2.0 * M_PI * part.z /
+                             config_.global_cells[2]) +
+              0.02 * rng.next_gaussian();
+    part.vz = 0.2 * std::sin(2.0 * M_PI * part.x / nx_) +
+              0.02 * rng.next_gaussian();
+    particles_.push_back(part);
+  }
+  time_ = 0.0;
+  step_ = 0;
+  deposit();
+}
+
+void NyxSim::deposit() {
+  std::fill(density_.begin(), density_.end(), 0.0);
+  // Cloud-in-cell on the local slab (including ghost layers so mass near
+  // the slab faces lands somewhere; owned-cell mass is exact for
+  // particles well inside the slab).
+  for (const Particle& part : particles_) {
+    const double gx = part.x - 0.5;
+    const double gy = part.y - 0.5;
+    const double gz = part.z - 0.5 - static_cast<double>(z_offset_);
+    const auto i0 = static_cast<std::int64_t>(std::floor(gx));
+    const auto j0 = static_cast<std::int64_t>(std::floor(gy));
+    const auto k0 = static_cast<std::int64_t>(std::floor(gz));
+    const double fx = gx - static_cast<double>(i0);
+    const double fy = gy - static_cast<double>(j0);
+    const double fz = gz - static_cast<double>(k0);
+    for (int dk = 0; dk < 2; ++dk) {
+      for (int dj = 0; dj < 2; ++dj) {
+        for (int di = 0; di < 2; ++di) {
+          const std::int64_t i = (i0 + di + nx_) % nx_;   // periodic x/y
+          const std::int64_t j = (j0 + dj + ny_) % ny_;
+          std::int64_t k = k0 + dk;
+          if (comm_.size() == 1) {
+            k = (k + nz_local_) % nz_local_;  // periodic within one slab
+          }
+          if (k < 0 || k >= nz_local_) continue;
+          const double weight = (di != 0 ? fx : 1.0 - fx) *
+                                (dj != 0 ? fy : 1.0 - fy) *
+                                (dk != 0 ? fz : 1.0 - fz);
+          density_[static_cast<std::size_t>(cell_index(i, j, k))] +=
+              part.mass * weight;
+        }
+      }
+    }
+  }
+  reduce_ghost_deposits();
+}
+
+void NyxSim::reduce_ghost_deposits() {
+  if (comm_.size() == 1) return;
+  // Mass deposited into a ghost plane belongs to the neighbor's boundary
+  // owned plane: ship it there and add (periodic ring), then refresh the
+  // ghost planes with the neighbors' owned totals for the gradient step.
+  const int p = comm_.size();
+  const int up = (comm_.rank() + 1) % p;
+  const int down = (comm_.rank() + p - 1) % p;
+  const std::size_t plane = static_cast<std::size_t>(nx_ * ny_);
+  constexpr int kTagReduceUp = 6303, kTagReduceDown = 6304;
+  constexpr int kTagRefreshUp = 6305, kTagRefreshDown = 6306;
+
+  // 1. Reduce: ghost plane 0 -> down's top owned; top ghost -> up's first.
+  comm_.send_values(down, kTagReduceDown,
+                    std::span<const double>(density_.data(), plane));
+  comm_.send_values(
+      up, kTagReduceUp,
+      std::span<const double>(
+          density_.data() + static_cast<std::size_t>(nz_local_ - 1) * plane,
+          plane));
+  {
+    auto from_up = comm_.recv_values<double>(up, kTagReduceDown);
+    double* top_owned =
+        density_.data() + static_cast<std::size_t>(nz_local_ - 2) * plane;
+    for (std::size_t i = 0; i < plane; ++i) top_owned[i] += from_up[i];
+    auto from_down = comm_.recv_values<double>(down, kTagReduceUp);
+    double* first_owned = density_.data() + plane;
+    for (std::size_t i = 0; i < plane; ++i) first_owned[i] += from_down[i];
+  }
+
+  // 2. Refresh ghosts with the now-complete neighbor boundary planes.
+  comm_.send_values(down, kTagRefreshDown,
+                    std::span<const double>(density_.data() + plane, plane));
+  comm_.send_values(
+      up, kTagRefreshUp,
+      std::span<const double>(
+          density_.data() + static_cast<std::size_t>(nz_local_ - 2) * plane,
+          plane));
+  {
+    auto from_up = comm_.recv_values<double>(up, kTagRefreshDown);
+    std::copy(from_up.begin(), from_up.end(),
+              density_.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      static_cast<std::size_t>(nz_local_ - 1) * plane));
+    auto from_down = comm_.recv_values<double>(down, kTagRefreshUp);
+    std::copy(from_down.begin(), from_down.end(), density_.begin());
+  }
+}
+
+void NyxSim::kick_and_drift() {
+  // Self-gravity proxy: acceleration toward local density gradients.
+  const double g = config_.gravity;
+  const double dt = config_.dt;
+  auto rho_at = [&](std::int64_t i, std::int64_t j, std::int64_t k) {
+    i = (i + nx_) % nx_;
+    j = (j + ny_) % ny_;
+    k = std::clamp<std::int64_t>(k, 0, nz_local_ - 1);
+    return density_[static_cast<std::size_t>(cell_index(i, j, k))];
+  };
+  const std::int64_t nz_global = config_.global_cells[2];
+  for (Particle& part : particles_) {
+    const auto i = static_cast<std::int64_t>(std::floor(part.x)) % nx_;
+    const auto j = static_cast<std::int64_t>(std::floor(part.y)) % ny_;
+    const auto k =
+        static_cast<std::int64_t>(std::floor(part.z)) - z_offset_;
+    part.vx += dt * g * (rho_at(i + 1, j, k) - rho_at(i - 1, j, k));
+    part.vy += dt * g * (rho_at(i, j + 1, k) - rho_at(i, j - 1, k));
+    part.vz += dt * g * (rho_at(i, j, k + 1) - rho_at(i, j, k - 1));
+    part.x += dt * part.vx;
+    part.y += dt * part.vy;
+    part.z += dt * part.vz;
+    // Periodic wrap in all axes (z wraps the global domain).
+    part.x = std::fmod(part.x + static_cast<double>(nx_), static_cast<double>(nx_));
+    part.y = std::fmod(part.y + static_cast<double>(ny_), static_cast<double>(ny_));
+    part.z = std::fmod(part.z + static_cast<double>(nz_global),
+                       static_cast<double>(nz_global));
+  }
+}
+
+void NyxSim::migrate_particles() {
+  if (comm_.size() == 1) return;
+  // Ship particles that left the owned z range to the neighbor slabs.
+  // One step moves particles at most one slab (CFL-ish dt), so exchanging
+  // with immediate neighbors (periodic ring) suffices.
+  const int up = (comm_.rank() + 1) % comm_.size();
+  const int down = (comm_.rank() + comm_.size() - 1) % comm_.size();
+  std::vector<Particle> keep, go_up, go_down;
+  const auto z_lo = static_cast<double>(owned_z0_);
+  const auto z_hi = static_cast<double>(owned_z0_ + owned_nz_);
+  const auto nz_global = static_cast<double>(config_.global_cells[2]);
+  for (const Particle& part : particles_) {
+    if (part.z >= z_lo && part.z < z_hi) {
+      keep.push_back(part);
+    } else {
+      // Signed periodic distance decides the direction.
+      double delta = part.z - z_lo;
+      if (delta > nz_global / 2) delta -= nz_global;
+      if (delta < -nz_global / 2) delta += nz_global;
+      (delta >= 0 ? go_up : go_down).push_back(part);
+    }
+  }
+  comm_.send_values(up, kTagMigrateUp, std::span<const Particle>(go_up));
+  comm_.send_values(down, kTagMigrateDown,
+                    std::span<const Particle>(go_down));
+  auto from_down = comm_.recv_values<Particle>(down, kTagMigrateUp);
+  auto from_up = comm_.recv_values<Particle>(up, kTagMigrateDown);
+  particles_ = std::move(keep);
+  particles_.insert(particles_.end(), from_down.begin(), from_down.end());
+  particles_.insert(particles_.end(), from_up.begin(), from_up.end());
+}
+
+void NyxSim::step() {
+  ++step_;
+  time_ += config_.dt;
+  kick_and_drift();
+  migrate_particles();
+  deposit();
+
+  const std::int64_t modeled = config_.modeled_cells_per_rank > 0
+                                   ? config_.modeled_cells_per_rank
+                                   : local_cells();
+  comm_.advance_compute(comm_.machine().compute_time(
+      static_cast<std::uint64_t>(modeled), config_.work_per_cell));
+}
+
+data::ImageDataPtr NyxSim::make_grid() const {
+  data::IndexBox box;
+  box.cells = {nx_, ny_, nz_local_};
+  box.offset = {0, 0, z_offset_};
+  return std::make_shared<data::ImageData>(box, data::Vec3{},
+                                           data::Vec3{1, 1, 1});
+}
+
+std::int64_t NyxSim::global_particle_count() {
+  const auto local = static_cast<std::int64_t>(particles_.size());
+  return comm_.allreduce_value(local, comm::ReduceOp::kSum);
+}
+
+double NyxSim::global_deposited_mass() {
+  double local = 0.0;
+  const std::int64_t k0 = lower_ghost_ ? 1 : 0;
+  const std::int64_t k1 = nz_local_ - (upper_ghost_ ? 1 : 0);
+  for (std::int64_t k = k0; k < k1; ++k) {
+    for (std::int64_t j = 0; j < ny_; ++j) {
+      for (std::int64_t i = 0; i < nx_; ++i) {
+        local += density_[static_cast<std::size_t>(cell_index(i, j, k))];
+      }
+    }
+  }
+  return comm_.allreduce_value(local, comm::ReduceOp::kSum);
+}
+
+StatusOr<data::MultiBlockPtr> NyxDataAdaptor::mesh(bool) {
+  if (cached_ == nullptr) {
+    data::ImageDataPtr grid = sim_->make_grid();
+    if (sim_->has_lower_ghost() || sim_->has_upper_ghost()) {
+      // "blanking out ghost cells ... by associating a vtkGhostLevels
+      // attribute — a byte array of flags marking ghost cells".
+      auto ghosts = data::DataArray::create<std::uint8_t>(
+          data::DataSet::kGhostArrayName, grid->num_cells(), 1);
+      const std::int64_t cz = grid->cell_dim(2);
+      for (std::int64_t k = 0; k < cz; ++k) {
+        const bool ghost_plane = (sim_->has_lower_ghost() && k == 0) ||
+                                 (sim_->has_upper_ghost() && k == cz - 1);
+        if (!ghost_plane) continue;
+        for (std::int64_t j = 0; j < grid->cell_dim(1); ++j) {
+          for (std::int64_t i = 0; i < grid->cell_dim(0); ++i) {
+            ghosts->set(grid->cell_id(i, j, k), 0, data::kGhostDuplicate);
+          }
+        }
+      }
+      grid->set_ghost_cells(ghosts);
+    }
+    cached_ = std::make_shared<data::MultiBlockDataSet>(
+        communicator() != nullptr ? communicator()->size() : 1);
+    cached_->add_block(communicator() != nullptr ? communicator()->rank() : 0,
+                       grid);
+  }
+  return cached_;
+}
+
+Status NyxDataAdaptor::add_array(data::MultiBlockDataSet& mesh,
+                                 data::Association assoc,
+                                 const std::string& name) {
+  if (assoc != data::Association::kCell || name != kDensityArray) {
+    return Status::NotFound("nyx adaptor: no array '" + name + "'");
+  }
+  for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
+    data::DataSet& block = *mesh.block(b);
+    if (block.cell_fields().has(kDensityArray)) continue;
+    // "directly passing a pointer to the BoxLib data to VTK".
+    block.cell_fields().add(data::DataArray::wrap_aos(
+        kDensityArray, sim_->density().data(), sim_->local_cells(), 1));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> NyxDataAdaptor::available_arrays(
+    data::Association assoc) const {
+  if (assoc == data::Association::kCell) return {kDensityArray};
+  return {};
+}
+
+Status NyxDataAdaptor::release_data() {
+  cached_.reset();
+  return Status::Ok();
+}
+
+}  // namespace insitu::proxy

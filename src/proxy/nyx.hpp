@@ -1,0 +1,123 @@
+#pragma once
+
+// Nyx proxy (§4.2.3): a particle-mesh cosmology stand-in for the BoxLib
+// Nyx code (Lyman-alpha forest simulations).
+//
+// Reproduced integration details from the paper:
+//   * the domain is a single-level set of axis-aligned boxes (no AMR);
+//   * "We avoid data replication by directly passing a pointer to the
+//     BoxLib data to VTK" — the density array is a zero-copy wrap of the
+//     simulation's own grid storage;
+//   * "blanking out ghost cells ... by associating a vtkGhostLevels
+//     attribute — a byte array of flags marking ghost cells — with the
+//     mesh";
+//   * solver steps are heavy relative to analysis, so in situ histograms
+//     and slices are near-free (Fig 17's message).
+//
+// The dynamics: dark-matter particles deposited cloud-in-cell onto slab
+// grids, a smoothed-gradient self-gravity kick, leapfrog drift, and real
+// particle migration between slab owners each step.
+
+#include <array>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/data_adaptor.hpp"
+#include "data/image_data.hpp"
+
+namespace insitu::proxy {
+
+struct NyxConfig {
+  /// Global cells per axis (paper: 1024^3 .. 4096^3).
+  std::array<std::int64_t, 3> global_cells = {32, 32, 32};
+  std::int64_t particles_per_cell = 1;
+  double dt = 0.1;
+  double gravity = 0.05;
+  std::uint64_t seed = 2024;
+
+  std::int64_t modeled_cells_per_rank = 0;  ///< virtual-cost override
+  double work_per_cell = 80.0;  ///< hydro+gravity solver cost per cell
+};
+
+struct Particle {
+  double x = 0, y = 0, z = 0;
+  double vx = 0, vy = 0, vz = 0;
+  double mass = 1.0;
+};
+
+class NyxSim {
+ public:
+  NyxSim(comm::Communicator& comm, NyxConfig config);
+
+  void initialize();
+  void step();
+
+  double time() const { return time_; }
+  long step_index() const { return step_; }
+
+  /// Local slab grid (cells; includes one ghost cell layer on interior z
+  /// faces, flagged by the adaptor).
+  data::ImageDataPtr make_grid() const;
+
+  /// Simulation-owned density storage (one value per local cell including
+  /// ghost layers) — what the adaptor wraps zero-copy.
+  std::vector<double>& density() { return density_; }
+  std::int64_t local_cells() const {
+    return nx_ * ny_ * nz_local_;
+  }
+  bool has_lower_ghost() const { return lower_ghost_; }
+  bool has_upper_ghost() const { return upper_ghost_; }
+  std::int64_t nz_local() const { return nz_local_; }
+
+  std::size_t num_local_particles() const { return particles_.size(); }
+  const std::vector<Particle>& particles() const { return particles_; }
+
+  /// Total particles across ranks (conservation check).
+  std::int64_t global_particle_count();
+  /// Total deposited mass over owned cells across ranks.
+  double global_deposited_mass();
+
+ private:
+  std::int64_t cell_index(std::int64_t i, std::int64_t j,
+                          std::int64_t k) const {
+    return i + nx_ * (j + ny_ * k);
+  }
+  void deposit();
+  void reduce_ghost_deposits();
+  void kick_and_drift();
+  void migrate_particles();
+
+  comm::Communicator& comm_;
+  NyxConfig config_;
+  std::int64_t nx_ = 0, ny_ = 0, nz_local_ = 0;
+  std::int64_t z_offset_ = 0;  ///< global z cell index of local layer 0
+  std::int64_t owned_z0_ = 0;  ///< global z of first owned layer
+  std::int64_t owned_nz_ = 0;
+  bool lower_ghost_ = false, upper_ghost_ = false;
+  std::vector<double> density_;
+  std::vector<Particle> particles_;
+  pal::TrackedBytes tracked_;
+  double time_ = 0.0;
+  long step_ = 0;
+};
+
+/// SENSEI adaptor: zero-copy density + vtkGhostLevels blanking.
+class NyxDataAdaptor final : public core::DataAdaptor {
+ public:
+  explicit NyxDataAdaptor(NyxSim& sim) : sim_(&sim) {}
+
+  static constexpr const char* kDensityArray = "dark_matter_density";
+
+  StatusOr<data::MultiBlockPtr> mesh(bool structure_only) override;
+  Status add_array(data::MultiBlockDataSet& mesh, data::Association assoc,
+                   const std::string& name) override;
+  std::vector<std::string> available_arrays(
+      data::Association assoc) const override;
+  Status release_data() override;
+
+ private:
+  NyxSim* sim_;
+  data::MultiBlockPtr cached_;
+};
+
+}  // namespace insitu::proxy

@@ -1,0 +1,52 @@
+#include "render/colormap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace insitu::render {
+
+ColorMap::ColorMap(std::vector<Rgba> controls, double lo, double hi)
+    : controls_(std::move(controls)), lo_(lo), hi_(hi) {
+  if (controls_.empty()) controls_.push_back(Rgba{0, 0, 0, 255});
+  if (controls_.size() == 1) controls_.push_back(controls_[0]);
+}
+
+ColorMap ColorMap::cool_warm(double lo, double hi) {
+  return ColorMap({Rgba{59, 76, 192, 255}, Rgba{221, 221, 221, 255},
+                   Rgba{180, 4, 38, 255}},
+                  lo, hi);
+}
+
+ColorMap ColorMap::heat(double lo, double hi) {
+  return ColorMap({Rgba{0, 0, 0, 255}, Rgba{200, 30, 0, 255},
+                   Rgba{255, 210, 0, 255}, Rgba{255, 255, 255, 255}},
+                  lo, hi);
+}
+
+ColorMap ColorMap::grayscale(double lo, double hi) {
+  return ColorMap({Rgba{0, 0, 0, 255}, Rgba{255, 255, 255, 255}}, lo, hi);
+}
+
+ColorMap ColorMap::by_name(const std::string& name, double lo, double hi) {
+  if (name == "heat") return heat(lo, hi);
+  if (name == "grayscale") return grayscale(lo, hi);
+  return cool_warm(lo, hi);
+}
+
+Rgba ColorMap::map(double value) const {
+  double t = hi_ > lo_ ? (value - lo_) / (hi_ - lo_) : 0.5;
+  t = std::clamp(t, 0.0, 1.0);
+  const double scaled = t * static_cast<double>(controls_.size() - 1);
+  const std::size_t idx = std::min(
+      static_cast<std::size_t>(scaled), controls_.size() - 2);
+  const double frac = scaled - static_cast<double>(idx);
+  const Rgba& a = controls_[idx];
+  const Rgba& b = controls_[idx + 1];
+  auto lerp = [frac](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint8_t>(
+        std::lround(x + frac * (static_cast<double>(y) - x)));
+  };
+  return Rgba{lerp(a.r, b.r), lerp(a.g, b.g), lerp(a.b, b.b), lerp(a.a, b.a)};
+}
+
+}  // namespace insitu::render

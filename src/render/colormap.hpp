@@ -1,0 +1,39 @@
+#pragma once
+
+// Scalar -> color transfer functions for pseudocolor ("heatmap") rendering,
+// the technique both slice configurations in §4.1.3 use.
+
+#include <string>
+#include <vector>
+
+#include "render/image.hpp"
+
+namespace insitu::render {
+
+class ColorMap {
+ public:
+  /// Piecewise-linear map over control colors, domain [lo, hi].
+  ColorMap(std::vector<Rgba> controls, double lo, double hi);
+
+  /// Presets.
+  static ColorMap cool_warm(double lo, double hi);   // blue-white-red
+  static ColorMap heat(double lo, double hi);        // black-red-yellow-white
+  static ColorMap grayscale(double lo, double hi);
+  static ColorMap by_name(const std::string& name, double lo, double hi);
+
+  Rgba map(double value) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  void set_range(double lo, double hi) {
+    lo_ = lo;
+    hi_ = hi;
+  }
+
+ private:
+  std::vector<Rgba> controls_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace insitu::render

@@ -1,0 +1,163 @@
+#include "render/compositor.hpp"
+
+#include <cstring>
+
+namespace insitu::render {
+
+namespace {
+
+constexpr int kTagTree = 9001;
+constexpr int kTagSwapBase = 9100;
+constexpr int kTagGather = 9090;
+
+/// Serialize a [begin, end) pixel range: colors then depths.
+std::vector<std::byte> pack_range(const Image& img, std::int64_t begin,
+                                  std::int64_t end) {
+  const std::size_t n = static_cast<std::size_t>(end - begin);
+  std::vector<std::byte> out(n * (sizeof(Rgba) + sizeof(float)));
+  std::memcpy(out.data(), img.pixels().data() + begin, n * sizeof(Rgba));
+  std::memcpy(out.data() + n * sizeof(Rgba), img.depths().data() + begin,
+              n * sizeof(float));
+  return out;
+}
+
+/// Composite a packed [begin, end) range into `img` (nearer depth wins).
+void merge_range(Image& img, std::int64_t begin,
+                 std::span<const std::byte> packed) {
+  const std::size_t n = packed.size() / (sizeof(Rgba) + sizeof(float));
+  const auto* colors = reinterpret_cast<const Rgba*>(packed.data());
+  const auto* depths = reinterpret_cast<const float*>(
+      packed.data() + n * sizeof(Rgba));
+  Rgba* dst_c = img.pixels().data() + begin;
+  float* dst_d = img.depths().data() + begin;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (depths[i] < dst_d[i]) {
+      dst_c[i] = colors[i];
+      dst_d[i] = depths[i];
+    }
+  }
+}
+
+/// Replace (not merge) a packed range — used by the final gather.
+void store_range(Image& img, std::int64_t begin,
+                 std::span<const std::byte> packed) {
+  const std::size_t n = packed.size() / (sizeof(Rgba) + sizeof(float));
+  const auto* colors = reinterpret_cast<const Rgba*>(packed.data());
+  const auto* depths = reinterpret_cast<const float*>(
+      packed.data() + n * sizeof(Rgba));
+  std::memcpy(img.pixels().data() + begin, colors, n * sizeof(Rgba));
+  std::memcpy(img.depths().data() + begin, depths, n * sizeof(float));
+}
+
+/// Per-pixel blend cost charged on top of the real byte movement.
+void charge_blend(comm::Communicator& comm, std::int64_t pixels) {
+  comm.advance_compute(static_cast<double>(pixels) /
+                       comm.machine().pixel_blend_rate);
+}
+
+}  // namespace
+
+Image composite_tree(comm::Communicator& comm, const Image& local) {
+  Image mine = local;  // working copy we merge into
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const std::int64_t npx = mine.num_pixels();
+
+  // Binomial reduction: at stage s, ranks with bit s set send their full
+  // image to (rank - 2^s) and drop out.
+  for (int stride = 1; stride < size; stride <<= 1) {
+    if ((rank & stride) != 0) {
+      comm.send(rank - stride, kTagTree, pack_range(mine, 0, npx));
+      return Image{};  // dropped out; no result on this rank
+    }
+    const int partner = rank + stride;
+    if (partner < size) {
+      const std::vector<std::byte> packed = comm.recv(partner, kTagTree);
+      merge_range(mine, 0, packed);
+      charge_blend(comm, npx);
+    }
+  }
+  return mine;
+}
+
+Image composite_binary_swap(comm::Communicator& comm, const Image& local) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  const std::int64_t npx = local.num_pixels();
+  if (size == 1) return local;
+
+  // Largest power of two <= size.
+  int pow2 = 1;
+  while (pow2 * 2 <= size) pow2 *= 2;
+
+  Image mine = local;
+  // Fold phase: extra ranks send their whole image into the pow2 set.
+  if (rank >= pow2) {
+    comm.send(rank - pow2, kTagSwapBase, pack_range(mine, 0, npx));
+    // Extra ranks still participate in the final gather (with nothing).
+    comm.send(0, kTagGather, {});
+    return Image{};
+  }
+  if (rank + pow2 < size) {
+    const std::vector<std::byte> packed = comm.recv(rank + pow2, kTagSwapBase);
+    merge_range(mine, 0, packed);
+    charge_blend(comm, npx);
+  }
+
+  // Swap phase over the pow2 set: each stage halves the owned range.
+  std::int64_t begin = 0;
+  std::int64_t end = npx;
+  int stage = 0;
+  for (int stride = 1; stride < pow2; stride <<= 1, ++stage) {
+    const int partner = rank ^ stride;
+    const std::int64_t mid = begin + (end - begin) / 2;
+    const bool keep_low = (rank & stride) == 0;
+    const std::int64_t keep_begin = keep_low ? begin : mid;
+    const std::int64_t keep_end = keep_low ? mid : end;
+    const std::int64_t send_begin = keep_low ? mid : begin;
+    const std::int64_t send_end = keep_low ? end : mid;
+
+    comm.send(partner, kTagSwapBase + 1 + stage,
+              pack_range(mine, send_begin, send_end));
+    const std::vector<std::byte> packed =
+        comm.recv(partner, kTagSwapBase + 1 + stage);
+    merge_range(mine, keep_begin, packed);
+    charge_blend(comm, keep_end - keep_begin);
+
+    begin = keep_begin;
+    end = keep_end;
+  }
+
+  // Gather the distributed strips to rank 0.
+  if (rank == 0) {
+    Image result = std::move(mine);
+    for (int src = 1; src < size; ++src) {
+      int from = -1;
+      const std::vector<std::byte> packed = comm.recv_any(kTagGather, &from);
+      if (packed.empty()) continue;  // folded rank, owns nothing
+      std::int64_t src_begin = 0;
+      std::memcpy(&src_begin, packed.data(), sizeof src_begin);
+      store_range(result, src_begin,
+                  std::span<const std::byte>(packed).subspan(sizeof src_begin));
+    }
+    return result;
+  }
+  std::vector<std::byte> payload(sizeof begin);
+  std::memcpy(payload.data(), &begin, sizeof begin);
+  const std::vector<std::byte> strip = pack_range(mine, begin, end);
+  payload.insert(payload.end(), strip.begin(), strip.end());
+  comm.send(0, kTagGather, payload);
+  return Image{};
+}
+
+Image composite(comm::Communicator& comm, const Image& local,
+                CompositeAlgorithm algorithm) {
+  switch (algorithm) {
+    case CompositeAlgorithm::kTree: return composite_tree(comm, local);
+    case CompositeAlgorithm::kBinarySwap:
+      return composite_binary_swap(comm, local);
+  }
+  return Image{};
+}
+
+}  // namespace insitu::render

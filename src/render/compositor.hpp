@@ -1,0 +1,33 @@
+#pragma once
+
+// Distributed image compositing.
+//
+// §4.1.3: "there is a costly compositing operation that involves
+// communication of image-sized buffers among a hierarchical set of ranks
+// to ultimately produce a final composite image on a single rank ...
+// Catalyst and Libsim use different compositing algorithms, but both
+// perform essentially the same task."
+//
+// Two algorithms are provided: a binomial-tree composite (full image per
+// stage — the Catalyst-like default here) and binary swap (halving image
+// regions per stage — the Libsim-like default). Both really move pixels
+// between rank threads, so both their results and their virtual-time cost
+// structures are exercised. bench/ablation_compositing compares them.
+
+#include "comm/communicator.hpp"
+#include "render/image.hpp"
+
+namespace insitu::render {
+
+enum class CompositeAlgorithm { kTree, kBinarySwap };
+
+/// Depth-composite each rank's `local` image; the full composite lands on
+/// rank 0 (other ranks receive an empty Image). Collective. All ranks must
+/// pass identically-sized images.
+Image composite(comm::Communicator& comm, const Image& local,
+                CompositeAlgorithm algorithm);
+
+Image composite_tree(comm::Communicator& comm, const Image& local);
+Image composite_binary_swap(comm::Communicator& comm, const Image& local);
+
+}  // namespace insitu::render

@@ -1,0 +1,98 @@
+#include "render/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace insitu::render {
+
+namespace {
+struct ScreenVert {
+  double x = 0.0, y = 0.0, depth = 0.0, scalar = 0.0;
+};
+}  // namespace
+
+std::int64_t rasterize(const analysis::TriangleMesh& mesh,
+                       const RenderConfig& config, Image& target) {
+  const int w = config.width;
+  const int h = config.height;
+  const double aspect = static_cast<double>(w) / h;
+  std::int64_t fragments = 0;
+
+  // Project all vertices once.
+  std::vector<ScreenVert> screen(mesh.vertices.size());
+  for (std::size_t i = 0; i < mesh.vertices.size(); ++i) {
+    const auto [nx, ny, depth] = config.camera.project(mesh.vertices[i]);
+    // Normalized [-1,1] -> pixel coordinates; x shares the y scale so
+    // geometry is not stretched on non-square images.
+    screen[i].x = (nx / aspect * 0.5 + 0.5) * w;
+    screen[i].y = (0.5 - ny * 0.5) * h;
+    screen[i].depth = depth;
+    screen[i].scalar = mesh.scalars[i];
+  }
+
+  for (const auto& tri : mesh.triangles) {
+    const ScreenVert& a = screen[static_cast<std::size_t>(tri[0])];
+    const ScreenVert& b = screen[static_cast<std::size_t>(tri[1])];
+    const ScreenVert& c = screen[static_cast<std::size_t>(tri[2])];
+
+    const double area =
+        (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+    if (area == 0.0) continue;  // degenerate
+
+    const int x0 = std::max(0, static_cast<int>(
+                                   std::floor(std::min({a.x, b.x, c.x}))));
+    const int x1 = std::min(w - 1, static_cast<int>(
+                                       std::ceil(std::max({a.x, b.x, c.x}))));
+    const int y0 = std::max(0, static_cast<int>(
+                                   std::floor(std::min({a.y, b.y, c.y}))));
+    const int y1 = std::min(h - 1, static_cast<int>(
+                                       std::ceil(std::max({a.y, b.y, c.y}))));
+
+    const double inv_area = 1.0 / area;
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const double px = x + 0.5;
+        const double py = y + 0.5;
+        // Barycentric coordinates (signed; accept either winding).
+        const double w0 =
+            ((b.x - px) * (c.y - py) - (c.x - px) * (b.y - py)) * inv_area;
+        const double w1 =
+            ((c.x - px) * (a.y - py) - (a.x - px) * (c.y - py)) * inv_area;
+        const double w2 = 1.0 - w0 - w1;
+        if (w0 < 0.0 || w1 < 0.0 || w2 < 0.0) continue;
+
+        const float depth = static_cast<float>(
+            w0 * a.depth + w1 * b.depth + w2 * c.depth);
+        if (depth >= target.depth(x, y) || depth <= 0.0f) continue;
+
+        const double scalar = w0 * a.scalar + w1 * b.scalar + w2 * c.scalar;
+        target.pixel(x, y) = config.colormap.map(scalar);
+        target.depth(x, y) = depth;
+        ++fragments;
+      }
+    }
+  }
+  return fragments;
+}
+
+Image render_mesh(const analysis::TriangleMesh& mesh,
+                  const RenderConfig& config) {
+  Image img(config.width, config.height);
+  img.clear(config.background);
+  rasterize(mesh, config, img);
+  return img;
+}
+
+Camera default_slice_camera(const data::Bounds& global_bounds) {
+  const data::Vec3 center = global_bounds.center();
+  const data::Vec3 extent = global_bounds.extent();
+  const double radius =
+      0.5 * std::max({extent.x, extent.y, extent.z, 1e-9});
+  Camera cam = Camera::look_at(
+      center + data::Vec3{0, 0, 4.0 * radius}, center, data::Vec3{0, 1, 0},
+      Camera::Projection::kOrthographic);
+  cam.set_ortho_half_height(1.05 * radius);
+  return cam;
+}
+
+}  // namespace insitu::render

@@ -1,0 +1,216 @@
+#include "analysis/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "comm/runtime.hpp"
+#include "core/bridge.hpp"
+#include "data/image_data.hpp"
+
+namespace insitu::analysis {
+namespace {
+
+using data::Association;
+using data::DataArray;
+using data::ImageData;
+using data::IndexBox;
+using data::MultiBlockDataSet;
+using data::Vec3;
+
+/// Adaptor exposing a per-point field computed by a lambda of (position,
+/// step). The domain is a global n^3 grid decomposed along x.
+class SyntheticAdaptor final : public core::DataAdaptor {
+ public:
+  using FieldFn = std::function<double(const Vec3&, long)>;
+
+  SyntheticAdaptor(std::int64_t n, int rank, int size, FieldFn fn)
+      : fn_(std::move(fn)) {
+    IndexBox box = data::decompose_regular({n, n, n}, size, rank);
+    grid_ = std::make_shared<ImageData>(box, Vec3{}, Vec3{1, 1, 1});
+    mesh_ = std::make_shared<MultiBlockDataSet>(size);
+    mesh_->add_block(rank, grid_);
+  }
+
+  StatusOr<data::MultiBlockPtr> mesh(bool) override { return mesh_; }
+
+  Status add_array(MultiBlockDataSet& mesh, Association assoc,
+                   const std::string& name) override {
+    if (assoc != Association::kPoint || name != "signal") {
+      return Status::NotFound("unknown array " + name);
+    }
+    auto values = DataArray::create<double>("signal", grid_->num_points(), 1);
+    for (std::int64_t i = 0; i < grid_->num_points(); ++i) {
+      values->set(i, 0, fn_(grid_->point(i), time_step()));
+    }
+    mesh.block(0)->point_fields().add(values);
+    return Status::Ok();
+  }
+
+  std::vector<std::string> available_arrays(Association assoc) const override {
+    return assoc == Association::kPoint
+               ? std::vector<std::string>{"signal"}
+               : std::vector<std::string>{};
+  }
+
+  Status release_data() override { return Status::Ok(); }
+
+ private:
+  FieldFn fn_;
+  std::shared_ptr<ImageData> grid_;
+  data::MultiBlockPtr mesh_;
+};
+
+class AutocorrP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, AutocorrP, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(AutocorrP, FindsOscillatorCenter) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  // A single "oscillator": gaussian bump at the domain center whose
+  // amplitude oscillates with period 4 steps. The strongest delay-4
+  // autocorrelation must sit at the bump center (paper: "this reduction
+  // identifies the centers of the oscillators").
+  const Vec3 center{4, 4, 4};
+  comm::Runtime::run(p, [&](comm::Communicator& comm) {
+    auto adaptor = std::make_shared<SyntheticAdaptor>(
+        8, comm.rank(), comm.size(), [&](const Vec3& pos, long step) {
+          const double r2 = (pos - center).dot(pos - center);
+          const double envelope = std::exp(-r2 / 4.0);
+          return envelope * std::sin(2.0 * M_PI * step / 4.0);
+        });
+    auto analysis = std::make_shared<Autocorrelation>(
+        "signal", Association::kPoint, /*window=*/4, /*top_k=*/3);
+    core::InSituBridge bridge(&comm);
+    bridge.add_analysis(analysis);
+    if (!bridge.initialize().ok()) ++failures;
+    for (long step = 0; step < 16; ++step) {
+      auto r = bridge.execute(*adaptor, 0.1 * step, step);
+      if (!r.ok() || !*r) ++failures;
+    }
+    if (!bridge.finalize().ok()) ++failures;
+
+    if (comm.rank() == 0) {
+      const auto& peaks = analysis->top_peaks();
+      if (peaks.size() != 4u) {
+        ++failures;
+        return;
+      }
+      // Delay 4 = the full period: strongest positive correlation at the
+      // bump center.
+      const auto& delay4 = peaks[3];
+      if (delay4.empty()) {
+        ++failures;
+        return;
+      }
+      if ((delay4[0].position - center).norm() > 1e-9) ++failures;
+      if (delay4[0].correlation <= 0.0) ++failures;
+      // Delay 2 = half period: sin anti-correlates, so the top delay-2
+      // correlation must be below the top delay-4 correlation.
+      if (!peaks[1].empty() &&
+          peaks[1][0].correlation >= delay4[0].correlation) {
+        ++failures;
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Autocorrelation, BufferFootprintMatchesWindow) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    auto adaptor = std::make_shared<SyntheticAdaptor>(
+        8, 0, 1, [](const Vec3&, long) { return 1.0; });
+    const int window = 6;
+    auto analysis = std::make_shared<Autocorrelation>(
+        "signal", Association::kPoint, window, 1);
+    core::InSituBridge bridge(&comm);
+    bridge.add_analysis(analysis);
+    ASSERT_TRUE(bridge.initialize().ok());
+    ASSERT_TRUE(bridge.execute(*adaptor, 0.0, 0).ok());
+    // Two buffers of window * npoints doubles (paper: "two circular
+    // buffers, each of size O(t N^3)").
+    const std::size_t expected = 2ull * window * 9 * 9 * 9 * sizeof(double);
+    EXPECT_EQ(analysis->buffer_bytes(), expected);
+  });
+}
+
+TEST(Autocorrelation, ConstantSignalCorrelatesEverywhere) {
+  comm::Runtime::run(2, [&](comm::Communicator& comm) {
+    auto adaptor = std::make_shared<SyntheticAdaptor>(
+        4, comm.rank(), comm.size(), [](const Vec3&, long) { return 2.0; });
+    auto analysis = std::make_shared<Autocorrelation>(
+        "signal", Association::kPoint, 2, 5);
+    core::InSituBridge bridge(&comm);
+    bridge.add_analysis(analysis);
+    ASSERT_TRUE(bridge.initialize().ok());
+    for (long s = 0; s < 10; ++s) {
+      ASSERT_TRUE(bridge.execute(*adaptor, 0.0, s).ok());
+    }
+    ASSERT_TRUE(bridge.finalize().ok());
+    if (comm.rank() == 0) {
+      // Delay 1 accumulates 9 products of 2*2 = 36 at every point.
+      const auto& d1 = analysis->top_peaks()[0];
+      ASSERT_EQ(d1.size(), 5u);
+      for (const auto& peak : d1) {
+        EXPECT_NEAR(peak.correlation, 36.0, 1e-12);
+      }
+    }
+  });
+}
+
+TEST(Autocorrelation, StepsProcessedCounts) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    auto adaptor = std::make_shared<SyntheticAdaptor>(
+        4, 0, 1, [](const Vec3&, long) { return 0.0; });
+    auto analysis = std::make_shared<Autocorrelation>(
+        "signal", Association::kPoint, 3, 1);
+    core::InSituBridge bridge(&comm);
+    bridge.add_analysis(analysis);
+    ASSERT_TRUE(bridge.initialize().ok());
+    for (long s = 0; s < 7; ++s) {
+      ASSERT_TRUE(bridge.execute(*adaptor, 0.0, s).ok());
+    }
+    EXPECT_EQ(analysis->steps_processed(), 7);
+  });
+}
+
+TEST(Bridge, TimingsPopulated) {
+  comm::Runtime::Options opts;
+  opts.machine = comm::cori_haswell();
+  comm::Runtime::run(2, opts, [&](comm::Communicator& comm) {
+    auto adaptor = std::make_shared<SyntheticAdaptor>(
+        8, comm.rank(), comm.size(),
+        [](const Vec3& p, long) { return p.x; });
+    auto analysis = std::make_shared<Autocorrelation>(
+        "signal", Association::kPoint, 4, 2);
+    core::InSituBridge bridge(&comm);
+    bridge.add_analysis(analysis);
+    ASSERT_TRUE(bridge.initialize().ok());
+    for (long s = 0; s < 5; ++s) {
+      ASSERT_TRUE(bridge.execute(*adaptor, 0.0, s).ok());
+    }
+    ASSERT_TRUE(bridge.finalize().ok());
+    const core::BridgeTimings& t = bridge.timings();
+    EXPECT_EQ(t.analysis_per_step.count(), 5);
+    EXPECT_GT(t.analysis_per_step.total(), 0.0);
+    // Finalize does the top-k gather: must be non-negligible (Fig 5).
+    EXPECT_GT(t.finalize_seconds, 0.0);
+  });
+}
+
+TEST(Bridge, LifecycleErrors) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    core::InSituBridge bridge(&comm);
+    auto adaptor = std::make_shared<SyntheticAdaptor>(
+        2, 0, 1, [](const Vec3&, long) { return 0.0; });
+    // Execute before initialize fails.
+    EXPECT_FALSE(bridge.execute(*adaptor, 0.0, 0).ok());
+    EXPECT_FALSE(bridge.finalize().ok());
+    ASSERT_TRUE(bridge.initialize().ok());
+    EXPECT_FALSE(bridge.initialize().ok());  // double init
+  });
+}
+
+}  // namespace
+}  // namespace insitu::analysis

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "comm/runtime.hpp"
+#include "pal/memory_tracker.hpp"
+
+namespace insitu::comm {
+namespace {
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 32));
+
+TEST_P(CollectivesTest, BarrierSynchronizesVirtualTime) {
+  const int p = GetParam();
+  std::vector<double> times(static_cast<std::size_t>(p));
+  Runtime::run(p, [&](Communicator& comm) {
+    // Stagger ranks in virtual time, then barrier.
+    comm.advance_compute(0.1 * comm.rank());
+    comm.barrier();
+    times[static_cast<std::size_t>(comm.rank())] = comm.clock().now();
+  });
+  // All ranks leave the barrier at (or after) the slowest rank's entry.
+  const double slowest_entry = 0.1 * (p - 1);
+  for (double t : times) EXPECT_GE(t, slowest_entry);
+  // And all at the same instant.
+  for (double t : times) EXPECT_DOUBLE_EQ(t, times[0]);
+}
+
+TEST_P(CollectivesTest, BroadcastDeliversRootData) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    const int root = p > 2 ? 2 : 0;
+    std::vector<double> data;
+    if (comm.rank() == root) data = {1.0, 2.0, 3.0, 4.0};
+    comm.broadcast(data, root);
+    if (data != std::vector<double>({1.0, 2.0, 3.0, 4.0})) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectivesTest, BroadcastValue) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    int v = comm.rank() == 0 ? 77 : -1;
+    comm.broadcast_value(v, 0);
+    if (v != 77) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectivesTest, ReduceSumToRoot) {
+  const int p = GetParam();
+  std::atomic<long> root_result{-1};
+  Runtime::run(p, [&](Communicator& comm) {
+    const long mine = comm.rank() + 1;
+    const long sum = comm.reduce_value(mine, ReduceOp::kSum, 0);
+    if (comm.rank() == 0) root_result = sum;
+  });
+  EXPECT_EQ(root_result.load(), static_cast<long>(p) * (p + 1) / 2);
+}
+
+TEST_P(CollectivesTest, AllreduceMinMax) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    const double mine = static_cast<double>(comm.rank());
+    if (comm.allreduce_value(mine, ReduceOp::kMin) != 0.0) ++failures;
+    if (comm.allreduce_value(mine, ReduceOp::kMax) != p - 1.0) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectivesTest, AllreduceVectorElementwise) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    std::vector<int> v = {comm.rank(), 1, -comm.rank()};
+    comm.allreduce(std::span<int>(v), ReduceOp::kSum);
+    const int ranksum = p * (p - 1) / 2;
+    if (v[0] != ranksum || v[1] != p || v[2] != -ranksum) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectivesTest, AllreduceProd) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    const double r = comm.allreduce_value(2.0, ReduceOp::kProd);
+    if (r != std::pow(2.0, p)) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectivesTest, GathervConcatenatesInRankOrder) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    // Rank r contributes r+1 copies of its rank id.
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1),
+                          comm.rank());
+    auto gathered = comm.gatherv(std::span<const int>(mine), 0);
+    if (comm.rank() == 0) {
+      if (gathered.size() != static_cast<std::size_t>(p)) {
+        ++failures;
+        return;
+      }
+      for (int r = 0; r < p; ++r) {
+        if (gathered[static_cast<std::size_t>(r)].size() !=
+            static_cast<std::size_t>(r + 1)) {
+          ++failures;
+        }
+        for (int x : gathered[static_cast<std::size_t>(r)]) {
+          if (x != r) ++failures;
+        }
+      }
+    } else if (!gathered.empty()) {
+      ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectivesTest, AllgatherValue) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    auto all = comm.allgather_value(comm.rank() * 10);
+    if (all.size() != static_cast<std::size_t>(p)) ++failures;
+    for (int r = 0; r < p; ++r) {
+      if (all[static_cast<std::size_t>(r)] != r * 10) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectivesTest, ExscanSum) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    // Prefix of (rank+1): exscan at rank r = sum_{i<r} (i+1) = r(r+1)/2.
+    const long mine = comm.rank() + 1;
+    const long prefix = comm.exscan_value(mine, ReduceOp::kSum);
+    const long expect = static_cast<long>(comm.rank()) * (comm.rank() + 1) / 2;
+    if (prefix != expect) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectivesTest, BackToBackCollectivesDoNotInterleave) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const int sum = comm.allreduce_value(1, ReduceOp::kSum);
+      if (sum != p) ++failures;
+      int v = iter;
+      comm.broadcast_value(v, iter % p);
+      if (v != iter) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CollectivesTest, SplitFormsCorrectSubgroups) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    const int color = comm.rank() % 2;
+    Communicator sub = comm.split(color, comm.rank());
+    const int expected_size = p / 2 + ((p % 2 == 1 && color == 0) ? 1 : 0);
+    if (sub.size() != expected_size) ++failures;
+    // New ranks are ordered by old rank within the color.
+    if (sub.rank() != comm.rank() / 2) ++failures;
+    // The subcommunicator must be usable for collectives.
+    const int subsum = sub.allreduce_value(1, ReduceOp::kSum);
+    if (subsum != sub.size()) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(CollectivesVirtualTime, AllreduceCostGrowsWithRankCount) {
+  auto vtime_at = [](int p) {
+    Runtime::Options opts;
+    opts.machine = cori_haswell();
+    RunReport report = Runtime::run(p, opts, [](Communicator& comm) {
+      std::vector<double> v(1024, 1.0);
+      comm.allreduce(std::span<double>(v), ReduceOp::kSum);
+    });
+    return report.max_virtual_seconds();
+  };
+  const double t4 = vtime_at(4);
+  const double t32 = vtime_at(32);
+  EXPECT_GT(t32, t4);  // log2(32)=5 stages vs log2(4)=2
+}
+
+TEST(CollectivesVirtualTime, RootReduceSlowerThanNonRootEntry) {
+  Runtime::Options opts;
+  opts.machine = cori_haswell();
+  std::vector<double> times(8);
+  Runtime::run(8, opts, [&](Communicator& comm) {
+    std::vector<double> v(1 << 16, 1.0);
+    std::vector<double> out(v.size());
+    comm.reduce(std::span<const double>(v), std::span<double>(out),
+                ReduceOp::kSum, 0);
+    times[static_cast<std::size_t>(comm.rank())] = comm.clock().now();
+  });
+  for (double t : times) EXPECT_GT(t, 0.0);
+}
+
+TEST(CollectivesStress, SixtyFourRanksMixedTraffic) {
+  // A larger world exercising collectives + p2p + split concurrently.
+  const int p = 64;
+  std::atomic<int> failures{0};
+  comm::Runtime::run(p, [&](Communicator& comm) {
+    for (int iter = 0; iter < 10; ++iter) {
+      if (comm.allreduce_value(1, ReduceOp::kSum) != p) ++failures;
+      const int next = (comm.rank() + 1) % p;
+      const int prev = (comm.rank() + p - 1) % p;
+      const int token = comm.rank() * 3 + iter;
+      comm.send_values(next, iter, std::span<const int>(&token, 1));
+      auto got = comm.recv_values<int>(prev, iter);
+      if (got[0] != prev * 3 + iter) ++failures;
+      Communicator half = comm.split(comm.rank() % 2, comm.rank());
+      if (half.allreduce_value(1, ReduceOp::kSum) != p / 2) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(RunReport, AggregatesStats) {
+  RunReport report = Runtime::run(4, [](Communicator& comm) {
+    comm.advance_compute(1.0 + comm.rank());
+    pal::rank_memory_tracker().allocate(100 * (comm.rank() + 1));
+  });
+  EXPECT_DOUBLE_EQ(report.max_virtual_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(report.mean_virtual_seconds(), 2.5);
+  EXPECT_EQ(report.total_high_water_bytes(), 100u + 200u + 300u + 400u);
+  EXPECT_EQ(report.max_high_water_bytes(), 400u);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(RunReport, CapturesRankFailure) {
+  RunReport report = Runtime::run(4, [](Communicator& comm) {
+    if (comm.rank() == 2) throw std::runtime_error("injected failure");
+    // Other ranks do no collective so they don't deadlock on rank 2.
+  });
+  EXPECT_TRUE(report.failed);
+  EXPECT_NE(report.failure_message.find("injected failure"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace insitu::comm

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "comm/machine_model.hpp"
+#include "comm/virtual_clock.hpp"
+
+namespace insitu::comm {
+namespace {
+
+TEST(VirtualClock, AdvanceAndObserve) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.observe(1.0);  // past: no-op
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.observe(3.0);  // future: jump
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+  clock.advance(-1.0);  // negative durations ignored
+  EXPECT_DOUBLE_EQ(clock.now(), 3.0);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(MachineModel, TreeDepth) {
+  EXPECT_EQ(MachineModel::tree_depth(1), 0);
+  EXPECT_EQ(MachineModel::tree_depth(2), 1);
+  EXPECT_EQ(MachineModel::tree_depth(3), 2);
+  EXPECT_EQ(MachineModel::tree_depth(4), 2);
+  EXPECT_EQ(MachineModel::tree_depth(1024), 10);
+  EXPECT_EQ(MachineModel::tree_depth(1048576), 20);
+}
+
+TEST(MachineModel, PtpTimeIsAffineInBytes) {
+  const MachineModel m = cori_haswell();
+  const double t0 = m.ptp_time(0);
+  const double t1 = m.ptp_time(1 << 20);
+  const double t2 = m.ptp_time(2 << 20);
+  EXPECT_DOUBLE_EQ(t0, m.alpha);
+  EXPECT_NEAR(t2 - t1, t1 - t0, 1e-12);
+}
+
+TEST(MachineModel, CollectiveCostsGrowLogarithmically) {
+  const MachineModel m = cori_haswell();
+  const std::uint64_t bytes = 4096;
+  const double t16 = m.allreduce_time(16, bytes);
+  const double t256 = m.allreduce_time(256, bytes);
+  const double t4096 = m.allreduce_time(4096, bytes);
+  // Each 16x increase in ranks adds the same number of stages (4).
+  EXPECT_NEAR(t256 - t16, t4096 - t256, 1e-9);
+  EXPECT_GT(t256, t16);
+}
+
+TEST(MachineModel, SingleRankCollectivesAreFree) {
+  const MachineModel m = cori_haswell();
+  EXPECT_DOUBLE_EQ(m.bcast_time(1, 100), 0.0);
+  EXPECT_DOUBLE_EQ(m.reduce_time(1, 100), 0.0);
+  EXPECT_DOUBLE_EQ(m.allreduce_time(1, 100), 0.0);
+  EXPECT_DOUBLE_EQ(m.barrier_time(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.gather_time(1, 100), 0.0);
+  EXPECT_DOUBLE_EQ(m.composite_tree_time(1, 100), 0.0);
+}
+
+TEST(MachineModel, CompositingScalesWithImageSize) {
+  const MachineModel m = cori_haswell();
+  // The paper's two image sizes: Catalyst 1920x1080, Libsim 1600x1600.
+  const double catalyst = m.composite_tree_time(64, 1920ull * 1080);
+  const double libsim = m.composite_tree_time(64, 1600ull * 1600);
+  EXPECT_GT(libsim, catalyst);  // 2.56 Mpx vs 2.07 Mpx
+}
+
+TEST(MachineModel, BinarySwapBeatsTreeAtScale) {
+  const MachineModel m = cori_haswell();
+  const std::uint64_t pixels = 1920ull * 1080;
+  EXPECT_LT(m.composite_binary_swap_time(1024, pixels),
+            m.composite_tree_time(1024, pixels));
+}
+
+TEST(MachineModel, ComputeTimeMatchesRate) {
+  const MachineModel m = cori_haswell();
+  const std::uint64_t updates = 1000000;
+  EXPECT_NEAR(m.compute_time(updates), updates / m.cell_update_rate, 1e-12);
+  EXPECT_NEAR(m.compute_time(updates, 2.0),
+              2.0 * updates / m.cell_update_rate, 1e-12);
+}
+
+TEST(MachineModel, MiraIsSlowerPerCoreThanCori) {
+  // BG/Q A2 cores are much slower than Haswell; the paper's PHASTA runs
+  // lean on this (serial PNG compression on rank 0 dominates IS2).
+  EXPECT_LT(mira_bgq().cell_update_rate, cori_haswell().cell_update_rate);
+  EXPECT_LT(mira_bgq().compress_rate, cori_haswell().compress_rate);
+  EXPECT_LT(mira_bgq().noise_sigma, cori_haswell().noise_sigma);
+}
+
+TEST(MachineModel, PresetLookup) {
+  EXPECT_EQ(machine_by_name("cori").name, "cori");
+  EXPECT_EQ(machine_by_name("mira").name, "mira");
+  EXPECT_EQ(machine_by_name("titan").name, "titan");
+  EXPECT_EQ(machine_by_name("anything-else").name, "localhost");
+}
+
+TEST(MachineModel, FileSystemAggregateBandwidth) {
+  const MachineModel cori = cori_haswell();
+  const double aggregate =
+      cori.fs.per_ost_bandwidth * cori.fs.ost_count;
+  // Cori's Lustre: >700 GB/s aggregate (paper §4.1.1).
+  EXPECT_GT(aggregate, 700e9);
+}
+
+}  // namespace
+}  // namespace insitu::comm

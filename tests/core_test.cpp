@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "comm/runtime.hpp"
+#include "core/bridge.hpp"
+#include "core/staged_adaptor.hpp"
+#include "data/image_data.hpp"
+
+namespace insitu::core {
+namespace {
+
+using data::DataArray;
+using data::ImageData;
+using data::IndexBox;
+
+data::MultiBlockPtr make_mesh() {
+  IndexBox box;
+  box.cells = {2, 2, 2};
+  auto img = std::make_shared<ImageData>(box, data::Vec3{}, data::Vec3{1, 1, 1});
+  img->point_fields().add(DataArray::create<double>("a", img->num_points(), 1));
+  img->cell_fields().add(DataArray::create<double>("b", img->num_cells(), 1));
+  auto mesh = std::make_shared<data::MultiBlockDataSet>(1);
+  mesh->add_block(0, img);
+  return mesh;
+}
+
+TEST(StagedAdaptor, ExposesAttachedArrays) {
+  StagedDataAdaptor adaptor(make_mesh());
+  auto mesh = adaptor.mesh(false);
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_TRUE(adaptor.add_array(**mesh, data::Association::kPoint, "a").ok());
+  EXPECT_TRUE(adaptor.add_array(**mesh, data::Association::kCell, "b").ok());
+  EXPECT_FALSE(adaptor.add_array(**mesh, data::Association::kPoint, "x").ok());
+  auto points = adaptor.available_arrays(data::Association::kPoint);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], "a");
+  auto cells = adaptor.available_arrays(data::Association::kCell);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], "b");
+}
+
+TEST(StagedAdaptor, EmptyUntilMeshSet) {
+  StagedDataAdaptor adaptor(nullptr);
+  EXPECT_FALSE(adaptor.mesh(false).ok());
+  EXPECT_TRUE(adaptor.available_arrays(data::Association::kPoint).empty());
+  adaptor.set_mesh(make_mesh());
+  EXPECT_TRUE(adaptor.mesh(false).ok());
+}
+
+TEST(StagedAdaptor, ReleaseKeepsMesh) {
+  StagedDataAdaptor adaptor(make_mesh());
+  ASSERT_TRUE(adaptor.release_data().ok());
+  EXPECT_TRUE(adaptor.mesh(false).ok());  // endpoint owns the lifetime
+}
+
+TEST(DataAdaptor, TimeStateAndFullMesh) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    StagedDataAdaptor adaptor(make_mesh());
+    adaptor.set_communicator(&comm);
+    adaptor.set_time(1.25, 7);
+    EXPECT_DOUBLE_EQ(adaptor.time(), 1.25);
+    EXPECT_EQ(adaptor.time_step(), 7);
+    EXPECT_EQ(adaptor.communicator(), &comm);
+    auto mesh = adaptor.full_mesh();
+    ASSERT_TRUE(mesh.ok());  // attaches every available array
+    EXPECT_TRUE((*mesh)->block(0)->point_fields().has("a"));
+    EXPECT_TRUE((*mesh)->block(0)->cell_fields().has("b"));
+  });
+}
+
+/// An analysis that counts invocations and can fail on demand.
+class CountingAnalysis final : public AnalysisAdaptor {
+ public:
+  explicit CountingAnalysis(bool fail = false) : fail_(fail) {}
+  std::string name() const override { return "counting"; }
+  Status initialize(comm::Communicator&) override {
+    ++inits_;
+    return Status::Ok();
+  }
+  StatusOr<bool> execute(DataAdaptor&) override {
+    if (fail_) return Status::Internal("injected analysis failure");
+    ++executes_;
+    return true;
+  }
+  Status finalize(comm::Communicator&) override {
+    ++finalizes_;
+    return Status::Ok();
+  }
+  int inits_ = 0, executes_ = 0, finalizes_ = 0;
+
+ private:
+  bool fail_;
+};
+
+TEST(Bridge, RunsEveryAnalysisEachStep) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    auto a = std::make_shared<CountingAnalysis>();
+    auto b = std::make_shared<CountingAnalysis>();
+    InSituBridge bridge(&comm);
+    bridge.add_analysis(a);
+    bridge.add_analysis(b);
+    EXPECT_EQ(bridge.num_analyses(), 2u);
+    ASSERT_TRUE(bridge.initialize().ok());
+    StagedDataAdaptor adaptor(make_mesh());
+    for (long s = 0; s < 3; ++s) {
+      ASSERT_TRUE(bridge.execute(adaptor, 0.0, s).ok());
+    }
+    ASSERT_TRUE(bridge.finalize().ok());
+    EXPECT_EQ(a->inits_, 1);
+    EXPECT_EQ(a->executes_, 3);
+    EXPECT_EQ(a->finalizes_, 1);
+    EXPECT_EQ(b->executes_, 3);
+    // Reinitializable after finalize.
+    ASSERT_TRUE(bridge.initialize().ok());
+    EXPECT_EQ(a->inits_, 2);
+  });
+}
+
+TEST(Bridge, AnalysisFailurePropagates) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    InSituBridge bridge(&comm);
+    bridge.add_analysis(std::make_shared<CountingAnalysis>(/*fail=*/true));
+    ASSERT_TRUE(bridge.initialize().ok());
+    StagedDataAdaptor adaptor(make_mesh());
+    auto result = bridge.execute(adaptor, 0.0, 0);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  });
+}
+
+}  // namespace
+}  // namespace insitu::core

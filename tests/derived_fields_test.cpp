@@ -1,0 +1,141 @@
+#include "analysis/derived.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/image_data.hpp"
+
+namespace insitu::analysis {
+namespace {
+
+using data::DataArray;
+using data::ImageData;
+using data::IndexBox;
+using data::Vec3;
+
+std::shared_ptr<ImageData> make_grid(std::int64_t n) {
+  IndexBox box;
+  box.cells = {n, n, n};
+  return std::make_shared<ImageData>(box, Vec3{}, Vec3{1, 1, 1});
+}
+
+TEST(CellToPoint, ConstantFieldIsPreserved) {
+  auto grid = make_grid(4);
+  auto cells = DataArray::create<double>("c", grid->num_cells(), 1);
+  for (std::int64_t i = 0; i < grid->num_cells(); ++i) cells->set(i, 0, 7.5);
+  auto points = cell_data_to_point_data(*grid, *cells, "p");
+  ASSERT_TRUE(points.ok());
+  for (std::int64_t i = 0; i < grid->num_points(); ++i) {
+    EXPECT_DOUBLE_EQ((*points)->get(i), 7.5);
+  }
+}
+
+TEST(CellToPoint, LinearFieldRecoveredAtInteriorPoints) {
+  // Cell values = x coordinate of cell center. Interior point averages
+  // reproduce the linear ramp exactly.
+  auto grid = make_grid(6);
+  auto cells = DataArray::create<double>("c", grid->num_cells(), 1);
+  for (std::int64_t k = 0; k < 6; ++k) {
+    for (std::int64_t j = 0; j < 6; ++j) {
+      for (std::int64_t i = 0; i < 6; ++i) {
+        cells->set(grid->cell_id(i, j, k), 0, i + 0.5);
+      }
+    }
+  }
+  auto points = cell_data_to_point_data(*grid, *cells, "p");
+  ASSERT_TRUE(points.ok());
+  // Interior point (3, 3, 3): average of cells with centers 2.5 and 3.5.
+  EXPECT_DOUBLE_EQ((*points)->get(grid->point_id(3, 3, 3)), 3.0);
+  // Boundary point (0, 3, 3): only cells with center 0.5 touch it.
+  EXPECT_DOUBLE_EQ((*points)->get(grid->point_id(0, 3, 3)), 0.5);
+}
+
+TEST(CellToPoint, GhostCellsExcluded) {
+  auto grid = make_grid(2);
+  auto cells = DataArray::create<double>("c", grid->num_cells(), 1);
+  for (std::int64_t i = 0; i < grid->num_cells(); ++i) {
+    cells->set(i, 0, 100.0);
+  }
+  auto ghosts = DataArray::create<std::uint8_t>(
+      data::DataSet::kGhostArrayName, grid->num_cells(), 1);
+  for (std::int64_t i = 0; i < grid->num_cells(); ++i) {
+    ghosts->set(i, 0, data::kGhostDuplicate);
+  }
+  grid->set_ghost_cells(ghosts);
+  auto points = cell_data_to_point_data(*grid, *cells, "p");
+  ASSERT_TRUE(points.ok());
+  // Every cell is ghost: all points get the 0 fallback.
+  for (std::int64_t i = 0; i < grid->num_points(); ++i) {
+    EXPECT_DOUBLE_EQ((*points)->get(i), 0.0);
+  }
+}
+
+TEST(CellToPoint, WrongSizeRejected) {
+  auto grid = make_grid(2);
+  auto bogus = DataArray::create<double>("c", 5, 1);
+  EXPECT_FALSE(cell_data_to_point_data(*grid, *bogus, "p").ok());
+}
+
+TEST(PointToCell, ConstantFieldIsPreserved) {
+  auto grid = make_grid(3);
+  auto points = DataArray::create<double>("p", grid->num_points(), 2);
+  for (std::int64_t i = 0; i < grid->num_points(); ++i) {
+    points->set(i, 0, -2.0);
+    points->set(i, 1, 4.0);
+  }
+  auto cells = point_data_to_cell_data(*grid, *points, "c");
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ((*cells)->num_components(), 2);
+  for (std::int64_t i = 0; i < grid->num_cells(); ++i) {
+    EXPECT_DOUBLE_EQ((*cells)->get(i, 0), -2.0);
+    EXPECT_DOUBLE_EQ((*cells)->get(i, 1), 4.0);
+  }
+}
+
+TEST(PointToCell, LinearRampAveragesToCellCenter) {
+  auto grid = make_grid(4);
+  auto points = DataArray::create<double>("p", grid->num_points(), 1);
+  for (std::int64_t i = 0; i < grid->num_points(); ++i) {
+    points->set(i, 0, grid->point(i).x);
+  }
+  auto cells = point_data_to_cell_data(*grid, *points, "c");
+  ASSERT_TRUE(cells.ok());
+  for (std::int64_t k = 0; k < 4; ++k) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      for (std::int64_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ((*cells)->get(grid->cell_id(i, j, k)),
+                         static_cast<double>(i) + 0.5);
+      }
+    }
+  }
+}
+
+TEST(PointToCell, WrongSizeRejected) {
+  auto grid = make_grid(2);
+  auto bogus = DataArray::create<double>("p", 3, 1);
+  EXPECT_FALSE(point_data_to_cell_data(*grid, *bogus, "c").ok());
+}
+
+TEST(RoundTrip, PointCellPointIsIdentityForLinearFields) {
+  // point -> cell -> point keeps linear fields exact at interior points.
+  auto grid = make_grid(6);
+  auto points = DataArray::create<double>("p", grid->num_points(), 1);
+  for (std::int64_t i = 0; i < grid->num_points(); ++i) {
+    const Vec3 p = grid->point(i);
+    points->set(i, 0, 2.0 * p.x - p.y + 0.5 * p.z);
+  }
+  auto cells = point_data_to_cell_data(*grid, *points, "c");
+  ASSERT_TRUE(cells.ok());
+  auto back = cell_data_to_point_data(*grid, **cells, "p2");
+  ASSERT_TRUE(back.ok());
+  for (std::int64_t k = 1; k < 6; ++k) {
+    for (std::int64_t j = 1; j < 6; ++j) {
+      for (std::int64_t i = 1; i < 6; ++i) {
+        const std::int64_t id = grid->point_id(i, j, k);
+        EXPECT_NEAR((*back)->get(id), points->get(id), 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace insitu::analysis

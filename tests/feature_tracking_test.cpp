@@ -1,0 +1,215 @@
+#include "analysis/feature_tracking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "comm/runtime.hpp"
+#include "core/bridge.hpp"
+#include "miniapp/adaptor.hpp"
+
+namespace insitu::analysis {
+namespace {
+
+using data::DataArray;
+using data::ImageData;
+using data::IndexBox;
+using data::Vec3;
+
+std::shared_ptr<ImageData> make_grid(std::int64_t n) {
+  IndexBox box;
+  box.cells = {n, n, n};
+  return std::make_shared<ImageData>(box, Vec3{}, Vec3{1, 1, 1});
+}
+
+data::DataArrayPtr blob_field(const ImageData& grid,
+                              const std::vector<Vec3>& centers,
+                              double radius) {
+  auto values = DataArray::create<double>("f", grid.num_points(), 1);
+  for (std::int64_t i = 0; i < grid.num_points(); ++i) {
+    const Vec3 p = grid.point(i);
+    double v = 0.0;
+    for (const Vec3& c : centers) {
+      const Vec3 d = p - c;
+      v += std::exp(-d.dot(d) / (2.0 * radius * radius));
+    }
+    values->set(i, 0, v);
+  }
+  return values;
+}
+
+TEST(SegmentBlock, FindsDistinctBlobs) {
+  auto grid = make_grid(20);
+  auto values = blob_field(*grid, {{5, 5, 5}, {15, 15, 15}}, 1.8);
+  auto features = segment_block(*grid, *values, 0.5, 2);
+  ASSERT_EQ(features.size(), 2u);
+  // Centroids near the blob centers (order: scan order).
+  EXPECT_NEAR(features[0].centroid.x, 5.0, 0.3);
+  EXPECT_NEAR(features[1].centroid.x, 15.0, 0.3);
+  EXPECT_NEAR(features[0].peak, 1.0, 0.05);
+  EXPECT_GT(features[0].size, 8);
+}
+
+TEST(SegmentBlock, MergedBlobsAreOneComponent) {
+  auto grid = make_grid(20);
+  // Two close centers whose super-threshold regions overlap.
+  auto values = blob_field(*grid, {{9, 10, 10}, {11, 10, 10}}, 2.5);
+  auto features = segment_block(*grid, *values, 0.4, 2);
+  EXPECT_EQ(features.size(), 1u);
+}
+
+TEST(SegmentBlock, ThresholdControlsDetection) {
+  auto grid = make_grid(16);
+  auto values = blob_field(*grid, {{8, 8, 8}}, 2.0);
+  EXPECT_EQ(segment_block(*grid, *values, 0.5, 2).size(), 1u);
+  EXPECT_EQ(segment_block(*grid, *values, 1.5, 2).size(), 0u);  // above peak
+}
+
+TEST(SegmentBlock, MinSizeFiltersSpecks) {
+  auto grid = make_grid(8);
+  auto values = DataArray::create<double>("f", grid->num_points(), 1);
+  values->set(grid->point_id(4, 4, 4), 0, 1.0);  // single hot point
+  EXPECT_EQ(segment_block(*grid, *values, 0.5, 1).size(), 1u);
+  EXPECT_EQ(segment_block(*grid, *values, 0.5, 2).size(), 0u);
+}
+
+/// Adaptor with a blob whose center moves one cell in +x per step and a
+/// second blob that decays away.
+class MovingBlobAdaptor final : public core::DataAdaptor {
+ public:
+  MovingBlobAdaptor(std::int64_t n, int rank, int size) {
+    IndexBox box = data::decompose_regular({n, n, n}, size, rank);
+    grid_ = std::make_shared<ImageData>(box, Vec3{}, Vec3{1, 1, 1});
+    mesh_ = std::make_shared<data::MultiBlockDataSet>(size);
+    mesh_->add_block(rank, grid_);
+  }
+
+  StatusOr<data::MultiBlockPtr> mesh(bool) override { return mesh_; }
+
+  Status add_array(data::MultiBlockDataSet& mesh, data::Association assoc,
+                   const std::string& name) override {
+    if (assoc != data::Association::kPoint || name != "data") {
+      return Status::NotFound("no array");
+    }
+    const double t = static_cast<double>(time_step());
+    auto values = DataArray::create<double>("data", grid_->num_points(), 1);
+    const Vec3 mover{4.0 + t, 10.0, 10.0};
+    const Vec3 dier{16.0, 16.0, 16.0};
+    const double die_amp = std::max(0.0, 1.0 - 0.3 * t);
+    for (std::int64_t i = 0; i < grid_->num_points(); ++i) {
+      const Vec3 p = grid_->point(i);
+      const Vec3 dm = p - mover;
+      const Vec3 dd = p - dier;
+      values->set(i, 0,
+                  std::exp(-dm.dot(dm) / 8.0) +
+                      die_amp * std::exp(-dd.dot(dd) / 8.0));
+    }
+    mesh.block(0)->point_fields().add(values);
+    return Status::Ok();
+  }
+
+  std::vector<std::string> available_arrays(
+      data::Association assoc) const override {
+    return assoc == data::Association::kPoint
+               ? std::vector<std::string>{"data"}
+               : std::vector<std::string>{};
+  }
+
+  Status release_data() override { return Status::Ok(); }
+
+ private:
+  std::shared_ptr<ImageData> grid_;
+  data::MultiBlockPtr mesh_;
+};
+
+class TrackerP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, TrackerP, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(TrackerP, TracksMovingBlobAcrossStepsAndRanks) {
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  comm::Runtime::run(p, [&](comm::Communicator& comm) {
+    MovingBlobAdaptor adaptor(24, comm.rank(), comm.size());
+    FeatureTrackerConfig cfg;
+    cfg.threshold = 0.5;
+    cfg.merge_distance = 3.0;
+    cfg.track_distance = 3.0;
+    auto tracker = std::make_shared<FeatureTracker>(cfg);
+    core::InSituBridge bridge(&comm);
+    bridge.add_analysis(tracker);
+    if (!bridge.initialize().ok()) ++failures;
+    for (long s = 0; s < 6; ++s) {
+      auto r = bridge.execute(adaptor, 0.0, s);
+      if (!r.ok()) ++failures;
+    }
+    if (!bridge.finalize().ok()) ++failures;
+
+    if (comm.rank() == 0) {
+      const auto& history = tracker->history();
+      if (history.size() != 6u) {
+        ++failures;
+        return;
+      }
+      // Step 0: two features (mover + dier), both births.
+      if (history[0].features.size() != 2u) ++failures;
+      if (history[0].births != 2) ++failures;
+      // The mover keeps one persistent id and its centroid advances in x.
+      long mover_id = -1;
+      for (const auto& f : history[0].features) {
+        if (std::abs(f.centroid.y - 10.0) < 1.0) mover_id = f.id;
+      }
+      if (mover_id < 0) ++failures;
+      double prev_x = -1.0;
+      for (const auto& record : history) {
+        const Feature* mover = nullptr;
+        for (const auto& f : record.features) {
+          if (f.id == mover_id) mover = &f;
+        }
+        if (mover == nullptr) {
+          ++failures;
+          break;
+        }
+        if (mover->centroid.x < prev_x) ++failures;  // moves in +x
+        prev_x = mover->centroid.x;
+      }
+      // The decaying blob dies at some point (a death recorded, and the
+      // final step has only the mover).
+      int total_deaths = 0;
+      for (const auto& record : history) total_deaths += record.deaths;
+      if (total_deaths < 1) ++failures;
+      if (history.back().features.size() != 1u) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(FeatureTracker, FeatureCountIndependentOfDecomposition) {
+  // A blob straddling rank boundaries must still count as ONE feature
+  // (fragment merging across blocks).
+  auto count_at = [&](int p) {
+    std::atomic<int> count{-1};
+    comm::Runtime::run(p, [&](comm::Communicator& comm) {
+      MovingBlobAdaptor adaptor(24, comm.rank(), comm.size());
+      FeatureTrackerConfig cfg;
+      cfg.threshold = 0.5;
+      cfg.merge_distance = 4.0;
+      auto tracker = std::make_shared<FeatureTracker>(cfg);
+      core::InSituBridge bridge(&comm);
+      bridge.add_analysis(tracker);
+      (void)bridge.initialize();
+      (void)bridge.execute(adaptor, 0.0, 0);
+      if (comm.rank() == 0) {
+        count = static_cast<int>(tracker->history()[0].features.size());
+      }
+    });
+    return count.load();
+  };
+  const int serial = count_at(1);
+  EXPECT_EQ(serial, 2);
+  EXPECT_EQ(count_at(4), serial);
+  EXPECT_EQ(count_at(8), serial);
+}
+
+}  // namespace
+}  // namespace insitu::analysis

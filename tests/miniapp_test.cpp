@@ -1,0 +1,223 @@
+#include "miniapp/oscillator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "comm/runtime.hpp"
+#include "miniapp/adaptor.hpp"
+
+namespace insitu::miniapp {
+namespace {
+
+TEST(OscillatorDeck, ParsesKindsAndParameters) {
+  const char* deck = R"(
+# test deck
+periodic  10 10 10  3.0  6.2832
+damped    20 5 5    2.0  3.0  0.1
+decaying  1 2 3     1.5  0.5
+)";
+  auto oscillators = parse_oscillators(deck);
+  ASSERT_TRUE(oscillators.ok());
+  ASSERT_EQ(oscillators->size(), 3u);
+  EXPECT_EQ((*oscillators)[0].kind, Oscillator::Kind::kPeriodic);
+  EXPECT_EQ((*oscillators)[1].kind, Oscillator::Kind::kDamped);
+  EXPECT_EQ((*oscillators)[2].kind, Oscillator::Kind::kDecaying);
+  EXPECT_DOUBLE_EQ((*oscillators)[0].center.x, 10.0);
+  EXPECT_DOUBLE_EQ((*oscillators)[1].zeta, 0.1);
+  EXPECT_DOUBLE_EQ((*oscillators)[2].omega, 0.5);
+}
+
+TEST(OscillatorDeck, RejectsUnknownKind) {
+  EXPECT_FALSE(parse_oscillators("wobbly 1 2 3 4 5").ok());
+}
+
+TEST(OscillatorDeck, RejectsShortLine) {
+  EXPECT_FALSE(parse_oscillators("periodic 1 2 3").ok());
+}
+
+TEST(OscillatorDeck, RejectsNonPositiveRadius) {
+  EXPECT_FALSE(parse_oscillators("periodic 1 2 3 0 1").ok());
+}
+
+TEST(Oscillator, TimeFactors) {
+  Oscillator periodic{Oscillator::Kind::kPeriodic, {0, 0, 0}, 1.0, M_PI, 0.0};
+  EXPECT_NEAR(periodic.time_factor(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(periodic.time_factor(1.0), -1.0, 1e-12);  // half period
+  EXPECT_NEAR(periodic.time_factor(2.0), 1.0, 1e-12);
+
+  Oscillator decaying{Oscillator::Kind::kDecaying, {0, 0, 0}, 1.0, 1.0, 0.0};
+  EXPECT_NEAR(decaying.time_factor(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(decaying.time_factor(1.0), std::exp(-1.0), 1e-12);
+
+  Oscillator damped{Oscillator::Kind::kDamped, {0, 0, 0}, 1.0, 2.0, 0.3};
+  EXPECT_NEAR(damped.time_factor(0.0), 1.0, 1e-12);
+  EXPECT_LT(std::abs(damped.time_factor(5.0)), 1.0);  // decays
+}
+
+TEST(Oscillator, GaussianEnvelope) {
+  Oscillator osc{Oscillator::Kind::kPeriodic, {5, 5, 5}, 2.0, 1.0, 0.0};
+  EXPECT_NEAR(osc.value_at({5, 5, 5}, 0.0), 1.0, 1e-12);   // center
+  const double off = osc.value_at({7, 5, 5}, 0.0);          // 1 sigma out
+  EXPECT_NEAR(off, std::exp(-0.5), 1e-12);
+  EXPECT_LT(osc.value_at({15, 5, 5}, 0.0), 1e-5);           // far away
+}
+
+OscillatorConfig small_config() {
+  OscillatorConfig cfg;
+  cfg.global_cells = {16, 16, 16};
+  cfg.dt = 0.1;
+  cfg.oscillators = {
+      {Oscillator::Kind::kPeriodic, {8, 8, 8}, 3.0, 2.0 * M_PI, 0.0}};
+  return cfg;
+}
+
+class MiniappP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, MiniappP, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(MiniappP, FieldIsConsistentAcrossDecompositions) {
+  // The grid values at a fixed global position must not depend on the
+  // rank count (weak consistency check of the decomposition).
+  const int p = GetParam();
+  std::atomic<int> failures{0};
+  // Reference value computed directly.
+  const Oscillator osc = small_config().oscillators[0];
+  const double expected = osc.value_at({8, 8, 8}, 0.0);
+  comm::Runtime::run(p, [&](comm::Communicator& comm) {
+    OscillatorSim sim(comm, small_config());
+    sim.initialize();
+    const auto grid = sim.make_grid();
+    // Does this rank own global point (8,8,8)?
+    const auto& box = sim.local_box();
+    const std::int64_t gi = 8 - box.offset[0];
+    const std::int64_t gj = 8 - box.offset[1];
+    const std::int64_t gk = 8 - box.offset[2];
+    if (gi < 0 || gj < 0 || gk < 0 || gi > box.cells[0] ||
+        gj > box.cells[1] || gk > box.cells[2]) {
+      return;
+    }
+    const double got =
+        sim.values()[static_cast<std::size_t>(grid->point_id(gi, gj, gk))];
+    if (std::abs(got - expected) > 1e-12) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Miniapp, StepAdvancesTimeAndField) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    OscillatorSim sim(comm, small_config());
+    sim.initialize();
+    const double v0 = sim.values()[sim.values().size() / 2];
+    sim.step();
+    EXPECT_EQ(sim.step_index(), 1);
+    EXPECT_NEAR(sim.time(), 0.1, 1e-12);
+    const double v1 = sim.values()[sim.values().size() / 2];
+    EXPECT_NE(v0, v1);  // the oscillator moved
+  });
+}
+
+TEST(Miniapp, RootBroadcastsDeck) {
+  // Only rank 0 has the oscillator table before initialize().
+  std::atomic<int> failures{0};
+  comm::Runtime::run(4, [&](comm::Communicator& comm) {
+    OscillatorConfig cfg = small_config();
+    if (comm.rank() != 0) cfg.oscillators.clear();
+    OscillatorSim sim(comm, cfg);
+    sim.initialize();
+    if (sim.config().oscillators.size() != 1) ++failures;
+    // And the field is actually non-zero everywhere near the center.
+    double max_abs = 0.0;
+    for (double v : sim.values()) max_abs = std::max(max_abs, std::abs(v));
+    const double global_max =
+        comm.allreduce_value(max_abs, comm::ReduceOp::kMax);
+    if (global_max < 0.9) ++failures;
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Miniapp, ModeledWorkloadScalesVirtualTime) {
+  auto vtime = [&](std::int64_t modeled) {
+    comm::Runtime::Options opts;
+    opts.machine = comm::cori_haswell();
+    auto report = comm::Runtime::run(1, opts, [&](comm::Communicator& comm) {
+      OscillatorConfig cfg = small_config();
+      cfg.modeled_points_per_rank = modeled;
+      OscillatorSim sim(comm, cfg);
+      sim.initialize();
+      sim.step();
+    });
+    return report.max_virtual_seconds();
+  };
+  // 100x the modeled points => ~100x the virtual compute time.
+  const double t1 = vtime(100000);
+  const double t2 = vtime(10000000);
+  EXPECT_NEAR(t2 / t1, 100.0, 5.0);
+}
+
+TEST(MiniappAdaptor, ZeroCopyWrapOfSimulationBuffer) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    OscillatorSim sim(comm, small_config());
+    sim.initialize();
+    OscillatorDataAdaptor adaptor(sim);
+    adaptor.set_communicator(&comm);
+    auto mesh = adaptor.mesh(false);
+    ASSERT_TRUE(mesh.ok());
+    ASSERT_TRUE(adaptor
+                    .add_array(**mesh, data::Association::kPoint,
+                               OscillatorDataAdaptor::kArrayName)
+                    .ok());
+    auto array = (*mesh)->block(0)->point_fields().get("data");
+    ASSERT_NE(array, nullptr);
+    EXPECT_TRUE(array->is_zero_copy());
+    // Mutating simulation memory is visible through the adaptor's array.
+    sim.values()[0] = 42.0;
+    EXPECT_EQ(array->get(0), 42.0);
+  });
+}
+
+TEST(MiniappAdaptor, LazyMeshConstruction) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    OscillatorSim sim(comm, small_config());
+    sim.initialize();
+    OscillatorDataAdaptor adaptor(sim);
+    adaptor.set_communicator(&comm);
+    EXPECT_EQ(adaptor.mesh_builds(), 0);  // nothing until asked
+    (void)adaptor.mesh(false);
+    (void)adaptor.mesh(false);  // cached
+    EXPECT_EQ(adaptor.mesh_builds(), 1);
+    ASSERT_TRUE(adaptor.release_data().ok());
+    (void)adaptor.mesh(false);
+    EXPECT_EQ(adaptor.mesh_builds(), 2);
+  });
+}
+
+TEST(MiniappAdaptor, UnknownArrayRejected) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    OscillatorSim sim(comm, small_config());
+    sim.initialize();
+    OscillatorDataAdaptor adaptor(sim);
+    adaptor.set_communicator(&comm);
+    auto mesh = adaptor.mesh(false);
+    EXPECT_FALSE(
+        adaptor.add_array(**mesh, data::Association::kPoint, "nope").ok());
+    EXPECT_FALSE(adaptor
+                     .add_array(**mesh, data::Association::kCell,
+                                OscillatorDataAdaptor::kArrayName)
+                     .ok());
+  });
+}
+
+TEST(MiniappAdaptor, AvailableArrays) {
+  comm::Runtime::run(1, [&](comm::Communicator& comm) {
+    OscillatorSim sim(comm, small_config());
+    OscillatorDataAdaptor adaptor(sim);
+    auto points = adaptor.available_arrays(data::Association::kPoint);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0], "data");
+    EXPECT_TRUE(adaptor.available_arrays(data::Association::kCell).empty());
+  });
+}
+
+}  // namespace
+}  // namespace insitu::miniapp

@@ -1,0 +1,92 @@
+#include "pal/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace insitu {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad grid dims");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad grid dims");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad grid dims");
+}
+
+TEST(Status, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 7);
+  EXPECT_EQ(v.value_or(-1), 7);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOr, MoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(3));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 3);
+}
+
+Status fails() { return Status::Internal("boom"); }
+Status succeeds() { return Status::Ok(); }
+
+Status propagate_error() {
+  INSITU_RETURN_IF_ERROR(succeeds());
+  INSITU_RETURN_IF_ERROR(fails());
+  return Status::Ok();
+}
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  Status s = propagate_error();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+StatusOr<int> half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> quarter(int x) {
+  INSITU_ASSIGN_OR_RETURN(int h, half(x));
+  INSITU_ASSIGN_OR_RETURN(int q, half(h));
+  return q;
+}
+
+TEST(StatusMacros, AssignOrReturnChains) {
+  auto ok = quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  auto bad = quarter(6);  // 6/2 = 3, odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace insitu
