@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extracts.dir/ablation_extracts.cpp.o"
+  "CMakeFiles/ablation_extracts.dir/ablation_extracts.cpp.o.d"
+  "ablation_extracts"
+  "ablation_extracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zerocopy.dir/ablation_zerocopy.cpp.o"
+  "CMakeFiles/ablation_zerocopy.dir/ablation_zerocopy.cpp.o.d"
+  "ablation_zerocopy"
+  "ablation_zerocopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zerocopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_04_sensei_overhead.dir/fig03_04_sensei_overhead.cpp.o"
+  "CMakeFiles/fig03_04_sensei_overhead.dir/fig03_04_sensei_overhead.cpp.o.d"
+  "fig03_04_sensei_overhead"
+  "fig03_04_sensei_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_04_sensei_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_onetime_costs.dir/fig05_onetime_costs.cpp.o"
+  "CMakeFiles/fig05_onetime_costs.dir/fig05_onetime_costs.cpp.o.d"
+  "fig05_onetime_costs"
+  "fig05_onetime_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_onetime_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

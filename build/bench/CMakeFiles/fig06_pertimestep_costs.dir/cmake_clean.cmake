@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pertimestep_costs.dir/fig06_pertimestep_costs.cpp.o"
+  "CMakeFiles/fig06_pertimestep_costs.dir/fig06_pertimestep_costs.cpp.o.d"
+  "fig06_pertimestep_costs"
+  "fig06_pertimestep_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pertimestep_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_09_adios_flexpath.dir/fig08_09_adios_flexpath.cpp.o"
+  "CMakeFiles/fig08_09_adios_flexpath.dir/fig08_09_adios_flexpath.cpp.o.d"
+  "fig08_09_adios_flexpath"
+  "fig08_09_adios_flexpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_adios_flexpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

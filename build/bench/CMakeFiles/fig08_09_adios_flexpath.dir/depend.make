@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_09_adios_flexpath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_posthoc_reads.dir/fig11_posthoc_reads.cpp.o"
+  "CMakeFiles/fig11_posthoc_reads.dir/fig11_posthoc_reads.cpp.o.d"
+  "fig11_posthoc_reads"
+  "fig11_posthoc_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_posthoc_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_insitu_vs_posthoc.dir/fig12_insitu_vs_posthoc.cpp.o"
+  "CMakeFiles/fig12_insitu_vs_posthoc.dir/fig12_insitu_vs_posthoc.cpp.o.d"
+  "fig12_insitu_vs_posthoc"
+  "fig12_insitu_vs_posthoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_insitu_vs_posthoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

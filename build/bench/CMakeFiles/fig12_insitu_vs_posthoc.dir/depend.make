@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_insitu_vs_posthoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_16_leslie.dir/fig15_16_leslie.cpp.o"
+  "CMakeFiles/fig15_16_leslie.dir/fig15_16_leslie.cpp.o.d"
+  "fig15_16_leslie"
+  "fig15_16_leslie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_leslie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_nyx.dir/fig17_nyx.cpp.o"
+  "CMakeFiles/fig17_nyx.dir/fig17_nyx.cpp.o.d"
+  "fig17_nyx"
+  "fig17_nyx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_nyx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/insitu_bench_common.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/insitu_bench_common.dir/bench_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backends/CMakeFiles/insitu_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/miniapp/CMakeFiles/insitu_miniapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/insitu_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/insitu_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/insitu_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/insitu_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/insitu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/insitu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/insitu_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/insitu_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pal/CMakeFiles/insitu_pal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/insitu_bench_common.dir/bench_common.cpp.o.d"
+  "libinsitu_bench_common.a"
+  "libinsitu_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_fig10_write_costs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_fig10_write_costs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_phasta.dir/table2_phasta.cpp.o"
+  "CMakeFiles/table2_phasta.dir/table2_phasta.cpp.o.d"
+  "table2_phasta"
+  "table2_phasta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_phasta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmology.dir/cosmology.cpp.o"
+  "CMakeFiles/cosmology.dir/cosmology.cpp.o.d"
+  "cosmology"
+  "cosmology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_control.dir/flow_control.cpp.o"
+  "CMakeFiles/flow_control.dir/flow_control.cpp.o.d"
+  "flow_control"
+  "flow_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

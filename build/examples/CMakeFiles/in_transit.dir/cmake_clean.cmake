@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/in_transit.dir/in_transit.cpp.o"
+  "CMakeFiles/in_transit.dir/in_transit.cpp.o.d"
+  "in_transit"
+  "in_transit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/in_transit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for in_transit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixing_layer.dir/mixing_layer.cpp.o"
+  "CMakeFiles/mixing_layer.dir/mixing_layer.cpp.o.d"
+  "mixing_layer"
+  "mixing_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixing_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscillator_insitu.dir/oscillator_insitu.cpp.o"
+  "CMakeFiles/oscillator_insitu.dir/oscillator_insitu.cpp.o.d"
+  "oscillator_insitu"
+  "oscillator_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscillator_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

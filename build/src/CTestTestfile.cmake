@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("pal")
+subdirs("comm")
+subdirs("data")
+subdirs("analysis")
+subdirs("render")
+subdirs("core")
+subdirs("io")
+subdirs("backends")
+subdirs("miniapp")
+subdirs("proxy")
+subdirs("perfmodel")

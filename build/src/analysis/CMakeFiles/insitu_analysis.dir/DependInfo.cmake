@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/autocorrelation.cpp" "src/analysis/CMakeFiles/insitu_analysis.dir/autocorrelation.cpp.o" "gcc" "src/analysis/CMakeFiles/insitu_analysis.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/analysis/bitmap_index.cpp" "src/analysis/CMakeFiles/insitu_analysis.dir/bitmap_index.cpp.o" "gcc" "src/analysis/CMakeFiles/insitu_analysis.dir/bitmap_index.cpp.o.d"
+  "/root/repo/src/analysis/contour.cpp" "src/analysis/CMakeFiles/insitu_analysis.dir/contour.cpp.o" "gcc" "src/analysis/CMakeFiles/insitu_analysis.dir/contour.cpp.o.d"
+  "/root/repo/src/analysis/derived.cpp" "src/analysis/CMakeFiles/insitu_analysis.dir/derived.cpp.o" "gcc" "src/analysis/CMakeFiles/insitu_analysis.dir/derived.cpp.o.d"
+  "/root/repo/src/analysis/feature_tracking.cpp" "src/analysis/CMakeFiles/insitu_analysis.dir/feature_tracking.cpp.o" "gcc" "src/analysis/CMakeFiles/insitu_analysis.dir/feature_tracking.cpp.o.d"
+  "/root/repo/src/analysis/geometry.cpp" "src/analysis/CMakeFiles/insitu_analysis.dir/geometry.cpp.o" "gcc" "src/analysis/CMakeFiles/insitu_analysis.dir/geometry.cpp.o.d"
+  "/root/repo/src/analysis/histogram.cpp" "src/analysis/CMakeFiles/insitu_analysis.dir/histogram.cpp.o" "gcc" "src/analysis/CMakeFiles/insitu_analysis.dir/histogram.cpp.o.d"
+  "/root/repo/src/analysis/statistics.cpp" "src/analysis/CMakeFiles/insitu_analysis.dir/statistics.cpp.o" "gcc" "src/analysis/CMakeFiles/insitu_analysis.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/insitu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/insitu_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/insitu_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pal/CMakeFiles/insitu_pal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_analysis.dir/autocorrelation.cpp.o"
+  "CMakeFiles/insitu_analysis.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/insitu_analysis.dir/bitmap_index.cpp.o"
+  "CMakeFiles/insitu_analysis.dir/bitmap_index.cpp.o.d"
+  "CMakeFiles/insitu_analysis.dir/contour.cpp.o"
+  "CMakeFiles/insitu_analysis.dir/contour.cpp.o.d"
+  "CMakeFiles/insitu_analysis.dir/derived.cpp.o"
+  "CMakeFiles/insitu_analysis.dir/derived.cpp.o.d"
+  "CMakeFiles/insitu_analysis.dir/feature_tracking.cpp.o"
+  "CMakeFiles/insitu_analysis.dir/feature_tracking.cpp.o.d"
+  "CMakeFiles/insitu_analysis.dir/geometry.cpp.o"
+  "CMakeFiles/insitu_analysis.dir/geometry.cpp.o.d"
+  "CMakeFiles/insitu_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/insitu_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/insitu_analysis.dir/statistics.cpp.o"
+  "CMakeFiles/insitu_analysis.dir/statistics.cpp.o.d"
+  "libinsitu_analysis.a"
+  "libinsitu_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/adios_bp.cpp" "src/backends/CMakeFiles/insitu_backends.dir/adios_bp.cpp.o" "gcc" "src/backends/CMakeFiles/insitu_backends.dir/adios_bp.cpp.o.d"
+  "/root/repo/src/backends/catalyst.cpp" "src/backends/CMakeFiles/insitu_backends.dir/catalyst.cpp.o" "gcc" "src/backends/CMakeFiles/insitu_backends.dir/catalyst.cpp.o.d"
+  "/root/repo/src/backends/cinema.cpp" "src/backends/CMakeFiles/insitu_backends.dir/cinema.cpp.o" "gcc" "src/backends/CMakeFiles/insitu_backends.dir/cinema.cpp.o.d"
+  "/root/repo/src/backends/configurable.cpp" "src/backends/CMakeFiles/insitu_backends.dir/configurable.cpp.o" "gcc" "src/backends/CMakeFiles/insitu_backends.dir/configurable.cpp.o.d"
+  "/root/repo/src/backends/extracts.cpp" "src/backends/CMakeFiles/insitu_backends.dir/extracts.cpp.o" "gcc" "src/backends/CMakeFiles/insitu_backends.dir/extracts.cpp.o.d"
+  "/root/repo/src/backends/flexpath.cpp" "src/backends/CMakeFiles/insitu_backends.dir/flexpath.cpp.o" "gcc" "src/backends/CMakeFiles/insitu_backends.dir/flexpath.cpp.o.d"
+  "/root/repo/src/backends/glean.cpp" "src/backends/CMakeFiles/insitu_backends.dir/glean.cpp.o" "gcc" "src/backends/CMakeFiles/insitu_backends.dir/glean.cpp.o.d"
+  "/root/repo/src/backends/libsim.cpp" "src/backends/CMakeFiles/insitu_backends.dir/libsim.cpp.o" "gcc" "src/backends/CMakeFiles/insitu_backends.dir/libsim.cpp.o.d"
+  "/root/repo/src/backends/vtk_series.cpp" "src/backends/CMakeFiles/insitu_backends.dir/vtk_series.cpp.o" "gcc" "src/backends/CMakeFiles/insitu_backends.dir/vtk_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/render/CMakeFiles/insitu_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/insitu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/insitu_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/insitu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/insitu_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/insitu_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pal/CMakeFiles/insitu_pal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

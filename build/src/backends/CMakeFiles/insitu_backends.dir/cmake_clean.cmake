@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_backends.dir/adios_bp.cpp.o"
+  "CMakeFiles/insitu_backends.dir/adios_bp.cpp.o.d"
+  "CMakeFiles/insitu_backends.dir/catalyst.cpp.o"
+  "CMakeFiles/insitu_backends.dir/catalyst.cpp.o.d"
+  "CMakeFiles/insitu_backends.dir/cinema.cpp.o"
+  "CMakeFiles/insitu_backends.dir/cinema.cpp.o.d"
+  "CMakeFiles/insitu_backends.dir/configurable.cpp.o"
+  "CMakeFiles/insitu_backends.dir/configurable.cpp.o.d"
+  "CMakeFiles/insitu_backends.dir/extracts.cpp.o"
+  "CMakeFiles/insitu_backends.dir/extracts.cpp.o.d"
+  "CMakeFiles/insitu_backends.dir/flexpath.cpp.o"
+  "CMakeFiles/insitu_backends.dir/flexpath.cpp.o.d"
+  "CMakeFiles/insitu_backends.dir/glean.cpp.o"
+  "CMakeFiles/insitu_backends.dir/glean.cpp.o.d"
+  "CMakeFiles/insitu_backends.dir/libsim.cpp.o"
+  "CMakeFiles/insitu_backends.dir/libsim.cpp.o.d"
+  "CMakeFiles/insitu_backends.dir/vtk_series.cpp.o"
+  "CMakeFiles/insitu_backends.dir/vtk_series.cpp.o.d"
+  "libinsitu_backends.a"
+  "libinsitu_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_comm.dir/communicator.cpp.o"
+  "CMakeFiles/insitu_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/insitu_comm.dir/machine_model.cpp.o"
+  "CMakeFiles/insitu_comm.dir/machine_model.cpp.o.d"
+  "CMakeFiles/insitu_comm.dir/runtime.cpp.o"
+  "CMakeFiles/insitu_comm.dir/runtime.cpp.o.d"
+  "libinsitu_comm.a"
+  "libinsitu_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_core.dir/bridge.cpp.o"
+  "CMakeFiles/insitu_core.dir/bridge.cpp.o.d"
+  "CMakeFiles/insitu_core.dir/data_adaptor.cpp.o"
+  "CMakeFiles/insitu_core.dir/data_adaptor.cpp.o.d"
+  "libinsitu_core.a"
+  "libinsitu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

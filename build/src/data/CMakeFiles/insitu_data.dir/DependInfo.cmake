@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/data_array.cpp" "src/data/CMakeFiles/insitu_data.dir/data_array.cpp.o" "gcc" "src/data/CMakeFiles/insitu_data.dir/data_array.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/insitu_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/insitu_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/image_data.cpp" "src/data/CMakeFiles/insitu_data.dir/image_data.cpp.o" "gcc" "src/data/CMakeFiles/insitu_data.dir/image_data.cpp.o.d"
+  "/root/repo/src/data/unstructured_grid.cpp" "src/data/CMakeFiles/insitu_data.dir/unstructured_grid.cpp.o" "gcc" "src/data/CMakeFiles/insitu_data.dir/unstructured_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pal/CMakeFiles/insitu_pal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_data.dir/data_array.cpp.o"
+  "CMakeFiles/insitu_data.dir/data_array.cpp.o.d"
+  "CMakeFiles/insitu_data.dir/dataset.cpp.o"
+  "CMakeFiles/insitu_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/insitu_data.dir/image_data.cpp.o"
+  "CMakeFiles/insitu_data.dir/image_data.cpp.o.d"
+  "CMakeFiles/insitu_data.dir/unstructured_grid.cpp.o"
+  "CMakeFiles/insitu_data.dir/unstructured_grid.cpp.o.d"
+  "libinsitu_data.a"
+  "libinsitu_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/block_io.cpp" "src/io/CMakeFiles/insitu_io.dir/block_io.cpp.o" "gcc" "src/io/CMakeFiles/insitu_io.dir/block_io.cpp.o.d"
+  "/root/repo/src/io/lustre_model.cpp" "src/io/CMakeFiles/insitu_io.dir/lustre_model.cpp.o" "gcc" "src/io/CMakeFiles/insitu_io.dir/lustre_model.cpp.o.d"
+  "/root/repo/src/io/vtk_xml.cpp" "src/io/CMakeFiles/insitu_io.dir/vtk_xml.cpp.o" "gcc" "src/io/CMakeFiles/insitu_io.dir/vtk_xml.cpp.o.d"
+  "/root/repo/src/io/writers.cpp" "src/io/CMakeFiles/insitu_io.dir/writers.cpp.o" "gcc" "src/io/CMakeFiles/insitu_io.dir/writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/insitu_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/insitu_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pal/CMakeFiles/insitu_pal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_io.dir/block_io.cpp.o"
+  "CMakeFiles/insitu_io.dir/block_io.cpp.o.d"
+  "CMakeFiles/insitu_io.dir/lustre_model.cpp.o"
+  "CMakeFiles/insitu_io.dir/lustre_model.cpp.o.d"
+  "CMakeFiles/insitu_io.dir/vtk_xml.cpp.o"
+  "CMakeFiles/insitu_io.dir/vtk_xml.cpp.o.d"
+  "CMakeFiles/insitu_io.dir/writers.cpp.o"
+  "CMakeFiles/insitu_io.dir/writers.cpp.o.d"
+  "libinsitu_io.a"
+  "libinsitu_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

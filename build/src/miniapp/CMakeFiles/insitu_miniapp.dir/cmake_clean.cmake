@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_miniapp.dir/adaptor.cpp.o"
+  "CMakeFiles/insitu_miniapp.dir/adaptor.cpp.o.d"
+  "CMakeFiles/insitu_miniapp.dir/oscillator.cpp.o"
+  "CMakeFiles/insitu_miniapp.dir/oscillator.cpp.o.d"
+  "libinsitu_miniapp.a"
+  "libinsitu_miniapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_miniapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pal/config.cpp" "src/pal/CMakeFiles/insitu_pal.dir/config.cpp.o" "gcc" "src/pal/CMakeFiles/insitu_pal.dir/config.cpp.o.d"
+  "/root/repo/src/pal/log.cpp" "src/pal/CMakeFiles/insitu_pal.dir/log.cpp.o" "gcc" "src/pal/CMakeFiles/insitu_pal.dir/log.cpp.o.d"
+  "/root/repo/src/pal/memory_tracker.cpp" "src/pal/CMakeFiles/insitu_pal.dir/memory_tracker.cpp.o" "gcc" "src/pal/CMakeFiles/insitu_pal.dir/memory_tracker.cpp.o.d"
+  "/root/repo/src/pal/rng.cpp" "src/pal/CMakeFiles/insitu_pal.dir/rng.cpp.o" "gcc" "src/pal/CMakeFiles/insitu_pal.dir/rng.cpp.o.d"
+  "/root/repo/src/pal/table.cpp" "src/pal/CMakeFiles/insitu_pal.dir/table.cpp.o" "gcc" "src/pal/CMakeFiles/insitu_pal.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

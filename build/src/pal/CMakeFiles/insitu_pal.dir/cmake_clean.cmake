@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_pal.dir/config.cpp.o"
+  "CMakeFiles/insitu_pal.dir/config.cpp.o.d"
+  "CMakeFiles/insitu_pal.dir/log.cpp.o"
+  "CMakeFiles/insitu_pal.dir/log.cpp.o.d"
+  "CMakeFiles/insitu_pal.dir/memory_tracker.cpp.o"
+  "CMakeFiles/insitu_pal.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/insitu_pal.dir/rng.cpp.o"
+  "CMakeFiles/insitu_pal.dir/rng.cpp.o.d"
+  "CMakeFiles/insitu_pal.dir/table.cpp.o"
+  "CMakeFiles/insitu_pal.dir/table.cpp.o.d"
+  "libinsitu_pal.a"
+  "libinsitu_pal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_pal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_perfmodel.dir/paper_model.cpp.o"
+  "CMakeFiles/insitu_perfmodel.dir/paper_model.cpp.o.d"
+  "libinsitu_perfmodel.a"
+  "libinsitu_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

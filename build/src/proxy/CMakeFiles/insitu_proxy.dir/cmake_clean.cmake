@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_proxy.dir/leslie.cpp.o"
+  "CMakeFiles/insitu_proxy.dir/leslie.cpp.o.d"
+  "CMakeFiles/insitu_proxy.dir/nyx.cpp.o"
+  "CMakeFiles/insitu_proxy.dir/nyx.cpp.o.d"
+  "CMakeFiles/insitu_proxy.dir/phasta.cpp.o"
+  "CMakeFiles/insitu_proxy.dir/phasta.cpp.o.d"
+  "libinsitu_proxy.a"
+  "libinsitu_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/colormap.cpp" "src/render/CMakeFiles/insitu_render.dir/colormap.cpp.o" "gcc" "src/render/CMakeFiles/insitu_render.dir/colormap.cpp.o.d"
+  "/root/repo/src/render/compositor.cpp" "src/render/CMakeFiles/insitu_render.dir/compositor.cpp.o" "gcc" "src/render/CMakeFiles/insitu_render.dir/compositor.cpp.o.d"
+  "/root/repo/src/render/png.cpp" "src/render/CMakeFiles/insitu_render.dir/png.cpp.o" "gcc" "src/render/CMakeFiles/insitu_render.dir/png.cpp.o.d"
+  "/root/repo/src/render/rasterizer.cpp" "src/render/CMakeFiles/insitu_render.dir/rasterizer.cpp.o" "gcc" "src/render/CMakeFiles/insitu_render.dir/rasterizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/insitu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/insitu_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pal/CMakeFiles/insitu_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/insitu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/insitu_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

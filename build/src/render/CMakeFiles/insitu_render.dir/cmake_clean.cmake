@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_render.dir/colormap.cpp.o"
+  "CMakeFiles/insitu_render.dir/colormap.cpp.o.d"
+  "CMakeFiles/insitu_render.dir/compositor.cpp.o"
+  "CMakeFiles/insitu_render.dir/compositor.cpp.o.d"
+  "CMakeFiles/insitu_render.dir/png.cpp.o"
+  "CMakeFiles/insitu_render.dir/png.cpp.o.d"
+  "CMakeFiles/insitu_render.dir/rasterizer.cpp.o"
+  "CMakeFiles/insitu_render.dir/rasterizer.cpp.o.d"
+  "libinsitu_render.a"
+  "libinsitu_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinsitu_render.a"
+)

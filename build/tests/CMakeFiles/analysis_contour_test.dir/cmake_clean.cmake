@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_contour_test.dir/analysis_contour_test.cpp.o"
+  "CMakeFiles/analysis_contour_test.dir/analysis_contour_test.cpp.o.d"
+  "analysis_contour_test"
+  "analysis_contour_test.pdb"
+  "analysis_contour_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_contour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

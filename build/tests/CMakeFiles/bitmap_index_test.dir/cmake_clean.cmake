@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_index_test.dir/bitmap_index_test.cpp.o"
+  "CMakeFiles/bitmap_index_test.dir/bitmap_index_test.cpp.o.d"
+  "bitmap_index_test"
+  "bitmap_index_test.pdb"
+  "bitmap_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_model_test.dir/comm_model_test.cpp.o"
+  "CMakeFiles/comm_model_test.dir/comm_model_test.cpp.o.d"
+  "comm_model_test"
+  "comm_model_test.pdb"
+  "comm_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

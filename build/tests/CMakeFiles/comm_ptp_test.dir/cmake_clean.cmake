@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_ptp_test.dir/comm_ptp_test.cpp.o"
+  "CMakeFiles/comm_ptp_test.dir/comm_ptp_test.cpp.o.d"
+  "comm_ptp_test"
+  "comm_ptp_test.pdb"
+  "comm_ptp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_ptp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

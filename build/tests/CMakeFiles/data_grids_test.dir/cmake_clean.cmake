@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_grids_test.dir/data_grids_test.cpp.o"
+  "CMakeFiles/data_grids_test.dir/data_grids_test.cpp.o.d"
+  "data_grids_test"
+  "data_grids_test.pdb"
+  "data_grids_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_grids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

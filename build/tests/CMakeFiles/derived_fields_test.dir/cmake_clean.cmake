@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_fields_test.dir/derived_fields_test.cpp.o"
+  "CMakeFiles/derived_fields_test.dir/derived_fields_test.cpp.o.d"
+  "derived_fields_test"
+  "derived_fields_test.pdb"
+  "derived_fields_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_fields_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

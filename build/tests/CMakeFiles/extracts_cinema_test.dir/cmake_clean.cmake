@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extracts_cinema_test.dir/extracts_cinema_test.cpp.o"
+  "CMakeFiles/extracts_cinema_test.dir/extracts_cinema_test.cpp.o.d"
+  "extracts_cinema_test"
+  "extracts_cinema_test.pdb"
+  "extracts_cinema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extracts_cinema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

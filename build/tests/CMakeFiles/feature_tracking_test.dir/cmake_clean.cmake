@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_tracking_test.dir/feature_tracking_test.cpp.o"
+  "CMakeFiles/feature_tracking_test.dir/feature_tracking_test.cpp.o.d"
+  "feature_tracking_test"
+  "feature_tracking_test.pdb"
+  "feature_tracking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_tracking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

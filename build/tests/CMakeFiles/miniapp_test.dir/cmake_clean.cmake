@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniapp_test.dir/miniapp_test.cpp.o"
+  "CMakeFiles/miniapp_test.dir/miniapp_test.cpp.o.d"
+  "miniapp_test"
+  "miniapp_test.pdb"
+  "miniapp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniapp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pal_config_test.dir/pal_config_test.cpp.o"
+  "CMakeFiles/pal_config_test.dir/pal_config_test.cpp.o.d"
+  "pal_config_test"
+  "pal_config_test.pdb"
+  "pal_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pal_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pal_status_test.dir/pal_status_test.cpp.o"
+  "CMakeFiles/pal_status_test.dir/pal_status_test.cpp.o.d"
+  "pal_status_test"
+  "pal_status_test.pdb"
+  "pal_status_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pal_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

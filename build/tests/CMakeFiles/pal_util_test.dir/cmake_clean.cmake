@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pal_util_test.dir/pal_util_test.cpp.o"
+  "CMakeFiles/pal_util_test.dir/pal_util_test.cpp.o.d"
+  "pal_util_test"
+  "pal_util_test.pdb"
+  "pal_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pal_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

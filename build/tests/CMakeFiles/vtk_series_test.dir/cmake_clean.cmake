@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtk_series_test.dir/vtk_series_test.cpp.o"
+  "CMakeFiles/vtk_series_test.dir/vtk_series_test.cpp.o.d"
+  "vtk_series_test"
+  "vtk_series_test.pdb"
+  "vtk_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtk_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

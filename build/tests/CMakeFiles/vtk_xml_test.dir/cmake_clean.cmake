@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtk_xml_test.dir/vtk_xml_test.cpp.o"
+  "CMakeFiles/vtk_xml_test.dir/vtk_xml_test.cpp.o.d"
+  "vtk_xml_test"
+  "vtk_xml_test.pdb"
+  "vtk_xml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtk_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

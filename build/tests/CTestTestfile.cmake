@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pal_status_test[1]_include.cmake")
+include("/root/repo/build/tests/pal_config_test[1]_include.cmake")
+include("/root/repo/build/tests/pal_util_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_ptp_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_model_test[1]_include.cmake")
+include("/root/repo/build/tests/data_array_test[1]_include.cmake")
+include("/root/repo/build/tests/data_grids_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_autocorrelation_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_contour_test[1]_include.cmake")
+include("/root/repo/build/tests/render_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/miniapp_test[1]_include.cmake")
+include("/root/repo/build/tests/backends_test[1]_include.cmake")
+include("/root/repo/build/tests/proxy_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/derived_fields_test[1]_include.cmake")
+include("/root/repo/build/tests/property_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/extracts_cinema_test[1]_include.cmake")
+include("/root/repo/build/tests/bitmap_index_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/feature_tracking_test[1]_include.cmake")
+include("/root/repo/build/tests/vtk_xml_test[1]_include.cmake")
+include("/root/repo/build/tests/vtk_series_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
