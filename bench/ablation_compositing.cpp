@@ -12,6 +12,8 @@
 #include "pal/table.hpp"
 #include "render/compositor.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace insitu;
@@ -78,9 +80,10 @@ void paper_scale_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
   std::printf("=== bench: ablation — compositing algorithms ===\n");
   executed_table();
   paper_scale_table();
-  return 0;
+  return obs.finish();
 }

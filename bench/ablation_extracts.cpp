@@ -134,11 +134,12 @@ void tracking_cost_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   std::printf("=== bench: ablation — reduced outputs "
               "(extracts / index / tracking) ===\n");
   extract_reduction_table();
   index_footprint_table();
   tracking_cost_table();
-  return 0;
+  return obs.finish();
 }

@@ -13,6 +13,8 @@
 #include "pal/table.hpp"
 #include "pal/timer.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace insitu;
@@ -67,7 +69,8 @@ class DeepCopyAdaptor final : public core::DataAdaptor {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
   std::printf("=== bench: ablation — zero-copy vs deep-copy adaptor ===\n");
   pal::TablePrinter table("Zero-copy ablation (executed, 4 ranks)");
   table.set_header({"adaptor", "access/step (s)", "memory HWM (sum)"});
@@ -114,5 +117,5 @@ int main() {
   }
   table.add_note("paper §4.1.2: zero-copy shows no measurable overhead");
   table.print();
-  return 0;
+  return obs.finish();
 }

@@ -1,6 +1,68 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
+
+#include "pal/config.hpp"
+
 namespace insitu::bench {
+
+namespace {
+
+ObsSession* g_obs_session = nullptr;
+
+}  // namespace
+
+ObsSession::ObsSession(int argc, const char* const* argv) {
+  const pal::Config args = pal::Config::from_args(argc, argv);
+  trace_path_ = args.get_string_or("trace", "");
+  metrics_path_ = args.get_string_or("metrics", "");
+  g_obs_session = this;
+}
+
+ObsSession::~ObsSession() {
+  if (g_obs_session == this) g_obs_session = nullptr;
+}
+
+ObsSession* ObsSession::current() { return g_obs_session; }
+
+void ObsSession::record(const std::string& label,
+                        const comm::RunReport& report) {
+  if (trace_enabled()) traces_.push_back({label, report.trace});
+  if (metrics_enabled()) metrics_.push_back({label, report.metrics});
+}
+
+int ObsSession::finish() {
+  if (finished_) return 0;
+  finished_ = true;
+  int rc = 0;
+  if (trace_enabled()) {
+    const Status status = obs::write_chrome_trace_file(trace_path_, traces_);
+    if (status.ok()) {
+      std::printf("wrote chrome trace (%zu runs): %s\n", traces_.size(),
+                  trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.to_string().c_str());
+      rc = 1;
+    }
+  }
+  if (metrics_enabled()) {
+    const bool json = metrics_path_.size() > 5 &&
+                      metrics_path_.rfind(".json") == metrics_path_.size() - 5;
+    const Status status =
+        json ? obs::write_metrics_json_file(metrics_path_, metrics_)
+             : obs::write_metrics_csv_file(metrics_path_, metrics_);
+    if (status.ok()) {
+      std::printf("wrote metrics (%zu runs): %s\n", metrics_.size(),
+                  metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.to_string().c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
 
 namespace {
 
@@ -30,9 +92,12 @@ RunResult run_miniapp_config(MiniappConfig config,
   result.ranks = params.ranks;
   std::vector<std::size_t> startup(static_cast<std::size_t>(params.ranks), 0);
 
+  ObsSession* obs = ObsSession::current();
+
   comm::Runtime::Options options;
   options.machine = params.machine;
   options.seed = 7;
+  options.observe.trace = obs != nullptr && obs->trace_enabled();
 
   comm::RunReport report = comm::Runtime::run(
       params.ranks, options, [&](comm::Communicator& comm) {
@@ -167,6 +232,11 @@ RunResult run_miniapp_config(MiniappConfig config,
   result.total = report.max_virtual_seconds();
   result.mem_high_water = report.total_high_water_bytes();
   for (const std::size_t bytes : startup) result.mem_startup += bytes;
+  if (obs != nullptr) {
+    obs->record(std::string(to_string(config)) + "/p" +
+                    std::to_string(params.ranks),
+                report);
+  }
   return result;
 }
 

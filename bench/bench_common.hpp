@@ -20,10 +20,51 @@
 #include "comm/runtime.hpp"
 #include "core/bridge.hpp"
 #include "miniapp/adaptor.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics_io.hpp"
 #include "pal/table.hpp"
 #include "perfmodel/paper_model.hpp"
 
 namespace insitu::bench {
+
+/// Per-binary observability sink. Construct once at the top of main();
+/// it parses `--trace out.json` / `--metrics out.csv` (or `.json`) from
+/// the command line and installs itself as the process-wide session.
+/// run_miniapp_config() records every executed run into the current
+/// session under the label "<config>/p<ranks>"; binaries that drive
+/// comm::Runtime directly call record() themselves. finish() writes the
+/// requested files and returns a process exit code contribution (0 = ok).
+///
+/// When neither flag is given the session is inert: tracing stays off in
+/// Runtime::Options (so instrumented runs cost nothing beyond the atomic
+/// metric updates) and finish() writes nothing.
+class ObsSession {
+ public:
+  ObsSession(int argc, const char* const* argv);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// The installed session, or nullptr outside an ObsSession's lifetime.
+  static ObsSession* current();
+
+  bool trace_enabled() const { return !trace_path_.empty(); }
+  bool metrics_enabled() const { return !metrics_path_.empty(); }
+
+  /// Capture one run's trace + metrics under `label`.
+  void record(const std::string& label, const comm::RunReport& report);
+
+  /// Write the requested trace/metrics files. Returns 0 on success.
+  int finish();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::vector<obs::TraceRun> traces_;
+  std::vector<obs::MetricsRun> metrics_;
+  bool finished_ = false;
+};
 
 /// The miniapp in situ configurations of §4.1.1.
 enum class MiniappConfig {

@@ -79,9 +79,10 @@ void paper_scale_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   std::printf("=== bench: Fig 3 & Fig 4 — impact of the SENSEI interface ===\n");
   executed_table();
   paper_scale_table();
-  return 0;
+  return obs.finish();
 }

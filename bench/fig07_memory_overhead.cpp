@@ -62,9 +62,10 @@ void paper_scale_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   std::printf("=== bench: Fig 7 — memory overhead ===\n");
   executed_table();
   paper_scale_table();
-  return 0;
+  return obs.finish();
 }

@@ -36,10 +36,12 @@ struct FlexPathResult {
 FlexPathResult run_flexpath(EndpointWorkload workload, int pairs, int steps) {
   FlexPathResult result;
   std::atomic<bool> done{false};
+  ObsSession* obs = ObsSession::current();
   comm::Runtime::Options options;
   options.machine = comm::cori_haswell();
+  options.observe.trace = obs != nullptr && obs->trace_enabled();
 
-  comm::Runtime::run(2 * pairs, options, [&](comm::Communicator& world) {
+  comm::RunReport report = comm::Runtime::run(2 * pairs, options, [&](comm::Communicator& world) {
     const bool is_writer = world.rank() < pairs;
     comm::Communicator group = world.split(is_writer ? 0 : 1, world.rank());
     backends::FlexPathOptions fp;
@@ -97,12 +99,18 @@ FlexPathResult run_flexpath(EndpointWorkload workload, int pairs, int steps) {
     }
   });
   (void)done;
+  if (obs != nullptr) {
+    obs->record(std::string("flexpath-") + to_string(workload) + "/p" +
+                    std::to_string(2 * pairs),
+                report);
+  }
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   std::printf("=== bench: Fig 8 & Fig 9 — ADIOS FlexPath in transit ===\n");
   const int pairs = 4;
   const int steps = 8;
@@ -158,5 +166,5 @@ int main() {
                     pal::TablePrinter::num(penalty, 0) + " %"});
   headline.add_note("paper: ~50% average penalty (buffering + co-scheduling)");
   headline.print();
-  return 0;
+  return obs.finish();
 }

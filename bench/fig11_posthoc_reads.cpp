@@ -132,9 +132,10 @@ void paper_scale_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   std::printf("=== bench: Fig 11 — post hoc read costs ===\n");
   executed_table();
   paper_scale_table();
-  return 0;
+  return obs.finish();
 }

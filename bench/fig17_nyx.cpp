@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/histogram.hpp"
+#include "bench_common.hpp"
 #include "backends/catalyst.hpp"
 #include "comm/runtime.hpp"
 #include "core/bridge.hpp"
@@ -22,11 +23,13 @@ void executed_run() {
       "Fig 17 (executed, 4 ranks): Nyx proxy, solver vs analysis per step");
   table.set_header({"analysis", "solver/step (s)", "analysis/step (s)",
                     "analysis share"});
+  bench::ObsSession* obs = bench::ObsSession::current();
   for (const char* which : {"histogram", "slice"}) {
     double solver = 0.0, analysis_cost = 0.0;
     comm::Runtime::Options options;
     options.machine = comm::cori_haswell();
-    comm::Runtime::run(4, options, [&](comm::Communicator& comm) {
+    options.observe.trace = obs != nullptr && obs->trace_enabled();
+    comm::RunReport report = comm::Runtime::run(4, options, [&](comm::Communicator& comm) {
       proxy::NyxConfig cfg;
       cfg.global_cells = {16, 16, 16};
       cfg.modeled_cells_per_rank = 1 << 21;  // heavy solver step
@@ -61,6 +64,7 @@ void executed_run() {
         analysis_cost = bridge.timings().analysis_per_step.mean();
       }
     });
+    if (obs != nullptr) obs->record(std::string("nyx-") + which + "/p4", report);
     table.add_row({which, pal::TablePrinter::num(solver, 4),
                    pal::TablePrinter::num(analysis_cost, 4),
                    pal::TablePrinter::num(
@@ -112,9 +116,10 @@ void paper_scale_tables() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
   std::printf("=== bench: Fig 17 — Nyx cosmology on Cori ===\n");
   executed_run();
   paper_scale_tables();
-  return 0;
+  return obs.finish();
 }

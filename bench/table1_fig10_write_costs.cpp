@@ -131,10 +131,11 @@ void fig10_paper_scale() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   std::printf("=== bench: Table 1 & Fig 10 — the cost of writes ===\n");
   table1();
   fig10_executed();
   fig10_paper_scale();
-  return 0;
+  return obs.finish();
 }

@@ -18,6 +18,8 @@
 #include "perfmodel/paper_model.hpp"
 #include "proxy/phasta.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace insitu;
@@ -115,9 +117,10 @@ void toy_compression_ablation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
   std::printf("=== bench: Table 2 — PHASTA at up to 1M ranks (Mira) ===\n");
   paper_scale_table();
   toy_compression_ablation();
-  return 0;
+  return obs.finish();
 }

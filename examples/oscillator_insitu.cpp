@@ -11,6 +11,11 @@
 //
 // Any [histogram]/[autocorrelation]/[statistics]/[catalyst]/[libsim]
 // option accepted by ConfigurableAnalysis works on the command line.
+//
+// Observability (docs/OBSERVABILITY.md): `--trace run.json` records every
+// instrumented span and writes a chrome://tracing file with one thread
+// track per simulated rank; `--metrics run.csv` (or `.json`) dumps the
+// merged bridge/backend/comm/io metric series.
 
 #include <cstdio>
 #include <filesystem>
@@ -20,6 +25,8 @@
 #include "core/bridge.hpp"
 #include "io/block_io.hpp"
 #include "miniapp/adaptor.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics_io.hpp"
 #include "pal/config.hpp"
 
 using namespace insitu;
@@ -70,8 +77,12 @@ int main(int argc, char** argv) {
               "oscillators, machine=%s\n",
               ranks, grid, steps, oscillators->size(), machine_name.c_str());
 
+  const std::string trace_path = args.get_string_or("trace", "");
+  const std::string metrics_path = args.get_string_or("metrics", "");
+
   comm::Runtime::Options options;
   options.machine = comm::machine_by_name(machine_name);
+  options.observe.trace = !trace_path.empty();
   int exit_code = 0;
 
   comm::RunReport report = comm::Runtime::run(
@@ -121,5 +132,36 @@ int main(int argc, char** argv) {
               report.max_virtual_seconds(),
               static_cast<double>(report.total_high_water_bytes()) /
                   (1024.0 * 1024.0));
+
+  if (!trace_path.empty()) {
+    const Status status =
+        obs::write_chrome_trace_file(trace_path, report.trace);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.to_string().c_str());
+      exit_code = 1;
+    } else {
+      std::printf("wrote chrome trace (%zu spans, %d rank tracks): %s\n",
+                  report.trace.events.size(), report.trace.nranks,
+                  trace_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    const std::vector<obs::MetricsRun> runs = {
+        {"oscillator", report.metrics}};
+    const bool json = metrics_path.size() > 5 &&
+                      metrics_path.rfind(".json") == metrics_path.size() - 5;
+    const Status status =
+        json ? obs::write_metrics_json_file(metrics_path, runs)
+             : obs::write_metrics_csv_file(metrics_path, runs);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.to_string().c_str());
+      exit_code = 1;
+    } else {
+      std::printf("wrote metrics (%zu series): %s\n",
+                  report.metrics.size(), metrics_path.c_str());
+    }
+  }
   return exit_code;
 }

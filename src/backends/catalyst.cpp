@@ -1,9 +1,13 @@
 #include "backends/catalyst.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "analysis/contour.hpp"
 #include "analysis/derived.hpp"
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace insitu::backends {
 
@@ -51,6 +55,11 @@ StatusOr<bool> CatalystSlice::execute(core::DataAdaptor& data) {
   CatalystStepCosts costs;
   const double t0 = comm.clock().now();
 
+  // One span per pipeline stage; emplace() closes the previous stage's
+  // span before opening the next.
+  std::optional<obs::TraceScope> stage;
+  stage.emplace(obs::Category::kBackend, "catalyst.extract");
+
   // Stage 1: ranks whose domains intersect the plane extract + render.
   analysis::TriangleMesh geometry;
   std::int64_t scanned_cells = 0;
@@ -92,6 +101,7 @@ StatusOr<bool> CatalystSlice::execute(core::DataAdaptor& data) {
   costs.extract = comm.clock().now() - t0;
 
   // Stage 1b: local rasterization.
+  stage.emplace(obs::Category::kBackend, "catalyst.rasterize");
   const double t1 = comm.clock().now();
   render::RenderConfig rc;
   rc.width = config_.image_width;
@@ -108,12 +118,14 @@ StatusOr<bool> CatalystSlice::execute(core::DataAdaptor& data) {
   costs.rasterize = comm.clock().now() - t1;
 
   // Stage 2: compositing to rank 0.
+  stage.emplace(obs::Category::kBackend, "catalyst.composite");
   const double t2 = comm.clock().now();
   render::Image composite =
       render::composite(comm, local_image, config_.compositing);
   costs.composite = comm.clock().now() - t2;
 
   // Stage 3: rank 0 encodes (serial zlib) and writes.
+  stage.emplace(obs::Category::kBackend, "catalyst.encode_write");
   const double t3 = comm.clock().now();
   bool keep_running = true;
   if (comm.rank() == 0) {
@@ -131,12 +143,16 @@ StatusOr<bool> CatalystSlice::execute(core::DataAdaptor& data) {
       INSITU_RETURN_IF_ERROR(render::png::write_file(
           config_.output_directory + name, composite,
           {.compress = config_.compress_png}));
+      obs::metrics()
+          .counter("io.bytes_written", {{"writer", "png"}})
+          .add(static_cast<std::int64_t>(raw_bytes));
     }
     if (live_viewer) keep_running = live_viewer(composite, data.time_step());
     last_image_ = std::move(composite);
     ++images_;
   }
   costs.encode_write = comm.clock().now() - t3;
+  stage.reset();
   last_costs_ = costs;
 
   // Steering decisions propagate to every rank.

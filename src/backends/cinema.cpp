@@ -1,5 +1,7 @@
 #include "backends/cinema.hpp"
 
+#include "obs/trace.hpp"
+
 #include <cmath>
 #include <sstream>
 
@@ -26,6 +28,7 @@ Status CinemaExtract::initialize(comm::Communicator& comm) {
 StatusOr<bool> CinemaExtract::execute(core::DataAdaptor& data) {
   comm::Communicator& comm = *data.communicator();
   if (data.time_step() % config_.every_n_steps != 0) return true;
+  obs::TraceScope span(obs::Category::kBackend, "cinema.extract");
 
   INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh,
                           data.mesh(/*structure_only=*/false));

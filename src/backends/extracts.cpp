@@ -1,5 +1,7 @@
 #include "backends/extracts.hpp"
 
+#include "obs/trace.hpp"
+
 #include <cstring>
 
 #include "analysis/contour.hpp"
@@ -69,6 +71,7 @@ StatusOr<analysis::TriangleMesh> deserialize_mesh(
 StatusOr<bool> ExtractWriter::execute(core::DataAdaptor& data) {
   comm::Communicator& comm = *data.communicator();
   if (data.time_step() % config_.every_n_steps != 0) return true;
+  obs::TraceScope span(obs::Category::kBackend, "extracts.write");
 
   INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh,
                           data.mesh(/*structure_only=*/false));

@@ -1,5 +1,9 @@
 #include "backends/flexpath.hpp"
 
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace insitu::backends {
 
 namespace {
@@ -25,23 +29,32 @@ StatusOr<bool> FlexPathWriter::execute(core::DataAdaptor& data) {
   comm::Communicator& comm = *data.communicator();
 
   // Materialize + serialize the step (the transport is not zero-copy).
-  INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
-  std::vector<std::byte> payload = bp_serialize(*mesh);
-  comm.advance_compute(comm.machine().memcpy_time(payload.size()));
+  std::vector<std::byte> payload;
+  {
+    obs::TraceScope span(obs::Category::kBackend, "flexpath.serialize");
+    INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
+    payload = bp_serialize(*mesh);
+    comm.advance_compute(comm.machine().memcpy_time(payload.size()));
 
-  // adios::advance — metadata sync with the reader.
-  const double advance_start = comm.clock().now();
-  const BpIndex index = bp_index_for(*mesh, data.time_step());
-  world_->send(partner_, kTagMeta, index.serialize());
-  timings_.advance.add(comm.clock().now() - advance_start);
+    // adios::advance — metadata sync with the reader.
+    const double advance_start = comm.clock().now();
+    const BpIndex index = bp_index_for(*mesh, data.time_step());
+    world_->send(partner_, kTagMeta, index.serialize());
+    timings_.advance.add(comm.clock().now() - advance_start);
+  }
 
   // adios::analysis — transmit, blocking when the reader is behind.
+  obs::TraceScope span(obs::Category::kBackend, "flexpath.transmit");
+  span.arg("bytes", static_cast<double>(payload.size()));
   const double analysis_start = comm.clock().now();
   if (credits_ == 0) {
     (void)world_->recv(partner_, kTagCredit);  // block until reader drains
     ++credits_;
   }
   --credits_;
+  obs::metrics()
+      .counter("comm.bytes_sent", {{"op", "flexpath"}})
+      .add(static_cast<std::int64_t>(payload.size()));
   world_->send(partner_, kTagData, payload);
   timings_.analysis.add(comm.clock().now() - analysis_start);
   return true;
@@ -82,7 +95,9 @@ Status FlexPathEndpoint::run(comm::Communicator& endpoint_comm,
   std::vector<bool> live(partners_.size(), true);
   std::size_t n_live = partners_.size();
   while (n_live > 0) {
-    // Collect this step from every live writer, merging their blocks.
+    // Covers both the receive and analysis halves of one endpoint step;
+    // the bridge's own spans nest inside.
+    obs::TraceScope span(obs::Category::kBackend, "flexpath.step");
     const double recv_start = endpoint_comm.clock().now();
     data::MultiBlockPtr mesh;
     long step = -1;

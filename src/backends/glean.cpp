@@ -6,6 +6,9 @@
 
 #include "core/staged_adaptor.hpp"
 #include "io/block_io.hpp"
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace insitu::backends {
 
@@ -33,8 +36,13 @@ GleanTopology GleanTopology::for_world(int world_size, int ratio) {
 
 StatusOr<bool> GleanWriter::execute(core::DataAdaptor& data) {
   comm::Communicator& comm = *data.communicator();
+  obs::TraceScope span(obs::Category::kBackend, "glean.ship");
   INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
   std::vector<std::byte> payload = bp_serialize(*mesh);
+  span.arg("bytes", static_cast<double>(payload.size()));
+  obs::metrics()
+      .counter("comm.bytes_sent", {{"op", "glean"}})
+      .add(static_cast<std::int64_t>(payload.size()));
   comm.advance_compute(comm.machine().memcpy_time(payload.size()));
 
   StepHeader header{data.time_step(), world_->rank()};
@@ -121,6 +129,7 @@ Status GleanAggregator::run(comm::Communicator& aggregator_comm,
         timings_.analysis.add(aggregator_comm.clock().now() - analysis_start);
       }
       if (options_.write_bp_files && !options_.output_directory.empty()) {
+        obs::TraceScope io_span(obs::Category::kIo, "glean.write_bp");
         const double io_start = aggregator_comm.clock().now();
         char name[96];
         std::snprintf(name, sizeof name, "/glean_r%04d_step_%06ld.bp",

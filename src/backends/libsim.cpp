@@ -1,8 +1,12 @@
 #include "backends/libsim.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "analysis/contour.hpp"
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pal/config.hpp"
 #include "render/png.hpp"
 
@@ -77,6 +81,9 @@ StatusOr<bool> LibsimRender::execute(core::DataAdaptor& data) {
   global.expand({lo[0], lo[1], lo[2]});
   global.expand({hi[0], hi[1], hi[2]});
 
+  std::optional<obs::TraceScope> stage;
+  stage.emplace(obs::Category::kBackend, "libsim.extract");
+
   // Extract all plots into one triangle soup.
   analysis::TriangleMesh geometry;
   std::int64_t scanned_cells = 0;
@@ -102,6 +109,7 @@ StatusOr<bool> LibsimRender::execute(core::DataAdaptor& data) {
       static_cast<std::uint64_t>(scanned_cells), /*work_per_cell=*/3.0));
 
   // Render with a slightly oblique view so isosurfaces read as 3D.
+  stage.emplace(obs::Category::kBackend, "libsim.rasterize");
   render::RenderConfig rc;
   rc.width = session_.image_width;
   rc.height = session_.image_height;
@@ -121,8 +129,10 @@ StatusOr<bool> LibsimRender::execute(core::DataAdaptor& data) {
                        comm.machine().pixel_blend_rate);
 
   // Libsim path: binary-swap compositing.
+  stage.emplace(obs::Category::kBackend, "libsim.composite");
   render::Image composite = render::composite_binary_swap(comm, local_image);
 
+  stage.emplace(obs::Category::kBackend, "libsim.encode_write");
   if (comm.rank() == 0) {
     const std::uint64_t raw_bytes =
         static_cast<std::uint64_t>(composite.num_pixels()) * 4;
@@ -135,10 +145,14 @@ StatusOr<bool> LibsimRender::execute(core::DataAdaptor& data) {
       INSITU_RETURN_IF_ERROR(render::png::write_file(
           config_.output_directory + name, composite,
           {.compress = config_.compress_png}));
+      obs::metrics()
+          .counter("io.bytes_written", {{"writer", "png"}})
+          .add(static_cast<std::int64_t>(raw_bytes));
     }
     last_image_ = std::move(composite);
     ++images_;
   }
+  stage.reset();
   last_execute_seconds_ = comm.clock().now() - start;
   return true;
 }

@@ -4,6 +4,7 @@
 
 #include "data/image_data.hpp"
 #include "io/vtk_xml.hpp"
+#include "obs/trace.hpp"
 
 namespace insitu::backends {
 
@@ -19,6 +20,7 @@ Status VtkSeriesWriter::initialize(comm::Communicator& comm) {
 StatusOr<bool> VtkSeriesWriter::execute(core::DataAdaptor& data) {
   comm::Communicator& comm = *data.communicator();
   if (data.time_step() % config_.every_n_steps != 0) return true;
+  obs::TraceScope span(obs::Category::kIo, "vtk_series.write");
 
   INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
   if (mesh->num_local_blocks() != 1) {

@@ -1,6 +1,8 @@
 #include "comm/communicator.hpp"
 
 #include "comm/group_factory.hpp"
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -120,8 +122,23 @@ Communicator::Communicator(std::shared_ptr<detail::Group> group, int rank,
 
 int Communicator::size() const { return group_->size(); }
 
+namespace {
+
+/// Bytes contributed to a collective by the calling rank.
+obs::Counter& collective_bytes(const char* op) {
+  return obs::metrics().counter("comm.bytes_sent", {{"op", op}});
+}
+
+}  // namespace
+
 void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
   assert(dest >= 0 && dest < size());
+  if (bytes_sent_ == nullptr) {
+    bytes_sent_ = &obs::metrics().counter("comm.bytes_sent", {{"op", "p2p"}});
+    msgs_sent_ = &obs::metrics().counter("comm.messages_sent");
+  }
+  bytes_sent_->add(static_cast<std::int64_t>(data.size()));
+  msgs_sent_->add(1);
   detail::Message msg;
   msg.src = rank_;
   msg.tag = tag;
@@ -134,14 +151,26 @@ void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
 }
 
 std::vector<std::byte> Communicator::recv(int src, int tag) {
+  obs::TraceScope span(obs::Category::kComm, "comm.recv");
   detail::Message msg = group_->take(rank_, src, tag);
   clock_->observe(msg.arrival_vtime);
+  if (bytes_recv_ == nullptr) {
+    bytes_recv_ = &obs::metrics().counter("comm.bytes_recv", {{"op", "p2p"}});
+  }
+  bytes_recv_->add(static_cast<std::int64_t>(msg.payload.size()));
+  span.arg("bytes", static_cast<double>(msg.payload.size()));
   return std::move(msg.payload);
 }
 
 std::vector<std::byte> Communicator::recv_any(int tag, int* src_out) {
+  obs::TraceScope span(obs::Category::kComm, "comm.recv");
   detail::Message msg = group_->take(rank_, /*src=*/-1, tag);
   clock_->observe(msg.arrival_vtime);
+  if (bytes_recv_ == nullptr) {
+    bytes_recv_ = &obs::metrics().counter("comm.bytes_recv", {{"op", "p2p"}});
+  }
+  bytes_recv_->add(static_cast<std::int64_t>(msg.payload.size()));
+  span.arg("bytes", static_cast<double>(msg.payload.size()));
   if (src_out != nullptr) *src_out = msg.src;
   return std::move(msg.payload);
 }
@@ -197,6 +226,7 @@ struct CollectiveRound {
 }  // namespace
 
 void Communicator::barrier() {
+  obs::TraceScope span(obs::Category::kComm, "comm.barrier");
   auto& slot = group_->collective();
   CollectiveRound round{slot, size()};
   const double max_entry =
@@ -206,6 +236,11 @@ void Communicator::barrier() {
 
 std::vector<std::byte> Communicator::coll_bcast(
     std::span<const std::byte> data, int root) {
+  obs::TraceScope span(obs::Category::kComm, "comm.bcast");
+  if (rank_ == root) {
+    collective_bytes("bcast").add(static_cast<std::int64_t>(data.size()));
+    span.arg("bytes", static_cast<double>(data.size()));
+  }
   auto& slot = group_->collective();
   CollectiveRound round{slot, size()};
   std::vector<std::byte> result;
@@ -231,6 +266,11 @@ std::vector<std::byte> Communicator::coll_bcast(
 void Communicator::coll_reduce(
     const void* in, void* out, std::size_t bytes, int root, bool all,
     const std::function<void(void*, const void*, std::size_t)>& combine) {
+  obs::TraceScope span(obs::Category::kComm,
+                       all ? "comm.allreduce" : "comm.reduce");
+  span.arg("bytes", static_cast<double>(bytes));
+  collective_bytes(all ? "allreduce" : "reduce")
+      .add(static_cast<std::int64_t>(bytes));
   auto& slot = group_->collective();
   CollectiveRound round{slot, size()};
   const auto* in_bytes = static_cast<const std::byte*>(in);
@@ -263,6 +303,9 @@ void Communicator::coll_reduce(
 
 std::vector<std::vector<std::byte>> Communicator::coll_gather(
     std::span<const std::byte> mine, int root) {
+  obs::TraceScope span(obs::Category::kComm, "comm.gather");
+  span.arg("bytes", static_cast<double>(mine.size()));
+  collective_bytes("gather").add(static_cast<std::int64_t>(mine.size()));
   auto& slot = group_->collective();
   CollectiveRound round{slot, size()};
   std::vector<std::vector<std::byte>> result;
@@ -290,6 +333,9 @@ std::vector<std::vector<std::byte>> Communicator::coll_gather(
 
 std::vector<std::vector<std::byte>> Communicator::coll_exchange(
     std::span<const std::byte> mine) {
+  obs::TraceScope span(obs::Category::kComm, "comm.allgather");
+  span.arg("bytes", static_cast<double>(mine.size()));
+  collective_bytes("allgather").add(static_cast<std::int64_t>(mine.size()));
   auto& slot = group_->collective();
   CollectiveRound round{slot, size()};
   std::vector<std::vector<std::byte>> result;

@@ -24,6 +24,7 @@
 
 #include "comm/machine_model.hpp"
 #include "comm/virtual_clock.hpp"
+#include "obs/metrics.hpp"
 #include "pal/rng.hpp"
 
 namespace insitu::comm {
@@ -246,6 +247,12 @@ class Communicator {
   VirtualClock* clock_;
   const MachineModel* machine_;
   pal::Rng* rng_;
+
+  // p2p metrics handles, bound lazily to the calling rank's registry so
+  // the hot send/recv path skips the registry lookup after first use.
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* msgs_sent_ = nullptr;
+  obs::Counter* bytes_recv_ = nullptr;
 };
 
 }  // namespace insitu::comm

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <thread>
 
+#include "obs/context.hpp"
 #include "pal/log.hpp"
 #include "pal/memory_tracker.hpp"
 
@@ -48,6 +49,13 @@ RunReport Runtime::run(int nranks,
   std::shared_ptr<detail::Group> world = detail::make_group(nranks);
   std::mutex failure_mutex;
 
+  // Per-rank observability state, harvested after join. Each rank thread
+  // writes only its own slot, so no synchronization is needed.
+  std::vector<obs::MetricsSnapshot> rank_metrics(
+      static_cast<std::size_t>(nranks));
+  std::vector<std::vector<obs::TraceEvent>> rank_events(
+      static_cast<std::size_t>(nranks));
+
   auto rank_main = [&](int rank) {
     pal::set_thread_log_label("rank " + std::to_string(rank));
     pal::rank_memory_tracker().reset();
@@ -55,6 +63,21 @@ RunReport Runtime::run(int nranks,
     VirtualClock clock;
     pal::Rng rng = pal::Rng(options.seed).split(static_cast<std::uint64_t>(rank));
     Communicator comm(world, rank, &clock, &options.machine, &rng);
+
+    obs::MetricsRegistry metrics;
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (options.observe.trace) {
+      recorder = std::make_unique<obs::TraceRecorder>(rank);
+    }
+    obs::RankContext obs_ctx;
+    obs_ctx.rank = rank;
+    obs_ctx.metrics = options.observe.metrics ? &metrics : nullptr;
+    obs_ctx.trace = recorder.get();
+    obs_ctx.virtual_now_fn = [](const void* c) {
+      return static_cast<const VirtualClock*>(c)->now();
+    };
+    obs_ctx.virtual_clock = &clock;
+    obs::ScopedRankContext scoped_ctx(obs_ctx);
 
     if (options.model_startup) {
       // Job launch + library init scales with job size (per-rank share of
@@ -79,12 +102,34 @@ RunReport Runtime::run(int nranks,
     stats.virtual_seconds = clock.now();
     stats.mem_high_water = pal::rank_memory_tracker().high_water_bytes();
     stats.mem_final = pal::rank_memory_tracker().current_bytes();
+
+    if (options.observe.metrics) {
+      rank_metrics[static_cast<std::size_t>(rank)] = metrics.snapshot();
+    }
+    if (recorder != nullptr) {
+      rank_events[static_cast<std::size_t>(rank)] = recorder->take_events();
+    }
   };
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
   for (auto& t : threads) t.join();
+
+  for (const obs::MetricsSnapshot& snapshot : rank_metrics) {
+    obs::merge_into(report.metrics, snapshot);
+  }
+  if (options.observe.trace) {
+    report.trace.nranks = nranks;
+    std::size_t total = 0;
+    for (const auto& events : rank_events) total += events.size();
+    report.trace.events.reserve(total);
+    for (auto& events : rank_events) {
+      report.trace.events.insert(report.trace.events.end(),
+                                 std::make_move_iterator(events.begin()),
+                                 std::make_move_iterator(events.end()));
+    }
+  }
   return report;
 }
 

@@ -14,6 +14,8 @@
 
 #include "comm/communicator.hpp"
 #include "comm/machine_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace insitu::comm {
 
@@ -31,6 +33,11 @@ struct RunReport {
   bool failed = false;
   std::string failure_message;
 
+  /// Per-rank metrics registries merged by key (docs/OBSERVABILITY.md).
+  obs::MetricsSnapshot metrics;
+  /// All ranks' spans (empty unless Options::observe.trace was set).
+  obs::TraceLog trace;
+
   /// Job virtual time-to-solution: the slowest rank.
   double max_virtual_seconds() const;
   /// Mean per-rank virtual time.
@@ -47,6 +54,13 @@ class Runtime {
     std::uint64_t seed = 42;
     /// Charge each rank the machine's modeled startup share at launch.
     bool model_startup = false;
+    /// Observability: metrics are cheap (lock-free per-rank registries)
+    /// and on by default; span tracing buffers every instrumented scope
+    /// and is opt-in.
+    struct Observe {
+      bool metrics = true;
+      bool trace = false;
+    } observe;
   };
 
   /// Run `body` on `nranks` SPMD ranks and block until all complete.

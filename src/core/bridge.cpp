@@ -1,16 +1,31 @@
 #include "core/bridge.hpp"
 
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace insitu::core {
 
 Status InSituBridge::initialize() {
   if (initialized_) {
     return Status::FailedPrecondition("bridge already initialized");
   }
+  obs::TraceScope span(obs::Category::kBridge, "bridge.initialize");
   const double start = comm_->clock().now();
   for (const auto& analysis : analyses_) {
+    obs::TraceScope backend_span(obs::Category::kBackend,
+                                 "backend.initialize:" + analysis->name());
+    const double t0 = comm_->clock().now();
     INSITU_RETURN_IF_ERROR(analysis->initialize(*comm_));
+    obs::metrics()
+        .histogram("backend.initialize.seconds",
+                   {{"backend", analysis->name()}})
+        .record(comm_->clock().now() - t0);
   }
   timings_.initialize_seconds = comm_->clock().now() - start;
+  obs::metrics()
+      .histogram("bridge.initialize.seconds")
+      .record(timings_.initialize_seconds);
   initialized_ = true;
   return Status::Ok();
 }
@@ -23,14 +38,24 @@ StatusOr<bool> InSituBridge::execute(DataAdaptor& adaptor, double time,
   adaptor.set_communicator(comm_);
   adaptor.set_time(time, step);
 
+  obs::TraceScope span(obs::Category::kBridge, "bridge.execute");
+  span.arg("step", static_cast<double>(step));
   const double start = comm_->clock().now();
   bool keep_running = true;
   for (const auto& analysis : analyses_) {
+    obs::TraceScope backend_span(obs::Category::kBackend,
+                                 "backend.execute:" + analysis->name());
+    const double t0 = comm_->clock().now();
     INSITU_ASSIGN_OR_RETURN(bool cont, analysis->execute(adaptor));
+    obs::metrics()
+        .histogram("backend.execute.seconds", {{"backend", analysis->name()}})
+        .record(comm_->clock().now() - t0);
     keep_running = keep_running && cont;
   }
   INSITU_RETURN_IF_ERROR(adaptor.release_data());
-  timings_.analysis_per_step.add(comm_->clock().now() - start);
+  const double elapsed = comm_->clock().now() - start;
+  timings_.analysis_per_step.add(elapsed);
+  obs::metrics().histogram("bridge.execute.seconds").record(elapsed);
   return keep_running;
 }
 
@@ -38,11 +63,21 @@ Status InSituBridge::finalize() {
   if (!initialized_) {
     return Status::FailedPrecondition("bridge not initialized");
   }
+  obs::TraceScope span(obs::Category::kBridge, "bridge.finalize");
   const double start = comm_->clock().now();
   for (const auto& analysis : analyses_) {
+    obs::TraceScope backend_span(obs::Category::kBackend,
+                                 "backend.finalize:" + analysis->name());
+    const double t0 = comm_->clock().now();
     INSITU_RETURN_IF_ERROR(analysis->finalize(*comm_));
+    obs::metrics()
+        .histogram("backend.finalize.seconds", {{"backend", analysis->name()}})
+        .record(comm_->clock().now() - t0);
   }
   timings_.finalize_seconds = comm_->clock().now() - start;
+  obs::metrics()
+      .histogram("bridge.finalize.seconds")
+      .record(timings_.finalize_seconds);
   initialized_ = false;
   return Status::Ok();
 }

@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace insitu::io {
 
 namespace {
@@ -134,6 +138,8 @@ StatusOr<data::ImageDataPtr> deserialize_block(
 
 Status write_file_bytes(const std::string& path,
                         std::span<const std::byte> bytes) {
+  obs::TraceScope span(obs::Category::kIo, "io.write_file");
+  span.arg("bytes", static_cast<double>(bytes.size()));
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("cannot open '" + path + "' for writing");
@@ -143,10 +149,14 @@ Status write_file_bytes(const std::string& path,
   if (written != bytes.size()) {
     return Status::Internal("short write to '" + path + "'");
   }
+  obs::metrics()
+      .counter("io.bytes_written", {{"writer", "file"}})
+      .add(static_cast<std::int64_t>(bytes.size()));
   return Status::Ok();
 }
 
 StatusOr<std::vector<std::byte>> read_file_bytes(const std::string& path) {
+  obs::TraceScope span(obs::Category::kIo, "io.read_file");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open '" + path + "'");
@@ -160,6 +170,10 @@ StatusOr<std::vector<std::byte>> read_file_bytes(const std::string& path) {
   if (got != bytes.size()) {
     return Status::Internal("short read from '" + path + "'");
   }
+  span.arg("bytes", static_cast<double>(bytes.size()));
+  obs::metrics()
+      .counter("io.bytes_read", {{"reader", "file"}})
+      .add(static_cast<std::int64_t>(bytes.size()));
   return bytes;
 }
 

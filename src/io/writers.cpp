@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "io/block_io.hpp"
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace insitu::io {
 
@@ -33,6 +36,7 @@ StatusOr<std::uint64_t> serialize_local_blocks(
 StatusOr<double> VtkMultiFileWriter::write_step(
     comm::Communicator& comm, const data::MultiBlockDataSet& mesh,
     long step) {
+  obs::TraceScope span(obs::Category::kIo, "io.write_step:vtk-multifile");
   std::vector<std::pair<std::int64_t, std::vector<std::byte>>> blocks;
   INSITU_ASSIGN_OR_RETURN(std::uint64_t local_bytes,
                           serialize_local_blocks(mesh, blocks));
@@ -57,12 +61,20 @@ StatusOr<double> VtkMultiFileWriter::write_step(
   comm.broadcast_value(jitter, 0);
   const double cost = base * jitter;
   comm.advance_compute(cost);
+  span.arg("bytes", static_cast<double>(local_bytes));
+  obs::metrics()
+      .counter("io.bytes_written", {{"writer", "vtk-multifile"}})
+      .add(static_cast<std::int64_t>(local_bytes));
+  obs::metrics()
+      .histogram("io.write_step.seconds", {{"writer", "vtk-multifile"}})
+      .record(cost);
   return cost;
 }
 
 StatusOr<double> CollectiveWriter::write_step(
     comm::Communicator& comm, const data::MultiBlockDataSet& mesh,
     long step) {
+  obs::TraceScope span(obs::Category::kIo, "io.write_step:collective");
   std::vector<std::pair<std::int64_t, std::vector<std::byte>>> blocks;
   INSITU_ASSIGN_OR_RETURN(std::uint64_t local_bytes,
                           serialize_local_blocks(mesh, blocks));
@@ -117,11 +129,19 @@ StatusOr<double> CollectiveWriter::write_step(
   comm.broadcast_value(jitter, 0);
   const double cost = base * jitter;
   comm.advance_compute(cost);
+  span.arg("bytes", static_cast<double>(local_bytes));
+  obs::metrics()
+      .counter("io.bytes_written", {{"writer", "collective"}})
+      .add(static_cast<std::int64_t>(local_bytes));
+  obs::metrics()
+      .histogram("io.write_step.seconds", {{"writer", "collective"}})
+      .record(cost);
   return cost;
 }
 
 StatusOr<data::MultiBlockPtr> PostHocReader::read_step(
     comm::Communicator& comm, long step, int total_blocks) {
+  obs::TraceScope span(obs::Category::kIo, "io.read_step:posthoc");
   auto mesh = std::make_shared<data::MultiBlockDataSet>(total_blocks);
   std::uint64_t local_bytes = 0;
   for (std::int64_t id = comm.rank(); id < total_blocks; id += comm.size()) {
@@ -140,6 +160,10 @@ StatusOr<data::MultiBlockPtr> PostHocReader::read_step(
   double jitter = comm.rank() == 0 ? model_.interference(comm.rng()) : 0.0;
   comm.broadcast_value(jitter, 0);
   comm.advance_compute(base * jitter);
+  span.arg("bytes", static_cast<double>(local_bytes));
+  obs::metrics()
+      .counter("io.bytes_read", {{"reader", "posthoc"}})
+      .add(static_cast<std::int64_t>(local_bytes));
   return mesh;
 }
 

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pal/config.hpp"
 
 namespace insitu::miniapp {
@@ -97,10 +100,15 @@ void OscillatorSim::initialize() {
 }
 
 void OscillatorSim::step() {
+  obs::TraceScope span(obs::Category::kSim, "miniapp.step");
+  const double start = comm_.clock().now();
   ++step_;
   time_ = static_cast<double>(step_) * config_.dt;
   fill_grid();
   if (config_.sync_every_step) comm_.barrier();
+  obs::metrics()
+      .histogram("miniapp.step.seconds")
+      .record(comm_.clock().now() - start);
 }
 
 void OscillatorSim::fill_grid() {

@@ -1,0 +1,38 @@
+#include "obs/context.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace insitu::obs {
+
+RankContext& context() {
+  thread_local RankContext ctx;
+  return ctx;
+}
+
+MetricsRegistry& fallback_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry& metrics() {
+  MetricsRegistry* installed = context().metrics;
+  return installed != nullptr ? *installed : fallback_metrics();
+}
+
+TraceRecorder* tracer() { return context().trace; }
+
+const char* to_string(Category category) {
+  switch (category) {
+    case Category::kSim: return "sim";
+    case Category::kBridge: return "bridge";
+    case Category::kBackend: return "backend";
+    case Category::kComm: return "comm";
+    case Category::kIo: return "io";
+    case Category::kAnalysis: return "analysis";
+    case Category::kOther: return "other";
+  }
+  return "?";
+}
+
+}  // namespace insitu::obs

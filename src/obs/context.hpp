@@ -1,0 +1,62 @@
+#pragma once
+
+// Thread-local observability context, one per simulated rank.
+//
+// The SPMD Runtime installs a context on each rank thread before calling
+// the rank body: the rank's private MetricsRegistry, an optional
+// TraceRecorder, and a function that reads the rank's VirtualClock
+// (type-erased so obs does not depend on comm). Instrumented code reaches
+// both through obs::metrics() / obs::tracer() and never needs plumbing.
+//
+// Outside the Runtime (unit tests, ad-hoc tools) no context is installed:
+// metrics() falls back to a process-wide registry and tracer() returns
+// null, so instrumentation is always safe to call.
+
+namespace insitu::obs {
+
+class MetricsRegistry;
+class TraceRecorder;
+
+struct RankContext {
+  int rank = 0;
+  MetricsRegistry* metrics = nullptr;  // null -> process fallback registry
+  TraceRecorder* trace = nullptr;      // null -> tracing disabled
+  double (*virtual_now_fn)(const void*) = nullptr;
+  const void* virtual_clock = nullptr;
+
+  double virtual_now() const {
+    return virtual_now_fn == nullptr ? 0.0 : virtual_now_fn(virtual_clock);
+  }
+};
+
+/// This thread's context (zeroed when nothing is installed).
+RankContext& context();
+
+/// The registry instrumentation should write to: the installed rank
+/// registry, or a process-wide fallback shared by un-instrumented threads.
+MetricsRegistry& metrics();
+
+/// This thread's trace recorder, or null when tracing is disabled.
+TraceRecorder* tracer();
+
+/// The process-wide fallback registry (what metrics() returns with no
+/// context installed). Exposed for tests.
+MetricsRegistry& fallback_metrics();
+
+/// RAII install/restore of the thread's context.
+class ScopedRankContext {
+ public:
+  explicit ScopedRankContext(const RankContext& ctx)
+      : saved_(context()) {
+    context() = ctx;
+  }
+  ~ScopedRankContext() { context() = saved_; }
+
+  ScopedRankContext(const ScopedRankContext&) = delete;
+  ScopedRankContext& operator=(const ScopedRankContext&) = delete;
+
+ private:
+  RankContext saved_;
+};
+
+}  // namespace insitu::obs

@@ -1,0 +1,120 @@
+#include "obs/metrics_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/chrome_trace.hpp"  // json_escape
+
+namespace insitu::obs {
+
+namespace {
+
+std::string format_num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+/// CSV-quote a field if it contains a delimiter (metric label sets do).
+std::string csv_field(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_rows(std::ostream& out, const std::string& run,
+                    const MetricsSnapshot& snapshot) {
+  for (const MetricSample& s : snapshot) {
+    out << csv_field(run) << ',' << csv_field(s.key) << ','
+        << to_string(s.kind) << ',';
+    if (s.kind == MetricKind::kHistogram) {
+      out << ',' << s.count << ',' << format_num(s.sum) << ','
+          << format_num(s.mean()) << ',' << format_num(s.min) << ','
+          << format_num(s.max) << ',' << format_num(histogram_quantile(s, 0.5))
+          << ',' << format_num(histogram_quantile(s, 0.9)) << ','
+          << format_num(histogram_quantile(s, 0.99));
+    } else {
+      out << format_num(s.value) << ",,,,,,,";
+    }
+    out << '\n';
+  }
+}
+
+void write_json_series(std::ostream& out, const std::string& run,
+                       const MetricsSnapshot& snapshot, bool& first) {
+  for (const MetricSample& s : snapshot) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"run\":\"" << json_escape(run) << "\",\"metric\":\""
+        << json_escape(s.key) << "\",\"kind\":\"" << to_string(s.kind)
+        << "\"";
+    if (s.kind == MetricKind::kHistogram) {
+      out << ",\"count\":" << s.count << ",\"sum\":" << format_num(s.sum)
+          << ",\"mean\":" << format_num(s.mean())
+          << ",\"min\":" << format_num(s.min)
+          << ",\"max\":" << format_num(s.max)
+          << ",\"p50\":" << format_num(histogram_quantile(s, 0.5))
+          << ",\"p90\":" << format_num(histogram_quantile(s, 0.9))
+          << ",\"p99\":" << format_num(histogram_quantile(s, 0.99));
+    } else {
+      out << ",\"value\":" << format_num(s.value);
+    }
+    out << "}";
+  }
+}
+
+}  // namespace
+
+void write_metrics_csv(std::ostream& out, std::span<const MetricsRun> runs) {
+  out << "run,metric,kind,value,count,sum,mean,min,max,p50,p90,p99\n";
+  for (const MetricsRun& run : runs) {
+    write_csv_rows(out, run.label, run.snapshot);
+  }
+}
+
+void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot) {
+  const MetricsRun run{"run0", snapshot};
+  write_metrics_csv(out, std::span<const MetricsRun>(&run, 1));
+}
+
+Status write_metrics_csv_file(const std::string& path,
+                              std::span<const MetricsRun> runs) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open metrics file: " + path);
+  write_metrics_csv(out, runs);
+  out.flush();
+  if (!out) return Status::Internal("short write to metrics file: " + path);
+  return Status::Ok();
+}
+
+Status write_metrics_csv_file(const std::string& path,
+                              const MetricsSnapshot& snapshot) {
+  const MetricsRun run{"run0", snapshot};
+  return write_metrics_csv_file(path, std::span<const MetricsRun>(&run, 1));
+}
+
+void write_metrics_json(std::ostream& out, std::span<const MetricsRun> runs) {
+  out << "[\n";
+  bool first = true;
+  for (const MetricsRun& run : runs) {
+    write_json_series(out, run.label, run.snapshot, first);
+  }
+  out << "\n]\n";
+}
+
+Status write_metrics_json_file(const std::string& path,
+                               std::span<const MetricsRun> runs) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open metrics file: " + path);
+  write_metrics_json(out, runs);
+  out.flush();
+  if (!out) return Status::Internal("short write to metrics file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace insitu::obs

@@ -1,0 +1,41 @@
+#pragma once
+
+// Flat metrics dumps: CSV (one row per series) and JSON (one object per
+// series). The `run` column labels which recorded run a series belongs to
+// so a single file can hold a whole bench sweep; the bench binaries use
+// "<config>/p<ranks>" labels.
+//
+// CSV columns:
+//   run,metric,kind,value,count,sum,mean,min,max,p50,p90,p99
+// `value` is the counter total / gauge value (empty for histograms);
+// count..p99 are histogram statistics (empty for counters and gauges).
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "pal/status.hpp"
+
+namespace insitu::obs {
+
+/// One labeled snapshot (typically one Runtime::run's merged metrics).
+struct MetricsRun {
+  std::string label;
+  MetricsSnapshot snapshot;
+};
+
+void write_metrics_csv(std::ostream& out, std::span<const MetricsRun> runs);
+void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot);
+
+Status write_metrics_csv_file(const std::string& path,
+                              std::span<const MetricsRun> runs);
+Status write_metrics_csv_file(const std::string& path,
+                              const MetricsSnapshot& snapshot);
+
+void write_metrics_json(std::ostream& out, std::span<const MetricsRun> runs);
+
+Status write_metrics_json_file(const std::string& path,
+                               std::span<const MetricsRun> runs);
+
+}  // namespace insitu::obs

@@ -1,0 +1,132 @@
+#pragma once
+
+// Structured trace recorder: begin/end spans in both wall time and
+// virtual (modeled cluster) time, one recorder per simulated rank.
+//
+// Instrumented code opens a RAII TraceScope; if no recorder is installed
+// for the calling thread (tracing disabled, or code running outside the
+// SPMD Runtime) the scope is a no-op costing two thread-local reads.
+//
+// Span naming contract (docs/OBSERVABILITY.md): `<module>.<operation>`,
+// optionally suffixed with `:<instance>` for a specific backend/analysis,
+// e.g. `bridge.execute`, `backend.execute:catalyst-slice`, `comm.barrier`.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/context.hpp"
+
+namespace insitu::obs {
+
+/// Coarse span grouping, exported as the Chrome trace "cat" field.
+enum class Category {
+  kSim,      // miniapp / proxy-app compute
+  kBridge,   // InSituBridge phases
+  kBackend,  // backend execute stages
+  kComm,     // communicator collectives / p2p
+  kIo,       // file writers and readers
+  kAnalysis, // analysis kernels
+  kOther,
+};
+
+const char* to_string(Category category);
+
+/// Small numeric annotation attached to a span (bytes, counts, ...).
+struct TraceArg {
+  std::string key;
+  double value = 0.0;
+};
+
+/// One completed span. Wall times are nanoseconds relative to the
+/// recorder's epoch (install time); virtual times are absolute seconds on
+/// the owning rank's virtual clock.
+struct TraceEvent {
+  std::string name;
+  Category category = Category::kOther;
+  int rank = 0;
+  std::int64_t wall_begin_ns = 0;
+  std::int64_t wall_dur_ns = 0;
+  double virt_begin_s = 0.0;
+  double virt_dur_s = 0.0;
+  std::vector<TraceArg> args;
+};
+
+/// All spans of one run, in recording order per rank.
+struct TraceLog {
+  std::vector<TraceEvent> events;
+  int nranks = 0;
+};
+
+/// Per-rank span buffer. Thread-confined: only the owning rank thread
+/// records; the Runtime harvests after join.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(int rank)
+      : rank_(rank), epoch_(std::chrono::steady_clock::now()) {}
+
+  int rank() const { return rank_; }
+
+  std::int64_t wall_now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void record(TraceEvent event) {
+    event.rank = rank_;
+    events_.push_back(std::move(event));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::vector<TraceEvent> take_events() { return std::move(events_); }
+
+ private:
+  int rank_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span guard. Construction snapshots wall + virtual begin times,
+/// destruction records the completed event into the rank's recorder.
+class TraceScope {
+ public:
+  TraceScope(Category category, const char* name)
+      : TraceScope(category, std::string(name)) {}
+
+  TraceScope(Category category, std::string name) {
+    RankContext& ctx = context();
+    recorder_ = ctx.trace;
+    if (recorder_ == nullptr) return;
+    event_.name = std::move(name);
+    event_.category = category;
+    event_.wall_begin_ns = recorder_->wall_now_ns();
+    event_.virt_begin_s = ctx.virtual_now();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Attach a numeric annotation (no-op when tracing is disabled).
+  TraceScope& arg(const char* key, double value) {
+    if (recorder_ != nullptr) event_.args.push_back({key, value});
+    return *this;
+  }
+
+  bool active() const { return recorder_ != nullptr; }
+
+  ~TraceScope() {
+    if (recorder_ == nullptr) return;
+    event_.wall_dur_ns = recorder_->wall_now_ns() - event_.wall_begin_ns;
+    event_.virt_dur_s = context().virtual_now() - event_.virt_begin_s;
+    recorder_->record(std::move(event_));
+  }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace insitu::obs

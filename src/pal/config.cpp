@@ -36,14 +36,27 @@ Config Config::from_args(int argc, const char* const* argv) {
   Config cfg;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
-    // Tolerate a leading "--" so both key=value and --key=value work.
-    if (arg.starts_with("--")) arg.remove_prefix(2);
+    // Accept key=value, --key=value, --key value, and bare --key switches.
+    const bool dashed = arg.starts_with("--");
+    if (dashed) arg.remove_prefix(2);
     const std::size_t eq = arg.find('=');
-    if (eq == std::string_view::npos) {
-      cfg.positional_.emplace_back(arg);
-    } else {
+    if (eq != std::string_view::npos) {
       cfg.set(std::string(trim(arg.substr(0, eq))),
               std::string(trim(arg.substr(eq + 1))));
+    } else if (dashed) {
+      // "--key value" consumes the next token as the value unless it looks
+      // like another option, in which case "--key" is a boolean switch.
+      const std::string_view next =
+          i + 1 < argc ? std::string_view(argv[i + 1]) : std::string_view{};
+      if (!next.empty() && !next.starts_with("--") &&
+          next.find('=') == std::string_view::npos) {
+        cfg.set(std::string(trim(arg)), std::string(trim(next)));
+        ++i;
+      } else {
+        cfg.set(std::string(trim(arg)), "true");
+      }
+    } else {
+      cfg.positional_.emplace_back(arg);
     }
   }
   return cfg;

@@ -34,25 +34,40 @@ class Timer {
 
 /// Accumulates named phase durations (init / per-step / finalize), the
 /// measurement structure used throughout the paper's figures.
+///
+/// Empty-timer semantics are explicit: with no samples, total/mean/min/max
+/// all report 0.0 (check count() or has_samples() to distinguish "no
+/// samples" from "samples of zero"). The first add() initializes min and
+/// max to that sample, so negative durations — which can appear when
+/// callers difference virtual clocks across ranks — are handled exactly,
+/// not clamped against a zero-initialized state.
 class PhaseTimer {
  public:
   void add(double seconds) {
     total_ += seconds;
     ++count_;
-    if (seconds > max_) max_ = seconds;
-    if (count_ == 1 || seconds < min_) min_ = seconds;
+    if (count_ == 1) {
+      min_ = seconds;
+      max_ = seconds;
+    } else {
+      if (seconds < min_) min_ = seconds;
+      if (seconds > max_) max_ = seconds;
+    }
   }
 
+  bool has_samples() const { return count_ > 0; }
   double total() const { return total_; }
   std::int64_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : total_ / count_; }
   double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return max_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void reset() { *this = PhaseTimer{}; }
 
  private:
   double total_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = 0.0;   // valid only when count_ > 0
+  double max_ = 0.0;   // valid only when count_ > 0
   std::int64_t count_ = 0;
 };
 

@@ -16,6 +16,27 @@ TEST(Config, FromArgsParsesKeyValueAndPositional) {
   EXPECT_EQ(cfg.positional()[0], "input.osc");
 }
 
+TEST(Config, FromArgsParsesFlagValueAndBareSwitch) {
+  const char* argv[] = {"prog",    "--trace", "out.json", "--verbose",
+                        "--steps", "10",      "grid=64",  "--metrics=m.csv"};
+  Config cfg = Config::from_args(8, argv);
+  EXPECT_EQ(cfg.get_string_or("trace", ""), "out.json");
+  EXPECT_TRUE(cfg.get_bool_or("verbose", false));  // bare switch -> true
+  EXPECT_EQ(cfg.get_int_or("steps", 0), 10);
+  EXPECT_EQ(cfg.get_string_or("grid", ""), "64");
+  EXPECT_EQ(cfg.get_string_or("metrics", ""), "m.csv");
+  EXPECT_TRUE(cfg.positional().empty());
+}
+
+TEST(Config, FromArgsSwitchBeforeKeyValueStaysBoolean) {
+  // "--flag key=value": the key=value token is not consumed as the flag's
+  // value.
+  const char* argv[] = {"prog", "--flag", "grid=64"};
+  Config cfg = Config::from_args(3, argv);
+  EXPECT_TRUE(cfg.get_bool_or("flag", false));
+  EXPECT_EQ(cfg.get_int_or("grid", 0), 64);
+}
+
 TEST(Config, TypedAccessors) {
   Config cfg;
   cfg.set("n", "42");

@@ -145,8 +145,44 @@ TEST(PhaseTimer, Accumulates) {
 
 TEST(PhaseTimer, EmptyIsZero) {
   PhaseTimer p;
+  EXPECT_FALSE(p.has_samples());
   EXPECT_DOUBLE_EQ(p.mean(), 0.0);
   EXPECT_DOUBLE_EQ(p.min(), 0.0);
+  EXPECT_DOUBLE_EQ(p.max(), 0.0);
+}
+
+TEST(PhaseTimer, FirstSampleInitializesMinAndMax) {
+  // A first sample above zero must become the min (not be clamped against
+  // a zero-initialized state), and a negative first sample must become
+  // the max.
+  PhaseTimer p;
+  p.add(5.0);
+  EXPECT_TRUE(p.has_samples());
+  EXPECT_DOUBLE_EQ(p.min(), 5.0);
+  EXPECT_DOUBLE_EQ(p.max(), 5.0);
+
+  PhaseTimer n;
+  n.add(-2.0);
+  EXPECT_DOUBLE_EQ(n.min(), -2.0);
+  EXPECT_DOUBLE_EQ(n.max(), -2.0);
+  n.add(-1.0);
+  EXPECT_DOUBLE_EQ(n.min(), -2.0);
+  EXPECT_DOUBLE_EQ(n.max(), -1.0);
+}
+
+TEST(PhaseTimer, ResetReturnsToEmpty) {
+  PhaseTimer p;
+  p.add(1.0);
+  p.add(2.0);
+  p.reset();
+  EXPECT_FALSE(p.has_samples());
+  EXPECT_EQ(p.count(), 0);
+  EXPECT_DOUBLE_EQ(p.total(), 0.0);
+  EXPECT_DOUBLE_EQ(p.min(), 0.0);
+  EXPECT_DOUBLE_EQ(p.max(), 0.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.min(), 3.0);
+  EXPECT_DOUBLE_EQ(p.max(), 3.0);
 }
 
 TEST(TablePrinter, RendersAlignedTable) {
