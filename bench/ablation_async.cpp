@@ -1,0 +1,193 @@
+// Ablation: synchronous vs asynchronous in situ execution (§5.2's "hybrid
+// in situ" / overlap discussion).
+//
+// The synchronous bridge charges every analysis to the simulation's
+// critical path. The AsyncBridge snapshots each step and runs analyses on
+// a per-rank worker whose collectives advance a worker-owned virtual
+// clock; the simulation pays only snapshot + hand-off (plus any kBlock
+// stall), and end-to-end time becomes max(simulation, analysis drain).
+// Rows show the per-step simulation-visible cost, end-to-end virtual
+// time, analyzed/total steps, and the end-to-end speedup over sync for
+// each backpressure policy.
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/autocorrelation.hpp"
+#include "analysis/histogram.hpp"
+#include "backends/catalyst.hpp"
+#include "comm/overlap.hpp"
+#include "comm/runtime.hpp"
+#include "core/async_bridge.hpp"
+#include "core/bridge.hpp"
+#include "miniapp/adaptor.hpp"
+#include "pal/table.hpp"
+#include "pal/timer.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace insitu;
+
+enum class Workload { kHistogram, kAutocorrelation, kCatalystSlice };
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::kHistogram: return "Histogram";
+    case Workload::kAutocorrelation: return "Autocorrelation";
+    case Workload::kCatalystSlice: return "Catalyst-slice";
+  }
+  return "?";
+}
+
+core::AnalysisAdaptorPtr make_analysis(Workload w) {
+  switch (w) {
+    case Workload::kHistogram:
+      return std::make_shared<analysis::HistogramAnalysis>(
+          "data", data::Association::kPoint, 64);
+    case Workload::kAutocorrelation:
+      return std::make_shared<analysis::Autocorrelation>(
+          "data", data::Association::kPoint, /*window=*/10, /*top_k=*/3);
+    case Workload::kCatalystSlice: {
+      backends::CatalystSliceConfig cs;
+      cs.image_width = 256;
+      cs.image_height = 144;
+      cs.scalar_min = -1.5;
+      cs.scalar_max = 1.5;
+      return std::make_shared<backends::CatalystSlice>(cs);
+    }
+  }
+  return nullptr;
+}
+
+struct CaseResult {
+  double per_step_sim_visible = 0.0;  // mean bridge.execute on the sim clock
+  double total = 0.0;                 // end-to-end virtual seconds
+  long executed = 0;
+  long dropped = 0;
+};
+
+constexpr int kSteps = 10;
+
+CaseResult run_case(Workload workload, int ranks, bool async,
+                    comm::BackpressurePolicy policy, int queue_depth,
+                    const std::string& label) {
+  CaseResult result;
+  comm::Runtime::Options options;
+  options.machine = comm::cori_haswell();
+  options.seed = 7;
+  bench::ObsSession* obs = bench::ObsSession::current();
+  options.observe.trace = obs != nullptr && obs->trace_enabled();
+
+  comm::RunReport report = comm::Runtime::run(
+      ranks, options, [&](comm::Communicator& comm) {
+        miniapp::OscillatorConfig cfg;
+        cfg.global_cells = {16, 16, 16};
+        cfg.dt = 0.05;
+        cfg.oscillators = {{miniapp::Oscillator::Kind::kPeriodic, {8, 8, 8},
+                            3.0, 2.0 * M_PI, 0.0}};
+        miniapp::OscillatorSim sim(comm, cfg);
+        sim.initialize();
+        miniapp::OscillatorDataAdaptor adaptor(sim);
+
+        if (async) {
+          core::AsyncBridgeOptions abo;
+          abo.policy = policy;
+          abo.queue_depth = queue_depth;
+          core::AsyncBridge bridge(&comm, abo);
+          bridge.add_analysis(make_analysis(workload));
+          (void)bridge.initialize();
+          for (int s = 0; s < kSteps; ++s) {
+            sim.step();
+            (void)bridge.execute(adaptor, sim.time(), s);
+          }
+          (void)bridge.finalize();
+          if (comm.rank() == 0) {
+            result.per_step_sim_visible =
+                bridge.timings().analysis_per_step.mean();
+            result.executed = bridge.executed_steps();
+            result.dropped = bridge.total_dropped();
+          }
+        } else {
+          core::InSituBridge bridge(&comm);
+          bridge.add_analysis(make_analysis(workload));
+          (void)bridge.initialize();
+          for (int s = 0; s < kSteps; ++s) {
+            sim.step();
+            (void)bridge.execute(adaptor, sim.time(), s);
+          }
+          (void)bridge.finalize();
+          if (comm.rank() == 0) {
+            result.per_step_sim_visible =
+                bridge.timings().analysis_per_step.mean();
+            result.executed = kSteps;
+          }
+        }
+      });
+  result.total = report.max_virtual_seconds();
+  if (obs != nullptr) obs->record(label, report);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
+  std::printf("=== bench: ablation — sync vs async in situ execution ===\n");
+
+  constexpr comm::BackpressurePolicy kPolicies[] = {
+      comm::BackpressurePolicy::kBlock,
+      comm::BackpressurePolicy::kDropOldest,
+      comm::BackpressurePolicy::kLatestOnly,
+  };
+  constexpr int kQueueDepth = 2;
+
+  for (const Workload workload :
+       {Workload::kHistogram, Workload::kAutocorrelation,
+        Workload::kCatalystSlice}) {
+    pal::TablePrinter table(std::string("Oscillator + ") +
+                            to_string(workload) +
+                            " (executed, queue_depth=2)");
+    table.set_header({"ranks", "mode", "sim-visible/step (s)",
+                      "end-to-end (s)", "analyzed", "speedup"});
+    for (const int ranks : {4, 8}) {
+      const CaseResult sync =
+          run_case(workload, ranks, /*async=*/false,
+                   comm::BackpressurePolicy::kBlock, kQueueDepth,
+                   std::string(to_string(workload)) + "/sync/p" +
+                       std::to_string(ranks));
+      table.add_row({std::to_string(ranks), "sync",
+                     pal::TablePrinter::num(sync.per_step_sim_visible, 7),
+                     pal::TablePrinter::num(sync.total, 5),
+                     std::to_string(sync.executed) + "/" +
+                         std::to_string(kSteps),
+                     "1.00x"});
+      for (const comm::BackpressurePolicy policy : kPolicies) {
+        const CaseResult async_result =
+            run_case(workload, ranks, /*async=*/true, policy, kQueueDepth,
+                     std::string(to_string(workload)) + "/async-" +
+                         comm::to_string(policy) + "/p" +
+                         std::to_string(ranks));
+        char speedup[32];
+        std::snprintf(speedup, sizeof speedup, "%.2fx",
+                      async_result.total > 0.0
+                          ? sync.total / async_result.total
+                          : 0.0);
+        table.add_row(
+            {std::to_string(ranks),
+             std::string("async:") + comm::to_string(policy),
+             pal::TablePrinter::num(async_result.per_step_sim_visible, 7),
+             pal::TablePrinter::num(async_result.total, 5),
+             std::to_string(async_result.executed) + "/" +
+                 std::to_string(kSteps),
+             speedup});
+      }
+    }
+    table.add_note(
+        "async moves analysis off the simulation's critical path; "
+        "end-to-end = max(sim, analysis drain)");
+    table.print();
+  }
+  return obs.finish();
+}

@@ -1,7 +1,10 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "exec/task_pool.hpp"
 #include "pal/config.hpp"
 
 namespace insitu::bench {
@@ -16,6 +19,15 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
   const pal::Config args = pal::Config::from_args(argc, argv);
   trace_path_ = args.get_string_or("trace", "");
   metrics_path_ = args.get_string_or("metrics", "");
+  // Kernel thread budget: `threads=N` (repo idiom) or `--threads N`.
+  int threads = static_cast<int>(args.get_int_or("threads", 1));
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::atoi(argv[i + 1]);
+    }
+  }
+  threads_ = threads < 1 ? 1 : threads;
+  exec::set_global_threads(threads_);
   g_obs_session = this;
 }
 
@@ -27,8 +39,12 @@ ObsSession* ObsSession::current() { return g_obs_session; }
 
 void ObsSession::record(const std::string& label,
                         const comm::RunReport& report) {
-  if (trace_enabled()) traces_.push_back({label, report.trace});
-  if (metrics_enabled()) metrics_.push_back({label, report.metrics});
+  // Multi-threaded kernels change wall time but not results; tag such
+  // runs so their series stay distinguishable (serial labels unchanged).
+  const std::string full =
+      threads_ > 1 ? label + "/t" + std::to_string(threads_) : label;
+  if (trace_enabled()) traces_.push_back({full, report.trace});
+  if (metrics_enabled()) metrics_.push_back({full, report.metrics});
 }
 
 int ObsSession::finish() {

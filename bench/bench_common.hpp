@@ -51,6 +51,8 @@ class ObsSession {
 
   bool trace_enabled() const { return !trace_path_.empty(); }
   bool metrics_enabled() const { return !metrics_path_.empty(); }
+  /// Kernel threads requested via `threads=N` / `--threads N` (>= 1).
+  int threads() const { return threads_; }
 
   /// Capture one run's trace + metrics under `label`.
   void record(const std::string& label, const comm::RunReport& report);
@@ -63,6 +65,7 @@ class ObsSession {
   std::string metrics_path_;
   std::vector<obs::TraceRun> traces_;
   std::vector<obs::MetricsRun> metrics_;
+  int threads_ = 1;
   bool finished_ = false;
 };
 

@@ -16,13 +16,20 @@
 // instrumented span and writes a chrome://tracing file with one thread
 // track per simulated rank; `--metrics run.csv` (or `.json`) dumps the
 // merged bridge/backend/comm/io metric series.
+//
+// Execution engine (docs/OBSERVABILITY.md "Async execution"):
+// `async=block|drop_oldest|latest_only` moves analyses onto a per-rank
+// worker thread behind a bounded snapshot queue (`queue_depth=N`), and
+// `threads=N` lets the data-parallel kernels use N threads.
 
 #include <cstdio>
 #include <filesystem>
 
 #include "backends/configurable.hpp"
 #include "comm/runtime.hpp"
+#include "core/async_bridge.hpp"
 #include "core/bridge.hpp"
+#include "exec/task_pool.hpp"
 #include "io/block_io.hpp"
 #include "miniapp/adaptor.hpp"
 #include "obs/chrome_trace.hpp"
@@ -48,6 +55,22 @@ int main(int argc, char** argv) {
   const int grid = static_cast<int>(args.get_int_or("grid", 32));
   const int steps = static_cast<int>(args.get_int_or("steps", 20));
   const std::string machine_name = args.get_string_or("machine", "cori");
+  const int threads = static_cast<int>(args.get_int_or("threads", 1));
+  exec::set_global_threads(threads);
+
+  const std::string async_name = args.get_string_or("async", "");
+  core::AsyncBridgeOptions async_options;
+  async_options.queue_depth =
+      static_cast<int>(args.get_int_or("queue_depth", 2));
+  if (!async_name.empty()) {
+    auto policy = comm::parse_backpressure_policy(async_name);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "bad async option: %s\n",
+                   policy.status().to_string().c_str());
+      return 1;
+    }
+    async_options.policy = *policy;
+  }
 
   // Read the oscillator deck (file or built-in default).
   std::string deck_text = kDefaultDeck;
@@ -76,6 +99,13 @@ int main(int argc, char** argv) {
   std::printf("oscillator miniapp: %d ranks, %d^3 grid, %d steps, %zu "
               "oscillators, machine=%s\n",
               ranks, grid, steps, oscillators->size(), machine_name.c_str());
+  if (!async_name.empty() || threads > 1) {
+    std::printf("execution: %s bridge (policy=%s, queue_depth=%d), "
+                "%d kernel thread(s)\n",
+                async_name.empty() ? "sync" : "async",
+                async_name.empty() ? "-" : async_name.c_str(),
+                async_options.queue_depth, threads);
+  }
 
   const std::string trace_path = args.get_string_or("trace", "");
   const std::string metrics_path = args.get_string_or("metrics", "");
@@ -106,6 +136,33 @@ int main(int argc, char** argv) {
           }
           return;
         }
+        if (!async_name.empty()) {
+          core::AsyncBridge bridge(&comm, async_options);
+          for (const auto& analysis : *analyses) {
+            bridge.add_analysis(analysis);
+          }
+          if (!bridge.initialize().ok()) return;
+          for (int s = 0; s < steps; ++s) {
+            auto keep = bridge.execute(adaptor, sim.time(), s);
+            if (!keep.ok() || !*keep) break;
+            sim.step();
+          }
+          (void)bridge.finalize();
+
+          if (comm.rank() == 0) {
+            std::printf(
+                "done: %zu analyses, analysis init %.4fs, per-step "
+                "(sim-visible) %.5fs, finalize %.4fs, %ld/%ld steps "
+                "analyzed (virtual %s seconds)\n",
+                analyses->size(), bridge.timings().initialize_seconds,
+                bridge.timings().analysis_per_step.mean(),
+                bridge.timings().finalize_seconds, bridge.executed_steps(),
+                bridge.executed_steps() + bridge.total_dropped(),
+                machine_name.c_str());
+          }
+          return;
+        }
+
         core::InSituBridge bridge(&comm);
         for (const auto& analysis : *analyses) {
           bridge.add_analysis(analysis);

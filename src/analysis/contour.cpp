@@ -3,6 +3,7 @@
 #include <array>
 
 #include "data/unstructured_grid.hpp"
+#include "exec/task_pool.hpp"
 
 namespace insitu::analysis {
 
@@ -110,8 +111,6 @@ StatusOr<TriangleMesh> contour_field(const data::DataSet& dataset,
         "contour_field: arrays must be per-point over the dataset");
   }
 
-  TriangleMesh out;
-  std::vector<std::int64_t> cell;
   const std::int64_t ncells = dataset.num_cells();
   const bool unstructured =
       dataset.kind() == data::DataSetKind::kUnstructuredGrid;
@@ -127,36 +126,66 @@ StatusOr<TriangleMesh> contour_field(const data::DataSet& dataset,
     return v;
   };
 
-  for (std::int64_t c = 0; c < ncells; ++c) {
-    if (dataset.is_ghost_cell(c)) continue;
-    dataset.cell_points(c, cell);
-    if (unstructured && ugrid->cell_type(c) == data::CellType::kTetra) {
-      contour_tet({load(cell[0]), load(cell[1]), load(cell[2]),
-                   load(cell[3])},
-                  isovalue, out);
-      continue;
-    }
-    if (cell.size() == 8) {  // hexahedron (implicit or explicit)
-      std::array<TetVert, 8> corners;
-      for (std::size_t i = 0; i < 8; ++i) corners[i] = load(cell[i]);
-      // Cheap reject: all corners on one side.
-      bool any_lo = false, any_hi = false;
-      for (const auto& corner : corners) {
-        (corner.f >= isovalue ? any_hi : any_lo) = true;
+  // Each parallel_for chunk contours its cell range into a private mesh;
+  // concatenating the parts in chunk order reproduces the serial
+  // cell-order output exactly, for any thread count.
+  constexpr std::int64_t kCellGrain = 1024;
+  const std::int64_t nchunks =
+      exec::parallel_chunk_count(0, ncells, kCellGrain);
+  std::vector<TriangleMesh> parts(static_cast<std::size_t>(nchunks));
+  std::vector<Status> part_status(static_cast<std::size_t>(nchunks));
+  exec::parallel_for(0, ncells, kCellGrain, [&](std::int64_t lo,
+                                                std::int64_t hi) {
+    const auto chunk = static_cast<std::size_t>(lo / kCellGrain);
+    TriangleMesh& part = parts[chunk];
+    std::vector<std::int64_t> cell;
+    for (std::int64_t c = lo; c < hi; ++c) {
+      if (dataset.is_ghost_cell(c)) continue;
+      dataset.cell_points(c, cell);
+      if (unstructured && ugrid->cell_type(c) == data::CellType::kTetra) {
+        contour_tet({load(cell[0]), load(cell[1]), load(cell[2]),
+                     load(cell[3])},
+                    isovalue, part);
+        continue;
       }
-      if (!(any_lo && any_hi)) continue;
-      for (const auto& tet : kHexTets) {
-        contour_tet({corners[static_cast<std::size_t>(tet[0])],
-                     corners[static_cast<std::size_t>(tet[1])],
-                     corners[static_cast<std::size_t>(tet[2])],
-                     corners[static_cast<std::size_t>(tet[3])]},
-                    isovalue, out);
+      if (cell.size() == 8) {  // hexahedron (implicit or explicit)
+        std::array<TetVert, 8> corners;
+        for (std::size_t i = 0; i < 8; ++i) corners[i] = load(cell[i]);
+        // Cheap reject: all corners on one side.
+        bool any_lo = false, any_hi = false;
+        for (const auto& corner : corners) {
+          (corner.f >= isovalue ? any_hi : any_lo) = true;
+        }
+        if (!(any_lo && any_hi)) continue;
+        for (const auto& tet : kHexTets) {
+          contour_tet({corners[static_cast<std::size_t>(tet[0])],
+                       corners[static_cast<std::size_t>(tet[1])],
+                       corners[static_cast<std::size_t>(tet[2])],
+                       corners[static_cast<std::size_t>(tet[3])]},
+                      isovalue, part);
+        }
+        continue;
       }
-      continue;
+      part_status[chunk] = Status::Unimplemented(
+          "contour_field: unsupported cell with " +
+          std::to_string(cell.size()) + " points");
+      return;
     }
-    return Status::Unimplemented(
-        "contour_field: unsupported cell with " +
-        std::to_string(cell.size()) + " points");
+  });
+
+  TriangleMesh out;
+  for (std::size_t chunk = 0; chunk < parts.size(); ++chunk) {
+    INSITU_RETURN_IF_ERROR(part_status[chunk]);
+    const TriangleMesh& part = parts[chunk];
+    const auto base = static_cast<std::int32_t>(out.vertices.size());
+    out.vertices.insert(out.vertices.end(), part.vertices.begin(),
+                        part.vertices.end());
+    out.scalars.insert(out.scalars.end(), part.scalars.begin(),
+                       part.scalars.end());
+    out.triangles.reserve(out.triangles.size() + part.triangles.size());
+    for (const auto& tri : part.triangles) {
+      out.triangles.push_back({tri[0] + base, tri[1] + base, tri[2] + base});
+    }
   }
   return out;
 }
@@ -177,9 +206,11 @@ StatusOr<TriangleMesh> slice_plane(const data::DataSet& dataset,
   const std::int64_t npoints = dataset.num_points();
   data::DataArrayPtr distance =
       data::DataArray::create<double>("plane_distance", npoints, 1);
-  for (std::int64_t i = 0; i < npoints; ++i) {
-    distance->set(i, 0, (dataset.point(i) - origin).dot(n));
-  }
+  exec::parallel_for(0, npoints, 8192, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      distance->set(i, 0, (dataset.point(i) - origin).dot(n));
+    }
+  });
   return contour_field(dataset, *distance, 0.0, *values);
 }
 

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/task_pool.hpp"
+
 namespace insitu::analysis {
+
+namespace {
+
+// Values per parallel_for chunk; chunk partials merge in chunk order so
+// the result is byte-identical to the serial sweep at any thread count.
+constexpr std::int64_t kValueGrain = 8192;
+
+}  // namespace
 
 std::int64_t HistogramResult::total() const {
   std::int64_t n = 0;
@@ -27,14 +37,36 @@ StatusOr<HistogramResult> compute_histogram(
     const data::DataArrayPtr values = block.fields(association).get(array);
     if (values == nullptr) continue;
     const std::int64_t n = values->num_tuples();
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (association == data::Association::kCell && block.is_ghost_cell(i)) {
-        continue;
+    const std::int64_t nchunks = exec::parallel_chunk_count(0, n, kValueGrain);
+    std::vector<double> chunk_min(static_cast<std::size_t>(nchunks),
+                                  std::numeric_limits<double>::max());
+    std::vector<double> chunk_max(static_cast<std::size_t>(nchunks),
+                                  std::numeric_limits<double>::lowest());
+    std::vector<std::int64_t> chunk_count(static_cast<std::size_t>(nchunks), 0);
+    exec::parallel_for(0, n, kValueGrain, [&](std::int64_t lo,
+                                              std::int64_t hi) {
+      const auto chunk = static_cast<std::size_t>(lo / kValueGrain);
+      double mn = std::numeric_limits<double>::max();
+      double mx = std::numeric_limits<double>::lowest();
+      std::int64_t count = 0;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        if (association == data::Association::kCell &&
+            block.is_ghost_cell(i)) {
+          continue;
+        }
+        const double v = values->get(i);
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+        ++count;
       }
-      const double v = values->get(i);
-      local_min = std::min(local_min, v);
-      local_max = std::max(local_max, v);
-      ++local_values;
+      chunk_min[chunk] = mn;
+      chunk_max[chunk] = mx;
+      chunk_count[chunk] = count;
+    });
+    for (std::size_t c = 0; c < static_cast<std::size_t>(nchunks); ++c) {
+      local_min = std::min(local_min, chunk_min[c]);
+      local_max = std::max(local_max, chunk_max[c]);
+      local_values += chunk_count[c];
     }
   }
 
@@ -56,14 +88,34 @@ StatusOr<HistogramResult> compute_histogram(
     const data::DataArrayPtr values = block.fields(association).get(array);
     if (values == nullptr) continue;
     const std::int64_t n = values->num_tuples();
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (association == data::Association::kCell && block.is_ghost_cell(i)) {
-        continue;
+    const std::int64_t nchunks = exec::parallel_chunk_count(0, n, kValueGrain);
+    std::vector<std::int64_t> chunk_bins(
+        static_cast<std::size_t>(nchunks) * static_cast<std::size_t>(num_bins),
+        0);
+    exec::parallel_for(0, n, kValueGrain, [&](std::int64_t lo,
+                                              std::int64_t hi) {
+      std::int64_t* bins =
+          chunk_bins.data() +
+          static_cast<std::size_t>(lo / kValueGrain) *
+              static_cast<std::size_t>(num_bins);
+      for (std::int64_t i = lo; i < hi; ++i) {
+        if (association == data::Association::kCell &&
+            block.is_ghost_cell(i)) {
+          continue;
+        }
+        const double v = values->get(i);
+        int bin = static_cast<int>((v - global_min) / width * num_bins);
+        bin = std::clamp(bin, 0, num_bins - 1);
+        ++bins[bin];
       }
-      const double v = values->get(i);
-      int bin = static_cast<int>((v - global_min) / width * num_bins);
-      bin = std::clamp(bin, 0, num_bins - 1);
-      ++local_bins[static_cast<std::size_t>(bin)];
+    });
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const std::int64_t* bins =
+          chunk_bins.data() +
+          static_cast<std::size_t>(c) * static_cast<std::size_t>(num_bins);
+      for (int k = 0; k < num_bins; ++k) {
+        local_bins[static_cast<std::size_t>(k)] += bins[k];
+      }
     }
   }
   comm.advance_compute(

@@ -406,4 +406,9 @@ Communicator Communicator::split(int color, int key) {
   return Communicator(picked, new_rank, clock_, machine_, rng_);
 }
 
+Communicator Communicator::sibling(VirtualClock* clock, pal::Rng* rng) const {
+  return Communicator(group_, rank_, clock, machine_,
+                      rng != nullptr ? rng : rng_);
+}
+
 }  // namespace insitu::comm

@@ -232,6 +232,14 @@ class Communicator {
   /// communicator ordered by (key, old rank). Collective.
   Communicator split(int color, int key);
 
+  /// Same group, rank, and machine, but advancing `clock` (and drawing
+  /// from `rng`, when given) instead of this communicator's. The async
+  /// execution engine hands analysis-plane collectives to worker threads
+  /// on a worker-owned clock so overlapped analysis does not advance
+  /// simulation time; pair with split() so the worker plane also gets its
+  /// own rendezvous state. Not collective.
+  Communicator sibling(VirtualClock* clock, pal::Rng* rng = nullptr) const;
+
  private:
   std::vector<std::byte> coll_bcast(std::span<const std::byte> data, int root);
   void coll_reduce(

@@ -1,0 +1,136 @@
+#include "comm/overlap.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace insitu::comm {
+
+const char* to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropOldest: return "drop_oldest";
+    case BackpressurePolicy::kLatestOnly: return "latest_only";
+  }
+  return "unknown";
+}
+
+StatusOr<BackpressurePolicy> parse_backpressure_policy(std::string_view name) {
+  if (name == "block") return BackpressurePolicy::kBlock;
+  if (name == "drop_oldest") return BackpressurePolicy::kDropOldest;
+  if (name == "latest_only") return BackpressurePolicy::kLatestOnly;
+  return Status::InvalidArgument("unknown backpressure policy '" +
+                                 std::string(name) +
+                                 "' (block|drop_oldest|latest_only)");
+}
+
+OverlapQueueModel::OverlapQueueModel(BackpressurePolicy policy, int capacity)
+    : policy_(policy), capacity_(capacity < 1 ? 1 : capacity) {}
+
+void OverlapQueueModel::release_front_if_started(double now,
+                                                 const Hooks& hooks) {
+  if (jobs_.empty() || jobs_.front().released) return;
+  // Only the front's start time is known: its predecessor is the last
+  // retired job. Jobs behind the front stay droppable until they reach
+  // the front themselves.
+  Job& front = jobs_.front();
+  const double start = std::max(front.enqueue, last_retired_finish_);
+  if (start <= now) {
+    front.released = true;
+    if (hooks.start) hooks.start(front.step);
+  }
+}
+
+void OverlapQueueModel::drop_at(std::size_t index, const Hooks& hooks,
+                                Admission* admission) {
+  if (hooks.drop) hooks.drop(jobs_[index].step);
+  jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++total_dropped_;
+  if (admission != nullptr) ++admission->dropped;
+}
+
+OverlapQueueModel::Admission OverlapQueueModel::submit(long step, double now,
+                                                       const Hooks& hooks) {
+  Admission adm;
+  adm.enqueue_time = now;
+
+  release_front_if_started(adm.enqueue_time, hooks);
+
+  // Backpressure: resolve finish times only when the queue is full —
+  // hooks.finish may block on the worker in wall time, so don't ask
+  // unless the answer changes a decision.
+  while (static_cast<int>(jobs_.size()) >= capacity_) {
+    release_front_if_started(adm.enqueue_time, hooks);
+    Job& front = jobs_.front();
+    if (front.released) {
+      const double finish = hooks.finish(front.step);
+      if (finish <= adm.enqueue_time) {
+        // Virtually retired before this submit: a slot was free all along.
+        last_retired_finish_ = finish;
+        jobs_.pop_front();
+        release_front_if_started(adm.enqueue_time, hooks);
+        continue;
+      }
+      if (policy_ == BackpressurePolicy::kBlock) {
+        // The producer stalls until the oldest job frees its slot.
+        adm.stall_seconds += finish - adm.enqueue_time;
+        adm.enqueue_time = finish;
+        last_retired_finish_ = finish;
+        jobs_.pop_front();
+        release_front_if_started(adm.enqueue_time, hooks);
+        continue;
+      }
+      // Queue genuinely full with the front running: evict waiters.
+      if (jobs_.size() == 1) {
+        // capacity == 1 and the sole slot is running: the new snapshot
+        // has nowhere to wait.
+        ++total_dropped_;
+        ++adm.dropped;
+        adm.admitted = false;
+        return adm;
+      }
+      if (policy_ == BackpressurePolicy::kDropOldest) {
+        drop_at(1, hooks, &adm);
+      } else {  // kLatestOnly: clear the whole waiting area
+        while (jobs_.size() > 1) drop_at(1, hooks, &adm);
+      }
+      continue;
+    }
+    // The front itself has not virtually started (kDropOldest /
+    // kLatestOnly only — kBlock releases every admitted job immediately),
+    // so it is still droppable.
+    if (policy_ == BackpressurePolicy::kDropOldest) {
+      drop_at(0, hooks, &adm);
+    } else {
+      while (!jobs_.empty()) drop_at(0, hooks, &adm);
+    }
+  }
+
+  adm.admitted = true;
+  jobs_.push_back({step, adm.enqueue_time, false});
+  if (policy_ == BackpressurePolicy::kBlock) {
+    // Nothing is ever dropped under kBlock, so the job is sealed at
+    // admission and the worker can overlap it immediately.
+    jobs_.back().released = true;
+    if (hooks.start) hooks.start(step);
+  } else {
+    // If the new job is the only one queued it starts right away.
+    release_front_if_started(adm.enqueue_time, hooks);
+  }
+  return adm;
+}
+
+std::vector<long> OverlapQueueModel::drain(const Hooks& hooks) {
+  std::vector<long> released;
+  released.reserve(jobs_.size());
+  for (Job& job : jobs_) {
+    if (!job.released) {
+      job.released = true;
+      if (hooks.start) hooks.start(job.step);
+    }
+    released.push_back(job.step);
+  }
+  jobs_.clear();
+  return released;
+}
+
+}  // namespace insitu::comm

@@ -1,0 +1,107 @@
+#pragma once
+
+// Deterministic overlap model for asynchronous in situ execution.
+//
+// The async bridge moves analyses to a worker thread. Wall-clock overlap
+// is real, but the *modeled* timeline must stay deterministic: every rank
+// must make identical enqueue/drop/stall decisions run-to-run, or the
+// analysis plane's collectives would mismatch across ranks and the
+// figures would stop being reproducible. OverlapQueueModel is that
+// decision machine. Its inputs are agreed virtual times — identical on
+// every rank after a rendezvous on the simulation plane — and its outputs
+// are pure arithmetic over them, so each rank independently replays the
+// same schedule regardless of how the OS schedules the threads.
+//
+// Timeline semantics (one analysis worker per rank, FIFO):
+//   * a step's snapshot is enqueued at the agreed submit time;
+//   * the worker runs jobs in order: start_k = max(enqueue_k, finish_k-1);
+//   * at most `capacity` jobs are outstanding (running + waiting); when a
+//     submit finds the queue full, the backpressure policy decides:
+//       kBlock      — the producer stalls until the oldest job finishes
+//                     and frees a slot (nothing is ever dropped);
+//       kDropOldest — the oldest snapshot that has not virtually started
+//                     is discarded;
+//       kLatestOnly — every waiting snapshot is discarded, keeping only
+//                     the newest;
+//   * once a job's virtual start time is reached it can no longer be
+//     dropped: the model "seals" it and only then releases it to the real
+//     worker, keeping the executed set identical to the modeled set.
+//
+// Wall-time blocking (waiting for a worker to produce a finish time)
+// never advances virtual time; virtual stalls (kBlock) never block the
+// host thread beyond the wait for the oldest job's result.
+
+#include <deque>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "pal/status.hpp"
+
+namespace insitu::comm {
+
+enum class BackpressurePolicy {
+  kBlock,       ///< producer stalls when the queue is full
+  kDropOldest,  ///< evict the oldest waiting snapshot
+  kLatestOnly,  ///< keep only the newest waiting snapshot
+};
+
+const char* to_string(BackpressurePolicy policy);
+StatusOr<BackpressurePolicy> parse_backpressure_policy(std::string_view name);
+
+class OverlapQueueModel {
+ public:
+  /// Callbacks into the real execution engine. All times are agreed
+  /// virtual seconds.
+  struct Hooks {
+    /// Release a sealed job to the worker; it can no longer be dropped.
+    std::function<void(long step)> start;
+    /// Agreed finish time of a released job. May block in wall time until
+    /// the worker gets there; must not advance any virtual clock.
+    std::function<double(long step)> finish;
+    /// Discard a dropped job's snapshot.
+    std::function<void(long step)> drop;
+  };
+
+  struct Admission {
+    bool admitted = false;
+    /// Effective enqueue time: the submit time, or later when kBlock
+    /// stalled the producer. The caller observes this on the sim clock.
+    double enqueue_time = 0.0;
+    double stall_seconds = 0.0;
+    /// Jobs evicted by this submit (including the new one when not
+    /// admitted).
+    int dropped = 0;
+  };
+
+  OverlapQueueModel(BackpressurePolicy policy, int capacity);
+
+  /// Admit (or drop) `step`'s snapshot at agreed time `now`.
+  Admission submit(long step, double now, const Hooks& hooks);
+
+  /// Seal and release every remaining job in FIFO order (finalize drain);
+  /// returns their steps. The caller collects the finish times itself.
+  std::vector<long> drain(const Hooks& hooks);
+
+  int outstanding() const { return static_cast<int>(jobs_.size()); }
+  long total_dropped() const { return total_dropped_; }
+  double last_retired_finish() const { return last_retired_finish_; }
+
+ private:
+  struct Job {
+    long step = 0;
+    double enqueue = 0.0;
+    bool released = false;  // handed to the worker; no longer droppable
+  };
+
+  void release_front_if_started(double now, const Hooks& hooks);
+  void drop_at(std::size_t index, const Hooks& hooks, Admission* admission);
+
+  BackpressurePolicy policy_;
+  int capacity_;
+  std::deque<Job> jobs_;
+  double last_retired_finish_ = 0.0;
+  long total_dropped_ = 0;
+};
+
+}  // namespace insitu::comm

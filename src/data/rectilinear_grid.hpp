@@ -35,6 +35,10 @@ class RectilinearGrid final : public DataSet {
     return coords_[static_cast<std::size_t>(axis)]->get(index);
   }
 
+  DataArrayPtr coords_array(int axis) const {
+    return coords_[static_cast<std::size_t>(axis)];
+  }
+
   std::int64_t point_id(std::int64_t i, std::int64_t j, std::int64_t k) const {
     return i + point_dim(0) * (j + point_dim(1) * k);
   }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 namespace insitu::obs {
@@ -100,6 +101,18 @@ void write_chrome_trace(std::ostream& out, std::span<const TraceRun> runs,
     for (int rank = 0; rank < run.log.nranks; ++rank) {
       write_metadata(out, "thread_name", pid, rank, /*with_tid=*/true,
                      "rank " + std::to_string(rank), first);
+    }
+    // Async worker tracks (tid = rank + kWorkerTrackOffset) get their own
+    // labels; sorted so the output stays byte-deterministic.
+    std::set<int> worker_tids;
+    for (const TraceEvent& e : run.log.events) {
+      if (e.rank >= kWorkerTrackOffset) worker_tids.insert(e.rank);
+    }
+    for (const int tid : worker_tids) {
+      write_metadata(out, "thread_name", pid, tid, /*with_tid=*/true,
+                     "rank " + std::to_string(tid - kWorkerTrackOffset) +
+                         " worker",
+                     first);
     }
     for (const TraceEvent& e : run.log.events) {
       write_span(out, e, pid, options, first);

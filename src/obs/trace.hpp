@@ -60,14 +60,26 @@ struct TraceLog {
   int nranks = 0;
 };
 
+/// Track id of rank r's async analysis worker: r + kWorkerTrackOffset.
+/// The Chrome exporter names these tracks "rank r worker" and sorts them
+/// after the rank tracks; nothing else may use rank ids in this range.
+inline constexpr int kWorkerTrackOffset = 1000;
+
 /// Per-rank span buffer. Thread-confined: only the owning rank thread
-/// records; the Runtime harvests after join.
+/// records; the Runtime harvests after join. A worker thread serving a
+/// rank gets its *own* recorder (typically on track rank +
+/// kWorkerTrackOffset, sharing the rank recorder's epoch so wall times
+/// align) whose events the owner later merges back via absorb().
 class TraceRecorder {
  public:
+  using Epoch = std::chrono::steady_clock::time_point;
+
   explicit TraceRecorder(int rank)
-      : rank_(rank), epoch_(std::chrono::steady_clock::now()) {}
+      : TraceRecorder(rank, std::chrono::steady_clock::now()) {}
+  TraceRecorder(int rank, Epoch epoch) : rank_(rank), epoch_(epoch) {}
 
   int rank() const { return rank_; }
+  Epoch epoch() const { return epoch_; }
 
   std::int64_t wall_now_ns() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -78,6 +90,14 @@ class TraceRecorder {
   void record(TraceEvent event) {
     event.rank = rank_;
     events_.push_back(std::move(event));
+  }
+
+  /// Append events recorded elsewhere, keeping their own rank/track ids
+  /// (unlike record(), which stamps this recorder's rank).
+  void absorb(std::vector<TraceEvent> events) {
+    events_.insert(events_.end(),
+                   std::make_move_iterator(events.begin()),
+                   std::make_move_iterator(events.end()));
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }

@@ -5,8 +5,14 @@
 // The paper reports memory footprint as "the sum of the high water marks
 // from all MPI ranks". Our ranks are threads, so /proc VmHWM cannot
 // separate them; instead all data-model and substrate allocations are
-// registered with the thread-local MemoryTracker, giving deterministic
+// registered with the rank's MemoryTracker, giving deterministic
 // per-rank footprints that can be summed exactly as the paper does.
+//
+// Counters are atomic: the async execution engine (src/exec) lets pooled
+// worker threads allocate on behalf of a rank, so a rank thread and its
+// worker may charge the same tracker concurrently. A worker adopts its
+// rank's tracker with ScopedMemoryTracker; a thread with no adopted
+// tracker charges its own private one.
 
 #include <atomic>
 #include <cstddef>
@@ -15,24 +21,42 @@
 namespace insitu::pal {
 
 /// Tracks bytes currently allocated and the high-water mark for one rank.
+/// allocate/release/readers are safe to call from multiple threads.
 class MemoryTracker {
  public:
   void allocate(std::size_t bytes) {
-    current_ += bytes;
-    if (current_ > high_water_) high_water_ = current_;
+    const std::size_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Raise-only CAS: a concurrent allocation may have published a higher
+    // mark between the load and the exchange; retry until ours is either
+    // installed or no longer the maximum.
+    std::size_t hw = high_water_.load(std::memory_order_relaxed);
+    while (now > hw && !high_water_.compare_exchange_weak(
+                           hw, now, std::memory_order_relaxed)) {
+    }
   }
 
   void release(std::size_t bytes) {
-    current_ = bytes > current_ ? 0 : current_ - bytes;
+    // Clamp at zero on unmatched releases without letting concurrent
+    // releases wrap the counter.
+    std::size_t cur = current_.load(std::memory_order_relaxed);
+    while (!current_.compare_exchange_weak(cur,
+                                           bytes > cur ? 0 : cur - bytes,
+                                           std::memory_order_relaxed)) {
+    }
   }
 
-  std::size_t current_bytes() const { return current_; }
-  std::size_t high_water_bytes() const { return high_water_; }
+  std::size_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::size_t high_water_bytes() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
 
   /// Resets both counters; used between bench configurations.
   void reset() {
-    current_ = 0;
-    high_water_ = 0;
+    current_.store(0, std::memory_order_relaxed);
+    high_water_.store(0, std::memory_order_relaxed);
   }
 
   /// Record a baseline (e.g. executable + startup footprint) so reports can
@@ -41,14 +65,31 @@ class MemoryTracker {
   std::size_t baseline_bytes() const { return baseline_; }
 
  private:
-  std::size_t current_ = 0;
-  std::size_t high_water_ = 0;
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> high_water_{0};
   std::size_t baseline_ = 0;
 };
 
-/// The tracker for the calling rank (thread). SPMD code and the data model
+/// The tracker charged by the calling thread: the thread's own private
+/// tracker, or the one adopted via ScopedMemoryTracker (how exec worker
+/// threads charge the rank that owns them). SPMD code and the data model
 /// charge allocations here.
 MemoryTracker& rank_memory_tracker();
+
+/// RAII redirection of the calling thread's allocations to another rank's
+/// tracker. Installed by worker threads that run analyses on behalf of a
+/// rank so snapshots and analysis state appear in that rank's footprint.
+class ScopedMemoryTracker {
+ public:
+  explicit ScopedMemoryTracker(MemoryTracker* tracker);
+  ~ScopedMemoryTracker();
+
+  ScopedMemoryTracker(const ScopedMemoryTracker&) = delete;
+  ScopedMemoryTracker& operator=(const ScopedMemoryTracker&) = delete;
+
+ private:
+  MemoryTracker* saved_;
+};
 
 /// RAII registration of a block of bytes against the calling rank.
 class TrackedBytes {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "exec/task_pool.hpp"
+
 namespace insitu::render {
 
 namespace {
@@ -30,12 +32,18 @@ void merge_range(Image& img, std::int64_t begin,
       packed.data() + n * sizeof(Rgba));
   Rgba* dst_c = img.pixels().data() + begin;
   float* dst_d = img.depths().data() + begin;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (depths[i] < dst_d[i]) {
-      dst_c[i] = colors[i];
-      dst_d[i] = depths[i];
-    }
-  }
+  // Per-pixel depth test: disjoint indices, so the parallel result is
+  // identical to the serial loop.
+  exec::parallel_for(
+      0, static_cast<std::int64_t>(n), 16384,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          if (depths[i] < dst_d[i]) {
+            dst_c[i] = colors[i];
+            dst_d[i] = depths[i];
+          }
+        }
+      });
 }
 
 /// Replace (not merge) a packed range — used by the final gather.

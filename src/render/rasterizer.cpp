@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/task_pool.hpp"
+
 namespace insitu::render {
 
 namespace {
@@ -18,60 +20,80 @@ std::int64_t rasterize(const analysis::TriangleMesh& mesh,
   const double aspect = static_cast<double>(w) / h;
   std::int64_t fragments = 0;
 
-  // Project all vertices once.
+  // Project all vertices once (per-index writes: order-independent).
   std::vector<ScreenVert> screen(mesh.vertices.size());
-  for (std::size_t i = 0; i < mesh.vertices.size(); ++i) {
-    const auto [nx, ny, depth] = config.camera.project(mesh.vertices[i]);
-    // Normalized [-1,1] -> pixel coordinates; x shares the y scale so
-    // geometry is not stretched on non-square images.
-    screen[i].x = (nx / aspect * 0.5 + 0.5) * w;
-    screen[i].y = (0.5 - ny * 0.5) * h;
-    screen[i].depth = depth;
-    screen[i].scalar = mesh.scalars[i];
-  }
+  exec::parallel_for(
+      0, static_cast<std::int64_t>(mesh.vertices.size()), 4096,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t si = lo; si < hi; ++si) {
+          const auto i = static_cast<std::size_t>(si);
+          const auto [nx, ny, depth] = config.camera.project(mesh.vertices[i]);
+          // Normalized [-1,1] -> pixel coordinates; x shares the y scale so
+          // geometry is not stretched on non-square images.
+          screen[i].x = (nx / aspect * 0.5 + 0.5) * w;
+          screen[i].y = (0.5 - ny * 0.5) * h;
+          screen[i].depth = depth;
+          screen[i].scalar = mesh.scalars[i];
+        }
+      });
 
-  for (const auto& tri : mesh.triangles) {
-    const ScreenVert& a = screen[static_cast<std::size_t>(tri[0])];
-    const ScreenVert& b = screen[static_cast<std::size_t>(tri[1])];
-    const ScreenVert& c = screen[static_cast<std::size_t>(tri[2])];
+  // Scanline bands: each chunk owns rows [band_lo, band_hi) of the frame
+  // buffer and walks every triangle in submission order, so depth-test
+  // outcomes per pixel match the serial loop exactly.
+  constexpr std::int64_t kRowGrain = 64;
+  const std::int64_t nbands = exec::parallel_chunk_count(0, h, kRowGrain);
+  std::vector<std::int64_t> band_fragments(static_cast<std::size_t>(nbands),
+                                           0);
+  exec::parallel_for(0, h, kRowGrain, [&](std::int64_t band_lo,
+                                          std::int64_t band_hi) {
+    std::int64_t frags = 0;
+    for (const auto& tri : mesh.triangles) {
+      const ScreenVert& a = screen[static_cast<std::size_t>(tri[0])];
+      const ScreenVert& b = screen[static_cast<std::size_t>(tri[1])];
+      const ScreenVert& c = screen[static_cast<std::size_t>(tri[2])];
 
-    const double area =
-        (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
-    if (area == 0.0) continue;  // degenerate
+      const double area =
+          (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+      if (area == 0.0) continue;  // degenerate
 
-    const int x0 = std::max(0, static_cast<int>(
-                                   std::floor(std::min({a.x, b.x, c.x}))));
-    const int x1 = std::min(w - 1, static_cast<int>(
-                                       std::ceil(std::max({a.x, b.x, c.x}))));
-    const int y0 = std::max(0, static_cast<int>(
-                                   std::floor(std::min({a.y, b.y, c.y}))));
-    const int y1 = std::min(h - 1, static_cast<int>(
-                                       std::ceil(std::max({a.y, b.y, c.y}))));
+      const int x0 = std::max(0, static_cast<int>(
+                                     std::floor(std::min({a.x, b.x, c.x}))));
+      const int x1 = std::min(w - 1, static_cast<int>(std::ceil(
+                                         std::max({a.x, b.x, c.x}))));
+      const int y0 = std::max(static_cast<int>(band_lo),
+                              static_cast<int>(std::floor(
+                                  std::min({a.y, b.y, c.y}))));
+      const int y1 = std::min(static_cast<int>(band_hi) - 1,
+                              static_cast<int>(std::ceil(
+                                  std::max({a.y, b.y, c.y}))));
 
-    const double inv_area = 1.0 / area;
-    for (int y = y0; y <= y1; ++y) {
-      for (int x = x0; x <= x1; ++x) {
-        const double px = x + 0.5;
-        const double py = y + 0.5;
-        // Barycentric coordinates (signed; accept either winding).
-        const double w0 =
-            ((b.x - px) * (c.y - py) - (c.x - px) * (b.y - py)) * inv_area;
-        const double w1 =
-            ((c.x - px) * (a.y - py) - (a.x - px) * (c.y - py)) * inv_area;
-        const double w2 = 1.0 - w0 - w1;
-        if (w0 < 0.0 || w1 < 0.0 || w2 < 0.0) continue;
+      const double inv_area = 1.0 / area;
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          const double px = x + 0.5;
+          const double py = y + 0.5;
+          // Barycentric coordinates (signed; accept either winding).
+          const double w0 =
+              ((b.x - px) * (c.y - py) - (c.x - px) * (b.y - py)) * inv_area;
+          const double w1 =
+              ((c.x - px) * (a.y - py) - (a.x - px) * (c.y - py)) * inv_area;
+          const double w2 = 1.0 - w0 - w1;
+          if (w0 < 0.0 || w1 < 0.0 || w2 < 0.0) continue;
 
-        const float depth = static_cast<float>(
-            w0 * a.depth + w1 * b.depth + w2 * c.depth);
-        if (depth >= target.depth(x, y) || depth <= 0.0f) continue;
+          const float depth = static_cast<float>(
+              w0 * a.depth + w1 * b.depth + w2 * c.depth);
+          if (depth >= target.depth(x, y) || depth <= 0.0f) continue;
 
-        const double scalar = w0 * a.scalar + w1 * b.scalar + w2 * c.scalar;
-        target.pixel(x, y) = config.colormap.map(scalar);
-        target.depth(x, y) = depth;
-        ++fragments;
+          const double scalar = w0 * a.scalar + w1 * b.scalar + w2 * c.scalar;
+          target.pixel(x, y) = config.colormap.map(scalar);
+          target.depth(x, y) = depth;
+          ++frags;
+        }
       }
     }
-  }
+    band_fragments[static_cast<std::size_t>(band_lo / kRowGrain)] = frags;
+  });
+  for (const std::int64_t frags : band_fragments) fragments += frags;
   return fragments;
 }
 

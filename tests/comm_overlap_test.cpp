@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "comm/overlap.hpp"
+
+namespace insitu::comm {
+namespace {
+
+/// Records every hook invocation and serves scripted finish times, so the
+/// tests can assert the model's exact release/drop/stall schedule.
+struct Recorder {
+  std::vector<long> started;
+  std::vector<long> dropped;
+  std::map<long, double> finish_times;
+  std::map<long, int> finish_calls;
+
+  OverlapQueueModel::Hooks hooks() {
+    OverlapQueueModel::Hooks h;
+    h.start = [this](long step) { started.push_back(step); };
+    h.finish = [this](long step) -> double {
+      ++finish_calls[step];
+      return finish_times.at(step);
+    };
+    h.drop = [this](long step) { dropped.push_back(step); };
+    return h;
+  }
+};
+
+TEST(BackpressurePolicy, ParseRoundTrip) {
+  for (const BackpressurePolicy p :
+       {BackpressurePolicy::kBlock, BackpressurePolicy::kDropOldest,
+        BackpressurePolicy::kLatestOnly}) {
+    auto parsed = parse_backpressure_policy(to_string(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_backpressure_policy("asap").ok());
+  EXPECT_FALSE(parse_backpressure_policy("").ok());
+}
+
+TEST(OverlapQueueModel, BlockReleasesAtAdmissionAndNeverDrops) {
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kBlock, 2);
+  auto a0 = model.submit(0, 1.0, rec.hooks());
+  auto a1 = model.submit(1, 2.0, rec.hooks());
+  EXPECT_TRUE(a0.admitted);
+  EXPECT_TRUE(a1.admitted);
+  // kBlock seals every admitted job immediately: the worker overlaps it.
+  EXPECT_EQ(rec.started, (std::vector<long>{0, 1}));
+  EXPECT_TRUE(rec.dropped.empty());
+  EXPECT_EQ(model.outstanding(), 2);
+  EXPECT_EQ(model.total_dropped(), 0);
+  // No slot pressure yet: finish() was never consulted.
+  EXPECT_TRUE(rec.finish_calls.empty());
+}
+
+TEST(OverlapQueueModel, BlockStallMathMatchesOldestFinish) {
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kBlock, 2);
+  rec.finish_times[0] = 5.0;
+  (void)model.submit(0, 0.0, rec.hooks());
+  (void)model.submit(1, 1.0, rec.hooks());
+  // Queue full; the oldest job retires at t=5, so the producer stalls
+  // from t=2 to t=5 and the effective enqueue time is 5.
+  auto a2 = model.submit(2, 2.0, rec.hooks());
+  EXPECT_TRUE(a2.admitted);
+  EXPECT_DOUBLE_EQ(a2.enqueue_time, 5.0);
+  EXPECT_DOUBLE_EQ(a2.stall_seconds, 3.0);
+  EXPECT_EQ(a2.dropped, 0);
+  EXPECT_DOUBLE_EQ(model.last_retired_finish(), 5.0);
+  EXPECT_EQ(rec.started, (std::vector<long>{0, 1, 2}));
+}
+
+TEST(OverlapQueueModel, BlockNoStallWhenOldestAlreadyRetired) {
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kBlock, 2);
+  rec.finish_times[0] = 1.5;
+  (void)model.submit(0, 0.0, rec.hooks());
+  (void)model.submit(1, 1.0, rec.hooks());
+  // By t=2 job 0 has virtually retired: a slot was free all along.
+  auto a2 = model.submit(2, 2.0, rec.hooks());
+  EXPECT_TRUE(a2.admitted);
+  EXPECT_DOUBLE_EQ(a2.enqueue_time, 2.0);
+  EXPECT_DOUBLE_EQ(a2.stall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(model.last_retired_finish(), 1.5);
+}
+
+TEST(OverlapQueueModel, DropOldestEvictsOldestWaiter) {
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kDropOldest, 2);
+  rec.finish_times[0] = 10.0;  // front runs "forever"
+  (void)model.submit(0, 0.0, rec.hooks());  // released (sole job)
+  (void)model.submit(1, 1.0, rec.hooks());  // waits behind the front
+  auto a2 = model.submit(2, 2.0, rec.hooks());
+  EXPECT_TRUE(a2.admitted);
+  EXPECT_EQ(a2.dropped, 1);
+  EXPECT_EQ(rec.dropped, (std::vector<long>{1}));  // oldest waiter, not front
+  EXPECT_EQ(rec.started, (std::vector<long>{0}));  // job 2 waits, unreleased
+  EXPECT_EQ(model.total_dropped(), 1);
+  EXPECT_EQ(model.outstanding(), 2);
+}
+
+TEST(OverlapQueueModel, LatestOnlyClearsTheWaitingArea) {
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kLatestOnly, 3);
+  rec.finish_times[0] = 10.0;
+  (void)model.submit(0, 0.0, rec.hooks());
+  (void)model.submit(1, 1.0, rec.hooks());
+  (void)model.submit(2, 2.0, rec.hooks());
+  auto a3 = model.submit(3, 3.0, rec.hooks());
+  EXPECT_TRUE(a3.admitted);
+  EXPECT_EQ(a3.dropped, 2);
+  EXPECT_EQ(rec.dropped, (std::vector<long>{1, 2}));
+  EXPECT_EQ(model.outstanding(), 2);  // running front + the newest
+  EXPECT_EQ(model.total_dropped(), 2);
+}
+
+TEST(OverlapQueueModel, CapacityOneRunningFrontRefusesIncoming) {
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kDropOldest, 1);
+  rec.finish_times[0] = 10.0;
+  (void)model.submit(0, 0.0, rec.hooks());
+  auto a1 = model.submit(1, 1.0, rec.hooks());
+  EXPECT_FALSE(a1.admitted);
+  EXPECT_EQ(a1.dropped, 1);
+  EXPECT_EQ(model.total_dropped(), 1);
+  // The refused snapshot was never stashed in the model, so the drop hook
+  // is NOT called for it — the caller cleans up its own staging slot.
+  EXPECT_TRUE(rec.dropped.empty());
+  EXPECT_EQ(model.outstanding(), 1);
+}
+
+TEST(OverlapQueueModel, FinishMayBeAskedRepeatedlyForTheFront) {
+  // Contract check: a released-but-unretired front is re-queried on every
+  // full-queue submit, so the caller's finish hook must be idempotent
+  // (AsyncBridge caches the worker future's result for this reason).
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kDropOldest, 1);
+  rec.finish_times[0] = 10.0;
+  (void)model.submit(0, 0.0, rec.hooks());
+  (void)model.submit(1, 1.0, rec.hooks());
+  (void)model.submit(2, 2.0, rec.hooks());
+  EXPECT_EQ(rec.finish_calls[0], 2);
+}
+
+TEST(OverlapQueueModel, RetiringTheFrontReleasesItsSuccessor) {
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kDropOldest, 2);
+  rec.finish_times[0] = 1.5;
+  rec.finish_times[1] = 10.0;
+  (void)model.submit(0, 0.0, rec.hooks());
+  (void)model.submit(1, 1.0, rec.hooks());  // waits behind the front
+  // At t=4 job 0 has retired: its slot frees without any drop, and job 1
+  // — whose virtual start max(1.0, 1.5) has passed — is sealed and
+  // released the moment it becomes the front.
+  auto a2 = model.submit(2, 4.0, rec.hooks());
+  EXPECT_TRUE(a2.admitted);
+  EXPECT_EQ(a2.dropped, 0);
+  EXPECT_EQ(rec.started, (std::vector<long>{0, 1}));
+  EXPECT_TRUE(rec.dropped.empty());
+  EXPECT_DOUBLE_EQ(model.last_retired_finish(), 1.5);
+  // Finish times are resolved lazily: job 1 stays outstanding (the queue
+  // never refilled) and job 2 waits behind it.
+  EXPECT_EQ(rec.finish_calls[1], 0);
+  EXPECT_EQ(model.outstanding(), 2);
+}
+
+TEST(OverlapQueueModel, DrainReleasesRemainingInFifoOrder) {
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kLatestOnly, 3);
+  rec.finish_times[0] = 10.0;
+  (void)model.submit(0, 0.0, rec.hooks());
+  (void)model.submit(1, 1.0, rec.hooks());
+  (void)model.submit(2, 2.0, rec.hooks());
+  const std::vector<long> drained = model.drain(rec.hooks());
+  EXPECT_EQ(drained, (std::vector<long>{0, 1, 2}));
+  // Already-released jobs are not re-released; the waiters are sealed now.
+  EXPECT_EQ(rec.started, (std::vector<long>{0, 1, 2}));
+  EXPECT_EQ(model.outstanding(), 0);
+  EXPECT_TRUE(model.drain(rec.hooks()).empty());
+}
+
+TEST(OverlapQueueModel, CapacityClampsToAtLeastOne) {
+  Recorder rec;
+  OverlapQueueModel model(BackpressurePolicy::kBlock, 0);
+  rec.finish_times[0] = 2.0;
+  EXPECT_TRUE(model.submit(0, 0.0, rec.hooks()).admitted);
+  auto a1 = model.submit(1, 1.0, rec.hooks());
+  EXPECT_TRUE(a1.admitted);  // kBlock stalls instead of refusing
+  EXPECT_DOUBLE_EQ(a1.enqueue_time, 2.0);
+}
+
+}  // namespace
+}  // namespace insitu::comm

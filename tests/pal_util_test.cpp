@@ -119,6 +119,58 @@ TEST(MemoryTracker, PerThreadIsolation) {
   rank_memory_tracker().reset();
 }
 
+TEST(MemoryTracker, ConcurrentChargesKeepExactTotals) {
+  MemoryTracker t;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&t] {
+      for (int k = 0; k < kIterations; ++k) {
+        t.allocate(64);
+        t.release(64);
+      }
+      t.allocate(100);  // left allocated: final total is exact
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current_bytes(), static_cast<std::size_t>(kThreads) * 100);
+  // High-water is at least the surviving allocations and can never exceed
+  // the worst-case sum of simultaneous transients.
+  EXPECT_GE(t.high_water_bytes(), static_cast<std::size_t>(kThreads) * 100);
+  EXPECT_LE(t.high_water_bytes(),
+            static_cast<std::size_t>(kThreads) * (100 + 64));
+}
+
+TEST(MemoryTracker, ScopedAdoptionRedirectsCharges) {
+  MemoryTracker rank_tracker;
+  rank_memory_tracker().reset();
+  std::thread worker([&rank_tracker] {
+    ScopedMemoryTracker adopt(&rank_tracker);
+    rank_memory_tracker().allocate(256);
+    EXPECT_EQ(rank_memory_tracker().current_bytes(), 256u);
+  });
+  worker.join();
+  EXPECT_EQ(rank_tracker.current_bytes(), 256u);
+  EXPECT_EQ(rank_memory_tracker().current_bytes(), 0u);
+}
+
+TEST(MemoryTracker, ScopedAdoptionRestoresOnExit) {
+  MemoryTracker other;
+  {
+    ScopedMemoryTracker adopt(&other);
+    TrackedBytes block(42);
+    EXPECT_EQ(other.current_bytes(), 42u);
+  }
+  EXPECT_EQ(other.current_bytes(), 0u);
+  rank_memory_tracker().reset();
+  rank_memory_tracker().allocate(7);
+  EXPECT_EQ(rank_memory_tracker().current_bytes(), 7u);
+  EXPECT_EQ(other.current_bytes(), 0u);
+  rank_memory_tracker().reset();
+}
+
 TEST(MemoryTracker, ProcessHighWaterIsPositive) {
   EXPECT_GT(process_high_water_bytes(), 0u);
 }
