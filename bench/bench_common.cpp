@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "exec/task_pool.hpp"
+#include "obs/analyze/baseline.hpp"
 #include "pal/config.hpp"
 
 namespace insitu::bench {
@@ -19,6 +20,17 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
   const pal::Config args = pal::Config::from_args(argc, argv);
   trace_path_ = args.get_string_or("trace", "");
   metrics_path_ = args.get_string_or("metrics", "");
+  baseline_path_ = args.get_string_or("baseline", "");
+  if (argc > 0) {
+    const std::string_view arg0(argv[0]);
+    const std::size_t slash = arg0.find_last_of('/');
+    tool_ = std::string(
+        slash == std::string_view::npos ? arg0 : arg0.substr(slash + 1));
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) config_ += ' ';
+    config_ += argv[i];
+  }
   // Kernel thread budget: `threads=N` (repo idiom) or `--threads N`.
   int threads = static_cast<int>(args.get_int_or("threads", 1));
   for (int i = 1; i + 1 < argc; ++i) {
@@ -43,16 +55,32 @@ void ObsSession::record(const std::string& label,
   // runs so their series stay distinguishable (serial labels unchanged).
   const std::string full =
       threads_ > 1 ? label + "/t" + std::to_string(threads_) : label;
-  if (trace_enabled()) traces_.push_back({full, report.trace});
+  if (trace_enabled()) {
+    traces_.push_back({full, report.trace});
+    seeds_.push_back(report.seed);
+  }
   if (metrics_enabled()) metrics_.push_back({full, report.metrics});
+}
+
+obs::ExportMeta ObsSession::export_meta() const {
+  obs::ExportMeta meta;
+  meta.tool = tool_;
+  meta.config = config_;
+  meta.threads = threads_;
+  meta.seed = seeds_.empty() ? 0 : seeds_.front();
+  return meta;
 }
 
 int ObsSession::finish() {
   if (finished_) return 0;
   finished_ = true;
   int rc = 0;
-  if (trace_enabled()) {
-    const Status status = obs::write_chrome_trace_file(trace_path_, traces_);
+  const obs::ExportMeta meta = export_meta();
+  if (!trace_path_.empty()) {
+    obs::ChromeTraceOptions trace_options;
+    trace_options.meta = &meta;
+    const Status status =
+        obs::write_chrome_trace_file(trace_path_, traces_, trace_options);
     if (status.ok()) {
       std::printf("wrote chrome trace (%zu runs): %s\n", traces_.size(),
                   trace_path_.c_str());
@@ -66,13 +94,35 @@ int ObsSession::finish() {
     const bool json = metrics_path_.size() > 5 &&
                       metrics_path_.rfind(".json") == metrics_path_.size() - 5;
     const Status status =
-        json ? obs::write_metrics_json_file(metrics_path_, metrics_)
-             : obs::write_metrics_csv_file(metrics_path_, metrics_);
+        json ? obs::write_metrics_json_file(metrics_path_, metrics_, &meta)
+             : obs::write_metrics_csv_file(metrics_path_, metrics_, &meta);
     if (status.ok()) {
       std::printf("wrote metrics (%zu runs): %s\n", metrics_.size(),
                   metrics_path_.c_str());
     } else {
       std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.to_string().c_str());
+      rc = 1;
+    }
+  }
+  if (baseline_enabled()) {
+    obs::analyze::Baseline baseline;
+    baseline.tool = meta.tool;
+    baseline.config = meta.config;
+    baseline.threads = threads_;
+    baseline.seed = meta.seed;
+    for (std::size_t i = 0; i < traces_.size(); ++i) {
+      baseline.runs.push_back(obs::analyze::baseline_run_from_analysis(
+          traces_[i].label, obs::analyze::analyze_trace(traces_[i].log),
+          i < seeds_.size() ? seeds_[i] : 0));
+    }
+    const Status status =
+        obs::analyze::write_baseline_file(baseline_path_, baseline);
+    if (status.ok()) {
+      std::printf("wrote baseline (%zu runs): %s\n", baseline.runs.size(),
+                  baseline_path_.c_str());
+    } else {
+      std::fprintf(stderr, "baseline export failed: %s\n",
                    status.to_string().c_str());
       rc = 1;
     }

@@ -28,14 +28,21 @@
 namespace insitu::bench {
 
 /// Per-binary observability sink. Construct once at the top of main();
-/// it parses `--trace out.json` / `--metrics out.csv` (or `.json`) from
-/// the command line and installs itself as the process-wide session.
-/// run_miniapp_config() records every executed run into the current
-/// session under the label "<config>/p<ranks>"; binaries that drive
-/// comm::Runtime directly call record() themselves. finish() writes the
-/// requested files and returns a process exit code contribution (0 = ok).
+/// it parses `--trace out.json` / `--metrics out.csv` (or `.json`) /
+/// `--baseline out.json` from the command line and installs itself as the
+/// process-wide session. run_miniapp_config() records every executed run
+/// into the current session under the label "<config>/p<ranks>"; binaries
+/// that drive comm::Runtime directly call record() themselves. finish()
+/// writes the requested files and returns a process exit code
+/// contribution (0 = ok).
 ///
-/// When neither flag is given the session is inert: tracing stays off in
+/// `--baseline <path>` distills the recorded traces into a perf baseline
+/// (schema insitu-bench-baseline/1, see docs/PERFORMANCE.md) that
+/// `tools/perf_report --check` gates against. Trace and metrics exports
+/// carry a run-metadata header (tool, full config string, threads, seed)
+/// so perf_report output is self-describing.
+///
+/// When no flag is given the session is inert: tracing stays off in
 /// Runtime::Options (so instrumented runs cost nothing beyond the atomic
 /// metric updates) and finish() writes nothing.
 class ObsSession {
@@ -49,22 +56,38 @@ class ObsSession {
   /// The installed session, or nullptr outside an ObsSession's lifetime.
   static ObsSession* current();
 
-  bool trace_enabled() const { return !trace_path_.empty(); }
+  /// Baselines are derived from traces, so --baseline implies tracing.
+  bool trace_enabled() const {
+    return !trace_path_.empty() || !baseline_path_.empty();
+  }
   bool metrics_enabled() const { return !metrics_path_.empty(); }
+  bool baseline_enabled() const { return !baseline_path_.empty(); }
   /// Kernel threads requested via `threads=N` / `--threads N` (>= 1).
   int threads() const { return threads_; }
 
   /// Capture one run's trace + metrics under `label`.
   void record(const std::string& label, const comm::RunReport& report);
 
-  /// Write the requested trace/metrics files. Returns 0 on success.
+  const std::vector<obs::TraceRun>& traces() const { return traces_; }
+  const std::vector<obs::MetricsRun>& metrics_runs() const {
+    return metrics_;
+  }
+  /// Metadata stamped into every export (tool, config, threads, seed).
+  obs::ExportMeta export_meta() const;
+
+  /// Write the requested trace/metrics/baseline files. Returns 0 on
+  /// success.
   int finish();
 
  private:
+  std::string tool_;
+  std::string config_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string baseline_path_;
   std::vector<obs::TraceRun> traces_;
   std::vector<obs::MetricsRun> metrics_;
+  std::vector<std::uint64_t> seeds_;  ///< per recorded trace run
   int threads_ = 1;
   bool finished_ = false;
 };

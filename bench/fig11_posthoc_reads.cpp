@@ -26,9 +26,12 @@ void executed_table() {
   // Produce 3 steps of data at 8 writer ranks.
   const int writers = 8;
   const int steps = 3;
+  ObsSession* obs = ObsSession::current();
   comm::Runtime::Options options;
   options.machine = comm::cori_haswell();
-  comm::Runtime::run(writers, options, [&](comm::Communicator& comm) {
+  options.observe.trace = obs != nullptr && obs->trace_enabled();
+  comm::RunReport produce = comm::Runtime::run(
+      writers, options, [&](comm::Communicator& comm) {
     miniapp::OscillatorConfig cfg;
     cfg.global_cells = {16, 16, 16};
     cfg.oscillators = {{miniapp::Oscillator::Kind::kPeriodic,
@@ -44,7 +47,10 @@ void executed_table() {
       (void)adaptor.release_data();
       sim.step();
     }
-  });
+      });
+  if (obs != nullptr) {
+    obs->record("produce/p" + std::to_string(writers), produce);
+  }
 
   // Post hoc phase at 1 reader (>=10% of 8, rounded).
   pal::TablePrinter table(
@@ -53,7 +59,8 @@ void executed_table() {
   const char* workloads[] = {"histogram", "autocorrelation", "slice"};
   for (const char* workload : workloads) {
     double read_s = 0.0, process_s = 0.0;
-    comm::Runtime::run(1, options, [&](comm::Communicator& comm) {
+    comm::RunReport report = comm::Runtime::run(
+        1, options, [&](comm::Communicator& comm) {
       io::PostHocReader reader(dir, io::LustreModel(comm.machine().fs));
       core::StagedDataAdaptor adaptor(nullptr);
       adaptor.set_communicator(&comm);
@@ -89,7 +96,10 @@ void executed_table() {
       (void)bridge.finalize();
       read_s = read_t.total();
       process_s = process_t.total();
-    });
+        });
+    if (obs != nullptr) {
+      obs->record(std::string("posthoc-") + workload + "/p1", report);
+    }
     table.add_row({workload, "1", pal::TablePrinter::num(read_s, 4),
                    pal::TablePrinter::num(process_s, 4)});
   }

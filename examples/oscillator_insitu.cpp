@@ -190,9 +190,20 @@ int main(int argc, char** argv) {
               static_cast<double>(report.total_high_water_bytes()) /
                   (1024.0 * 1024.0));
 
+  obs::ExportMeta meta;
+  meta.tool = "oscillator_insitu";
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) meta.config += ' ';
+    meta.config += argv[i];
+  }
+  meta.threads = threads;
+  meta.seed = report.seed;
+
   if (!trace_path.empty()) {
-    const Status status =
-        obs::write_chrome_trace_file(trace_path, report.trace);
+    obs::ChromeTraceOptions trace_options;
+    trace_options.meta = &meta;
+    const Status status = obs::write_chrome_trace_file(
+        trace_path, report.trace, trace_options);
     if (!status.ok()) {
       std::fprintf(stderr, "trace export failed: %s\n",
                    status.to_string().c_str());
@@ -209,8 +220,8 @@ int main(int argc, char** argv) {
     const bool json = metrics_path.size() > 5 &&
                       metrics_path.rfind(".json") == metrics_path.size() - 5;
     const Status status =
-        json ? obs::write_metrics_json_file(metrics_path, runs)
-             : obs::write_metrics_csv_file(metrics_path, runs);
+        json ? obs::write_metrics_json_file(metrics_path, runs, &meta)
+             : obs::write_metrics_csv_file(metrics_path, runs, &meta);
     if (!status.ok()) {
       std::fprintf(stderr, "metrics export failed: %s\n",
                    status.to_string().c_str());

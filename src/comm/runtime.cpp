@@ -45,6 +45,7 @@ RunReport Runtime::run(int nranks,
                        const std::function<void(Communicator&)>& body) {
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(nranks));
+  report.seed = options.seed;
 
   std::shared_ptr<detail::Group> world = detail::make_group(nranks);
   std::mutex failure_mutex;

@@ -32,6 +32,8 @@ struct RunReport {
   std::vector<RankStats> ranks;
   bool failed = false;
   std::string failure_message;
+  /// The Options::seed the job ran with (recorded into bench baselines).
+  std::uint64_t seed = 0;
 
   /// Per-rank metrics registries merged by key (docs/OBSERVABILITY.md).
   obs::MetricsSnapshot metrics;

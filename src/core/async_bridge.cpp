@@ -66,6 +66,9 @@ Status AsyncBridge::initialize() {
   worker_ctx_.trace = worker_trace_.get();
   worker_ctx_.virtual_now_fn = worker_virtual_now;
   worker_ctx_.virtual_clock = &worker_clock_;
+  // The snapshot above was taken inside the bridge.initialize span; the
+  // worker track is its own span forest, so nesting restarts at zero.
+  worker_ctx_.span_depth = 0;
 
   pool_ = std::make_unique<exec::TaskPool>(1);
 

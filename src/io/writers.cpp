@@ -159,11 +159,15 @@ StatusOr<data::MultiBlockPtr> PostHocReader::read_step(
   const double base = model_.read_time(comm.size(), total_bytes);
   double jitter = comm.rank() == 0 ? model_.interference(comm.rng()) : 0.0;
   comm.broadcast_value(jitter, 0);
-  comm.advance_compute(base * jitter);
+  const double cost = base * jitter;
+  comm.advance_compute(cost);
   span.arg("bytes", static_cast<double>(local_bytes));
   obs::metrics()
       .counter("io.bytes_read", {{"reader", "posthoc"}})
       .add(static_cast<std::int64_t>(local_bytes));
+  obs::metrics()
+      .histogram("io.read_step.seconds", {{"reader", "posthoc"}})
+      .record(cost);
   return mesh;
 }
 

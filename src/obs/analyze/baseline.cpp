@@ -1,0 +1,209 @@
+#include "obs/analyze/baseline.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/chrome_trace.hpp"  // json_escape
+
+namespace insitu::obs::analyze {
+
+namespace {
+
+std::string format_num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+std::string phase_name(int category) {
+  return to_string(static_cast<Category>(category));
+}
+
+}  // namespace
+
+BaselineRun baseline_run_from_analysis(const std::string& label,
+                                       const TraceAnalysis& analysis,
+                                       std::uint64_t seed) {
+  BaselineRun run;
+  run.label = label;
+  run.nranks = analysis.nranks;
+  run.steps = analysis.step.steps;
+  run.seed = seed;
+  run.phase_s = analysis.step.per_step_s;
+  for (double& phase : run.phase_s) {
+    // Self times are differences; drop float dust so baselines stay clean.
+    if (phase > -1e-12 && phase < 1e-12) phase = 0.0;
+  }
+  run.total_s = analysis.step.total();
+  run.end_to_end_s = analysis.end_to_end_s();
+  return run;
+}
+
+std::string write_baseline(const Baseline& baseline) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schema\": \"" << kBaselineSchema << "\",\n"
+      << "  \"tool\": \"" << json_escape(baseline.tool) << "\",\n"
+      << "  \"config\": \"" << json_escape(baseline.config) << "\",\n"
+      << "  \"threads\": " << baseline.threads << ",\n"
+      << "  \"seed\": " << baseline.seed << ",\n"
+      << "  \"runs\": [";
+  bool first = true;
+  for (const BaselineRun& run : baseline.runs) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"label\": \"" << json_escape(run.label)
+        << "\", \"nranks\": " << run.nranks << ", \"steps\": " << run.steps
+        << ", \"seed\": " << run.seed << ",\n     \"phases\": {";
+    for (int c = 0; c < kCategoryCount; ++c) {
+      if (c != 0) out << ", ";
+      out << "\"" << phase_name(c) << "\": " << format_num(run.phase_s[c]);
+    }
+    out << "},\n     \"total_s\": " << format_num(run.total_s)
+        << ", \"end_to_end_s\": " << format_num(run.end_to_end_s) << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+Status write_baseline_file(const std::string& path,
+                           const Baseline& baseline) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open baseline file: " + path);
+  out << write_baseline(baseline);
+  out.flush();
+  if (!out) return Status::Internal("short write to baseline file: " + path);
+  return Status::Ok();
+}
+
+bool is_baseline_json(const Json& root) {
+  if (!root.is_object()) return false;
+  const Json* schema = root.find("schema");
+  return schema != nullptr && schema->kind == Json::Kind::kString &&
+         schema->string == kBaselineSchema;
+}
+
+StatusOr<Baseline> read_baseline(std::string_view text) {
+  INSITU_ASSIGN_OR_RETURN(Json root, parse_json(text));
+  if (!is_baseline_json(root)) {
+    return Status::InvalidArgument(
+        "not a baseline file (expected schema \"" +
+        std::string(kBaselineSchema) + "\")");
+  }
+  Baseline out;
+  out.tool = root.string_or("tool", "");
+  out.config = root.string_or("config", "");
+  out.threads = static_cast<int>(root.number_or("threads", 1));
+  out.seed = static_cast<std::uint64_t>(root.number_or("seed", 0));
+  const Json* runs = root.find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    return Status::InvalidArgument("baseline: missing runs array");
+  }
+  for (const Json& r : runs->array) {
+    if (!r.is_object()) continue;
+    BaselineRun run;
+    run.label = r.string_or("label", "");
+    run.nranks = static_cast<int>(r.number_or("nranks", 0));
+    run.steps = static_cast<std::uint64_t>(r.number_or("steps", 0));
+    run.seed = static_cast<std::uint64_t>(r.number_or("seed", 0));
+    if (const Json* phases = r.find("phases"); phases != nullptr) {
+      for (int c = 0; c < kCategoryCount; ++c) {
+        run.phase_s[c] = phases->number_or(phase_name(c), 0.0);
+      }
+    }
+    run.total_s = r.number_or("total_s", 0.0);
+    run.end_to_end_s = r.number_or("end_to_end_s", 0.0);
+    out.runs.push_back(std::move(run));
+  }
+  return out;
+}
+
+StatusOr<Baseline> read_baseline_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open baseline file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_baseline(buf.str());
+}
+
+namespace {
+
+void check_value(const std::string& run, const std::string& phase,
+                 double base, double current, const CheckOptions& options,
+                 CheckResult& result) {
+  if (base < options.min_phase_s) {
+    if (current >= options.min_phase_s) {
+      result.notes.push_back("note: " + run + "/" + phase +
+                             " appeared (baseline ~0, now " +
+                             format_num(current) + "s)");
+    }
+    return;
+  }
+  if (current > base * (1.0 + options.tolerance)) {
+    result.regressions.push_back({run, phase, base, current});
+  } else if (current < base * (1.0 - options.tolerance)) {
+    result.notes.push_back("note: " + run + "/" + phase + " improved " +
+                           format_num(base) + "s -> " + format_num(current) +
+                           "s");
+  }
+}
+
+}  // namespace
+
+CheckResult check_baseline(const Baseline& base, const Baseline& current,
+                           const CheckOptions& options) {
+  CheckResult result;
+  for (const BaselineRun& b : base.runs) {
+    const BaselineRun* c = nullptr;
+    for (const BaselineRun& candidate : current.runs) {
+      if (candidate.label == b.label) {
+        c = &candidate;
+        break;
+      }
+    }
+    if (c == nullptr) {
+      result.mismatches.push_back("run missing from current results: " +
+                                  b.label);
+      continue;
+    }
+    if (c->nranks != b.nranks) {
+      result.mismatches.push_back(
+          b.label + ": rank count changed " + std::to_string(b.nranks) +
+          " -> " + std::to_string(c->nranks));
+    }
+    if (c->steps != b.steps) {
+      result.mismatches.push_back(
+          b.label + ": step count changed " + std::to_string(b.steps) +
+          " -> " + std::to_string(c->steps));
+    }
+    if (c->seed != b.seed) {
+      result.notes.push_back("note: " + b.label + ": seed changed " +
+                             std::to_string(b.seed) + " -> " +
+                             std::to_string(c->seed));
+    }
+    for (int cat = 0; cat < kCategoryCount; ++cat) {
+      check_value(b.label, phase_name(cat), b.phase_s[cat], c->phase_s[cat],
+                  options, result);
+    }
+    check_value(b.label, "total", b.total_s, c->total_s, options, result);
+    check_value(b.label, "end_to_end", b.end_to_end_s, c->end_to_end_s,
+                options, result);
+  }
+  for (const BaselineRun& c : current.runs) {
+    bool known = false;
+    for (const BaselineRun& b : base.runs) {
+      if (b.label == c.label) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      result.notes.push_back("note: run not in baseline (skipped): " +
+                             c.label);
+    }
+  }
+  return result;
+}
+
+}  // namespace insitu::obs::analyze

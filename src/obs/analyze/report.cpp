@@ -1,0 +1,185 @@
+#include "obs/analyze/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pal/table.hpp"
+
+namespace insitu::obs::analyze {
+
+namespace {
+
+using pal::TablePrinter;
+
+std::string ms(double seconds) {
+  double value = seconds * 1e3;
+  // Self times are differences; keep float dust from rendering as "-0".
+  if (value > -0.5e-6 && value < 0.5e-6) value = 0.0;
+  return TablePrinter::num(value, 6);
+}
+
+std::string pct(double fraction) {
+  return TablePrinter::num(fraction * 100.0, 1) + "%";
+}
+
+/// Dominant parent of a span, e.g. "bridge.execute (12)".
+std::string top_parent(const SpanStat& span) {
+  const ParentStat* best = nullptr;
+  for (const ParentStat& p : span.parents) {
+    if (best == nullptr || p.virt_s > best->virt_s) best = &p;
+  }
+  if (best == nullptr) return "-";
+  return best->parent + " (" + std::to_string(best->count) + ")";
+}
+
+}  // namespace
+
+AnalyzedRun analyze_run(const TraceRun& run) {
+  AnalyzedRun out;
+  out.label = run.label;
+  out.analysis = analyze_trace(run.log);
+  out.overlaps = rank_overlaps(run.log);
+  out.critical = critical_path(run.log);
+  return out;
+}
+
+std::vector<AnalyzedRun> analyze_runs(std::span<const TraceRun> runs) {
+  std::vector<AnalyzedRun> out;
+  out.reserve(runs.size());
+  for (const TraceRun& run : runs) out.push_back(analyze_run(run));
+  return out;
+}
+
+std::string render_breakdown_table(std::span<const AnalyzedRun> runs,
+                                   const ReportOptions& /*options*/) {
+  TablePrinter table("per-step breakdown (virtual ms, mean per rank)");
+  std::vector<std::string> header = {"configuration", "ranks", "steps"};
+  for (int c = 0; c < kCategoryCount; ++c) {
+    header.push_back(to_string(static_cast<Category>(c)));
+  }
+  header.push_back("total");
+  header.push_back("end-to-end s");
+  table.set_header(std::move(header));
+  for (const AnalyzedRun& run : runs) {
+    const TraceAnalysis& a = run.analysis;
+    std::vector<std::string> row = {run.label, std::to_string(a.nranks),
+                                    std::to_string(a.step.steps)};
+    for (int c = 0; c < kCategoryCount; ++c) {
+      row.push_back(ms(a.step.per_step_s[c]));
+    }
+    row.push_back(ms(a.step.total()));
+    row.push_back(TablePrinter::num(a.end_to_end_s(), 6));
+    table.add_row(std::move(row));
+  }
+  table.add_note(
+      "total = per-step sim + analysis time; phases are self virtual time "
+      "from the miniapp.step / bridge.execute span trees");
+  return table.to_string();
+}
+
+std::string render_span_table(const AnalyzedRun& run,
+                              const ReportOptions& options) {
+  std::vector<const SpanStat*> order;
+  double self_sum = 0.0;
+  for (const SpanStat& s : run.analysis.spans) {
+    order.push_back(&s);
+    self_sum += s.self_virt_s;
+  }
+  std::sort(order.begin(), order.end(),
+            [](const SpanStat* a, const SpanStat* b) {
+              if (a->self_virt_s != b->self_virt_s) {
+                return a->self_virt_s > b->self_virt_s;
+              }
+              return a->name < b->name;
+            });
+  if (options.top_spans != 0 && order.size() > options.top_spans) {
+    order.resize(options.top_spans);
+  }
+
+  TablePrinter table("spans: " + run.label);
+  std::vector<std::string> header = {"span",    "cat",     "count",
+                                     "total s", "self s",  "self %",
+                                     "mean ms", "top parent"};
+  if (options.wall) header.insert(header.begin() + 7, "wall ms");
+  table.set_header(std::move(header));
+  for (const SpanStat* s : order) {
+    std::vector<std::string> row = {
+        s->name,
+        to_string(s->category),
+        std::to_string(s->count),
+        TablePrinter::num(s->total_virt_s, 6),
+        TablePrinter::num(s->self_virt_s, 6),
+        pct(self_sum <= 0.0 ? 0.0 : s->self_virt_s / self_sum),
+        ms(s->mean_virt_s()),
+        top_parent(*s)};
+    if (options.wall) {
+      row.insert(row.begin() + 7,
+                 TablePrinter::num(
+                     static_cast<double>(s->total_wall_ns) / 1e6, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+std::string render_overlap_report(const AnalyzedRun& run,
+                                  const ReportOptions& /*options*/) {
+  std::ostringstream out;
+  if (!run.overlaps.empty()) {
+    TablePrinter table("async overlap: " + run.label);
+    table.set_header({"rank", "sim busy s", "worker busy s", "overlap s",
+                      "hidden", "end s"});
+    for (const RankOverlap& o : run.overlaps) {
+      table.add_row({std::to_string(o.rank),
+                     TablePrinter::num(o.sim_busy_s, 6),
+                     TablePrinter::num(o.worker_busy_s, 6),
+                     TablePrinter::num(o.overlap_s, 6),
+                     pct(o.overlap_fraction()),
+                     TablePrinter::num(o.end_s, 6)});
+    }
+    table.add_note("hidden = overlap / worker busy (fraction of analysis "
+                   "cost absorbed by the simulation plane)");
+    out << table.to_string();
+  }
+
+  const CriticalPath& cp = run.critical;
+  if (!cp.segments.empty()) {
+    TablePrinter table("critical path: " + run.label + " (rank " +
+                       std::to_string(cp.rank) + ")");
+    table.set_header({"segment", "plane", "count", "virtual s", "share"});
+    for (const CriticalSegment& seg : cp.segments) {
+      table.add_row({seg.name, seg.worker ? "worker" : "sim",
+                     std::to_string(seg.count),
+                     TablePrinter::num(seg.virt_s, 6),
+                     pct(cp.end_s <= 0.0 ? 0.0 : seg.virt_s / cp.end_s)});
+    }
+    table.add_note("segments partition [0, " +
+                   TablePrinter::num(cp.end_s, 6) +
+                   "] s on the last-finishing rank; worker-plane spans "
+                   "take precedence over sim-plane spans");
+    out << table.to_string();
+  }
+  return out.str();
+}
+
+std::string render_report(std::span<const AnalyzedRun> runs,
+                          const ExportMeta* meta,
+                          const ReportOptions& options) {
+  std::ostringstream out;
+  if (meta != nullptr) {
+    out << "# " << kTraceSchema << " tool=" << meta->tool
+        << " threads=" << meta->threads << " seed=" << meta->seed << "\n";
+    if (!meta->config.empty()) out << "# config: " << meta->config << "\n";
+    out << "\n";
+  }
+  out << render_breakdown_table(runs, options);
+  for (const AnalyzedRun& run : runs) {
+    if (options.spans) out << "\n" << render_span_table(run, options);
+    if (options.overlap && run.analysis.has_worker_tracks()) {
+      out << "\n" << render_overlap_report(run, options);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace insitu::obs::analyze

@@ -1,0 +1,61 @@
+#pragma once
+
+// Text rendering for trace analyses: the paper-style breakdown tables
+// (pal/table format, same as the bench binaries print) built from
+// obs/analyze results. Used by tools/perf_report and by the benches'
+// --baseline writers.
+//
+// Default output is deterministic: only virtual-time quantities are
+// printed, so a report is byte-identical across hosts and `threads=N`
+// settings. ReportOptions::wall adds wall-clock columns for profiling
+// this implementation itself.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/analyze.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/export_meta.hpp"
+
+namespace insitu::obs::analyze {
+
+/// One run, fully analyzed: aggregation, overlap rows, critical path.
+struct AnalyzedRun {
+  std::string label;
+  TraceAnalysis analysis;
+  std::vector<RankOverlap> overlaps;  ///< empty for sync runs
+  CriticalPath critical;
+};
+
+AnalyzedRun analyze_run(const TraceRun& run);
+std::vector<AnalyzedRun> analyze_runs(std::span<const TraceRun> runs);
+
+struct ReportOptions {
+  bool spans = true;     ///< per-span aggregation section
+  bool overlap = true;   ///< overlap + critical path for async runs
+  bool wall = false;     ///< add wall-clock columns (nondeterministic)
+  std::size_t top_spans = 0;  ///< span rows per run, 0 = all
+};
+
+/// Paper-style table: one row per run/configuration, per-step virtual
+/// milliseconds split by phase; "total" reproduces the bench-reported
+/// step time (per-step sim + per-step analysis).
+std::string render_breakdown_table(std::span<const AnalyzedRun> runs,
+                                   const ReportOptions& options = {});
+
+/// Per-span aggregation for one run: self/total virtual time, counts,
+/// and the dominant parent. Rows sorted by self time (desc), then name.
+std::string render_span_table(const AnalyzedRun& run,
+                              const ReportOptions& options = {});
+
+/// Sim/worker overlap per rank plus the aggregated critical-path walk.
+std::string render_overlap_report(const AnalyzedRun& run,
+                                  const ReportOptions& options = {});
+
+/// Full report: metadata header, breakdown table, then per-run sections.
+std::string render_report(std::span<const AnalyzedRun> runs,
+                          const ExportMeta* meta = nullptr,
+                          const ReportOptions& options = {});
+
+}  // namespace insitu::obs::analyze

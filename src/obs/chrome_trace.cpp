@@ -49,7 +49,8 @@ void write_span(std::ostream& out, const TraceEvent& e, int pid,
       << ",\"tid\":" << e.rank << ",\"ts\":" << format_us(ts_us)
       << ",\"dur\":" << format_us(dur_us);
   if (options.include_args) {
-    out << ",\"args\":{\"virtual_s\":" << format_arg(e.virt_begin_s)
+    out << ",\"args\":{\"depth\":" << e.depth
+        << ",\"virtual_s\":" << format_arg(e.virt_begin_s)
         << ",\"virtual_dur_s\":" << format_arg(e.virt_dur_s)
         << ",\"wall_ms\":"
         << format_arg(static_cast<double>(e.wall_begin_ns) / 1e6)
@@ -91,7 +92,14 @@ std::string json_escape(std::string_view text) {
 
 void write_chrome_trace(std::ostream& out, std::span<const TraceRun> runs,
                         const ChromeTraceOptions& options) {
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"displayTimeUnit\":\"ms\",";
+  if (options.meta != nullptr) {
+    const ExportMeta& m = *options.meta;
+    out << "\"metadata\":{\"schema\":\"" << kTraceSchema << "\",\"tool\":\""
+        << json_escape(m.tool) << "\",\"config\":\"" << json_escape(m.config)
+        << "\",\"threads\":" << m.threads << ",\"seed\":" << m.seed << "},";
+  }
+  out << "\"traceEvents\":[\n";
   bool first = true;
   for (std::size_t r = 0; r < runs.size(); ++r) {
     const TraceRun& run = runs[r];

@@ -13,6 +13,7 @@
 #include <span>
 #include <string>
 
+#include "obs/export_meta.hpp"
 #include "obs/trace.hpp"
 #include "pal/status.hpp"
 
@@ -27,10 +28,14 @@ struct TraceRun {
 struct ChromeTraceOptions {
   enum class Timeline { kVirtual, kWall };
   Timeline timeline = Timeline::kVirtual;
-  /// Emit span args (bytes annotations + cross-timeline times). Golden
-  /// tests disable this together with the wall timeline to get
-  /// bit-deterministic output.
+  /// Emit span args (bytes annotations, cross-timeline times, and the
+  /// nesting depth tools/perf_report uses for exact self-time
+  /// attribution). Golden tests disable this together with the wall
+  /// timeline to get bit-deterministic output.
   bool include_args = true;
+  /// When set, a top-level "metadata" object makes the file a
+  /// self-describing perf_report input (docs/PERFORMANCE.md).
+  const ExportMeta* meta = nullptr;
 };
 
 /// Serialize runs as a JSON object with a `traceEvents` array.

@@ -35,4 +35,12 @@ const char* to_string(Category category) {
   return "?";
 }
 
+Category category_from_string(std::string_view name) {
+  for (int i = 0; i < kCategoryCount; ++i) {
+    const Category c = static_cast<Category>(i);
+    if (name == to_string(c)) return c;
+  }
+  return Category::kOther;
+}
+
 }  // namespace insitu::obs

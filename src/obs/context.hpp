@@ -21,6 +21,10 @@ struct RankContext {
   int rank = 0;
   MetricsRegistry* metrics = nullptr;  // null -> process fallback registry
   TraceRecorder* trace = nullptr;      // null -> tracing disabled
+  /// Open TraceScope count on this thread; each span records the value at
+  /// its construction as its nesting depth, making parent/child structure
+  /// exact (and deterministic) for offline analysis.
+  int span_depth = 0;
   double (*virtual_now_fn)(const void*) = nullptr;
   const void* virtual_clock = nullptr;
 

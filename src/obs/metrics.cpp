@@ -36,12 +36,17 @@ void atomic_update_max(std::atomic<double>& slot, double value) {
 std::string metric_key(std::string_view name, const Labels& labels) {
   std::string key(name);
   if (labels.empty()) return key;
+  // Canonical (sorted) label order: the same label set always serializes
+  // to the same key, so series identities in baselines and reports are
+  // stable no matter the insertion order at the call site.
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
   key += '{';
-  for (std::size_t i = 0; i < labels.size(); ++i) {
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
     if (i > 0) key += ',';
-    key += labels[i].first;
+    key += sorted[i].first;
     key += '=';
-    key += labels[i].second;
+    key += sorted[i].second;
   }
   key += '}';
   return key;

@@ -29,10 +29,12 @@
 
 namespace insitu::obs {
 
-/// Label set for one series, serialized in the given order.
+/// Label set for one series. Serialization sorts by label key, so the
+/// order here never affects a series' identity.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
-/// Serialized series identity: `name` or `name{k=v,k2=v2}`.
+/// Serialized series identity: `name` or `name{k=v,k2=v2}` with labels in
+/// canonical (sorted) order regardless of insertion order.
 std::string metric_key(std::string_view name, const Labels& labels);
 
 /// Monotonically increasing integer (bytes moved, messages sent, ...).

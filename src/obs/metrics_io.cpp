@@ -39,7 +39,7 @@ void write_csv_rows(std::ostream& out, const std::string& run,
           << ',' << format_num(histogram_quantile(s, 0.9)) << ','
           << format_num(histogram_quantile(s, 0.99));
     } else {
-      out << format_num(s.value) << ",,,,,,,";
+      out << format_num(s.value) << ",,,,,,,,";
     }
     out << '\n';
   }
@@ -68,9 +68,21 @@ void write_json_series(std::ostream& out, const std::string& run,
   }
 }
 
+void write_meta_json(std::ostream& out, const ExportMeta& m) {
+  out << "{\"tool\":\"" << json_escape(m.tool) << "\",\"config\":\""
+      << json_escape(m.config) << "\",\"threads\":" << m.threads
+      << ",\"seed\":" << m.seed << "}";
+}
+
 }  // namespace
 
-void write_metrics_csv(std::ostream& out, std::span<const MetricsRun> runs) {
+void write_metrics_csv(std::ostream& out, std::span<const MetricsRun> runs,
+                       const ExportMeta* meta) {
+  if (meta != nullptr) {
+    out << "# " << kMetricsSchema << " tool=" << meta->tool
+        << " threads=" << meta->threads << " seed=" << meta->seed
+        << " config=" << csv_field(meta->config) << '\n';
+  }
   out << "run,metric,kind,value,count,sum,mean,min,max,p50,p90,p99\n";
   for (const MetricsRun& run : runs) {
     write_csv_rows(out, run.label, run.snapshot);
@@ -83,10 +95,11 @@ void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot) {
 }
 
 Status write_metrics_csv_file(const std::string& path,
-                              std::span<const MetricsRun> runs) {
+                              std::span<const MetricsRun> runs,
+                              const ExportMeta* meta) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::NotFound("cannot open metrics file: " + path);
-  write_metrics_csv(out, runs);
+  write_metrics_csv(out, runs, meta);
   out.flush();
   if (!out) return Status::Internal("short write to metrics file: " + path);
   return Status::Ok();
@@ -98,20 +111,29 @@ Status write_metrics_csv_file(const std::string& path,
   return write_metrics_csv_file(path, std::span<const MetricsRun>(&run, 1));
 }
 
-void write_metrics_json(std::ostream& out, std::span<const MetricsRun> runs) {
+void write_metrics_json(std::ostream& out, std::span<const MetricsRun> runs,
+                        const ExportMeta* meta) {
+  if (meta != nullptr) {
+    out << "{\"schema\":\"" << kMetricsSchema << "\",\"meta\":";
+    write_meta_json(out, *meta);
+    out << ",\"series\":";
+  }
   out << "[\n";
   bool first = true;
   for (const MetricsRun& run : runs) {
     write_json_series(out, run.label, run.snapshot, first);
   }
-  out << "\n]\n";
+  out << "\n]";
+  if (meta != nullptr) out << "}";
+  out << "\n";
 }
 
 Status write_metrics_json_file(const std::string& path,
-                               std::span<const MetricsRun> runs) {
+                               std::span<const MetricsRun> runs,
+                               const ExportMeta* meta) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::NotFound("cannot open metrics file: " + path);
-  write_metrics_json(out, runs);
+  write_metrics_json(out, runs, meta);
   out.flush();
   if (!out) return Status::Internal("short write to metrics file: " + path);
   return Status::Ok();

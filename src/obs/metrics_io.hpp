@@ -9,11 +9,17 @@
 //   run,metric,kind,value,count,sum,mean,min,max,p50,p90,p99
 // `value` is the counter total / gauge value (empty for histograms);
 // count..p99 are histogram statistics (empty for counters and gauges).
+//
+// With an ExportMeta the files become self-describing perf_report inputs:
+// the CSV gains a leading `# insitu-metrics/1 ...` comment line and the
+// JSON form becomes an object {"schema","meta","series"} instead of the
+// bare series array.
 
 #include <ostream>
 #include <span>
 #include <string>
 
+#include "obs/export_meta.hpp"
 #include "obs/metrics.hpp"
 #include "pal/status.hpp"
 
@@ -25,17 +31,21 @@ struct MetricsRun {
   MetricsSnapshot snapshot;
 };
 
-void write_metrics_csv(std::ostream& out, std::span<const MetricsRun> runs);
+void write_metrics_csv(std::ostream& out, std::span<const MetricsRun> runs,
+                       const ExportMeta* meta = nullptr);
 void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot);
 
 Status write_metrics_csv_file(const std::string& path,
-                              std::span<const MetricsRun> runs);
+                              std::span<const MetricsRun> runs,
+                              const ExportMeta* meta = nullptr);
 Status write_metrics_csv_file(const std::string& path,
                               const MetricsSnapshot& snapshot);
 
-void write_metrics_json(std::ostream& out, std::span<const MetricsRun> runs);
+void write_metrics_json(std::ostream& out, std::span<const MetricsRun> runs,
+                        const ExportMeta* meta = nullptr);
 
 Status write_metrics_json_file(const std::string& path,
-                               std::span<const MetricsRun> runs);
+                               std::span<const MetricsRun> runs,
+                               const ExportMeta* meta = nullptr);
 
 }  // namespace insitu::obs

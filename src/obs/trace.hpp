@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,12 @@ enum class Category {
 
 const char* to_string(Category category);
 
+/// Number of Category values (array-index friendly: kSim..kOther are 0-6).
+inline constexpr int kCategoryCount = 7;
+
+/// Inverse of to_string(); unknown names map to Category::kOther.
+Category category_from_string(std::string_view name);
+
 /// Small numeric annotation attached to a span (bytes, counts, ...).
 struct TraceArg {
   std::string key;
@@ -47,6 +54,10 @@ struct TraceEvent {
   std::string name;
   Category category = Category::kOther;
   int rank = 0;
+  /// Nesting depth at construction (0 = top level on its track). Events
+  /// are recorded in destruction (post-) order, so a track's stream plus
+  /// depths reconstructs the span forest exactly (obs/analyze).
+  int depth = 0;
   std::int64_t wall_begin_ns = 0;
   std::int64_t wall_dur_ns = 0;
   double virt_begin_s = 0.0;
@@ -122,6 +133,7 @@ class TraceScope {
     if (recorder_ == nullptr) return;
     event_.name = std::move(name);
     event_.category = category;
+    event_.depth = ctx.span_depth++;
     event_.wall_begin_ns = recorder_->wall_now_ns();
     event_.virt_begin_s = ctx.virtual_now();
   }
@@ -139,6 +151,7 @@ class TraceScope {
 
   ~TraceScope() {
     if (recorder_ == nullptr) return;
+    --context().span_depth;
     event_.wall_dur_ns = recorder_->wall_now_ns() - event_.wall_begin_ns;
     event_.virt_dur_s = context().virtual_now() - event_.virt_begin_s;
     recorder_->record(std::move(event_));

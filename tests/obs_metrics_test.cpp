@@ -20,6 +20,19 @@ TEST(MetricKey, SerializesNameAndLabels) {
             "backend.execute.seconds{backend=catalyst,phase=render}");
 }
 
+TEST(MetricKey, LabelOrderIsCanonical) {
+  // Labels serialize sorted by key, so insertion order never creates a
+  // distinct series.
+  EXPECT_EQ(metric_key("m", {{"b", "2"}, {"a", "1"}}), "m{a=1,b=2}");
+  EXPECT_EQ(metric_key("m", {{"a", "1"}, {"b", "2"}}),
+            metric_key("m", {{"b", "2"}, {"a", "1"}}));
+
+  MetricsRegistry reg;
+  Counter& a = reg.counter("m", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.counter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
 TEST(MetricsRegistry, SameKeyReturnsSameInstrument) {
   MetricsRegistry reg;
   Counter& a = reg.counter("x", {{"k", "v"}});
@@ -183,9 +196,10 @@ TEST(MetricsCsv, QuotesKeysContainingCommas) {
   const std::string text = out.str();
   EXPECT_EQ(text.substr(0, text.find('\n')),
             "run,metric,kind,value,count,sum,mean,min,max,p50,p90,p99");
-  // The label set contains a comma, so the field must be quoted.
+  // The label set contains a comma, so the field must be quoted (labels
+  // serialize in canonical sorted order).
   EXPECT_NE(
-      text.find("\"io.bytes_written{writer=file,tier=burst}\""),
+      text.find("\"io.bytes_written{tier=burst,writer=file}\""),
       std::string::npos)
       << text;
   EXPECT_NE(text.find("counter,4096"), std::string::npos) << text;

@@ -1,0 +1,274 @@
+// perf_report: offline performance-analysis CLI over the obs exports
+// (docs/PERFORMANCE.md).
+//
+//   perf_report trace.json                  paper-style breakdown report
+//   perf_report trace.json --metrics m.csv  ... plus the metrics dump
+//   perf_report trace.json --write-baseline bench/baselines/foo.json
+//   perf_report trace.json --check bench/baselines/foo.json [--tolerance F]
+//   perf_report baseline.json               print a baseline file
+//   perf_report current.json --check base.json   (two baseline files)
+//   perf_report metrics.csv                 print a metrics dump
+//
+// Input kind (Chrome trace / baseline / metrics CSV or JSON) is
+// auto-detected. --check exits 2 on per-phase virtual-time regressions
+// beyond tolerance (default +10%) unless --report-only is given.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analyze/baseline.hpp"
+#include "obs/analyze/import.hpp"
+#include "obs/analyze/report.hpp"
+#include "pal/config.hpp"
+#include "pal/table.hpp"
+
+namespace {
+
+using namespace insitu;
+using namespace insitu::obs;
+using namespace insitu::obs::analyze;
+
+constexpr int kExitUsage = 64;
+constexpr int kExitError = 1;
+constexpr int kExitRegression = 2;
+
+void usage() {
+  std::fputs(
+      "usage: perf_report <trace.json|baseline.json|metrics.{csv,json}> "
+      "[options]\n"
+      "  --metrics <path>         also print a metrics dump\n"
+      "  --write-baseline <path>  distill the trace into a baseline file\n"
+      "  --check <baseline.json>  compare against a baseline; exit 2 on\n"
+      "                           regression beyond tolerance\n"
+      "  --tolerance <fraction>   allowed relative growth (default 0.10)\n"
+      "  --report-only            with --check: always exit 0\n"
+      "  --top <N>                span rows per run (default: all)\n"
+      "  --wall                   add wall-clock columns (nondeterministic)\n"
+      "  --no-spans               skip the per-span aggregation tables\n"
+      "  --no-overlap             skip overlap / critical-path tables\n",
+      stderr);
+}
+
+enum class InputKind { kTrace, kBaseline, kMetrics };
+
+/// Peek at the file to classify it without committing to a parser.
+StatusOr<InputKind> classify(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open input file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    if (c != '{' && c != '[') return InputKind::kMetrics;  // CSV
+    break;
+  }
+  if (text.find("\"traceEvents\"") != std::string::npos) {
+    return InputKind::kTrace;
+  }
+  if (text.find(kBaselineSchema) != std::string::npos) {
+    return InputKind::kBaseline;
+  }
+  return InputKind::kMetrics;  // metrics JSON
+}
+
+std::string render_metrics_table(const MetricsTable& metrics) {
+  pal::TablePrinter table("metrics");
+  table.set_header({"run", "metric", "kind", "value", "count", "mean",
+                    "p50", "p90", "p99"});
+  for (const MetricsRow& row : metrics.rows) {
+    if (row.kind == MetricKind::kHistogram) {
+      table.add_row({row.run, row.metric, to_string(row.kind), "",
+                     std::to_string(row.count),
+                     pal::TablePrinter::num(row.mean, 6),
+                     pal::TablePrinter::num(row.p50, 6),
+                     pal::TablePrinter::num(row.p90, 6),
+                     pal::TablePrinter::num(row.p99, 6)});
+    } else {
+      table.add_row({row.run, row.metric, to_string(row.kind),
+                     pal::TablePrinter::num(row.value, 6), "", "", "", "",
+                     ""});
+    }
+  }
+  if (metrics.has_meta) {
+    table.add_note("tool=" + metrics.meta.tool +
+                   " threads=" + std::to_string(metrics.meta.threads) +
+                   " seed=" + std::to_string(metrics.meta.seed));
+  }
+  return table.to_string();
+}
+
+std::string render_baseline_table(const Baseline& baseline,
+                                  const std::string& title) {
+  pal::TablePrinter table(title);
+  std::vector<std::string> header = {"run", "ranks", "steps"};
+  for (int c = 0; c < kCategoryCount; ++c) {
+    header.push_back(to_string(static_cast<Category>(c)));
+  }
+  header.push_back("total ms");
+  header.push_back("end-to-end s");
+  table.set_header(std::move(header));
+  for (const BaselineRun& run : baseline.runs) {
+    std::vector<std::string> row = {run.label, std::to_string(run.nranks),
+                                    std::to_string(run.steps)};
+    for (int c = 0; c < kCategoryCount; ++c) {
+      row.push_back(pal::TablePrinter::num(run.phase_s[c] * 1e3, 6));
+    }
+    row.push_back(pal::TablePrinter::num(run.total_s * 1e3, 6));
+    row.push_back(pal::TablePrinter::num(run.end_to_end_s, 6));
+    table.add_row(std::move(row));
+  }
+  table.add_note("tool=" + baseline.tool +
+                 " threads=" + std::to_string(baseline.threads) +
+                 " seed=" + std::to_string(baseline.seed));
+  if (!baseline.config.empty()) {
+    table.add_note("config: " + baseline.config);
+  }
+  return table.to_string();
+}
+
+/// Distill an imported trace into baseline form (one entry per run).
+Baseline baseline_from_runs(const std::vector<AnalyzedRun>& runs,
+                            const ExportMeta& meta) {
+  Baseline out;
+  out.tool = meta.tool;
+  out.config = meta.config;
+  out.threads = meta.threads;
+  out.seed = meta.seed;
+  for (const AnalyzedRun& run : runs) {
+    out.runs.push_back(
+        baseline_run_from_analysis(run.label, run.analysis, meta.seed));
+  }
+  return out;
+}
+
+int run_check(const Baseline& base, const Baseline& current,
+              const CheckOptions& options, bool report_only) {
+  const CheckResult result = check_baseline(base, current, options);
+  if (!result.regressions.empty()) {
+    pal::TablePrinter table("perf regressions (tolerance +" +
+                            pal::TablePrinter::num(options.tolerance * 100,
+                                                   1) +
+                            "%)");
+    table.set_header({"run", "phase", "baseline s", "current s", "ratio"});
+    for (const Regression& r : result.regressions) {
+      table.add_row({r.run, r.phase, pal::TablePrinter::num(r.baseline_s, 9),
+                     pal::TablePrinter::num(r.current_s, 9),
+                     pal::TablePrinter::num(r.ratio(), 3) + "x"});
+    }
+    table.print();
+  }
+  for (const std::string& m : result.mismatches) {
+    std::printf("mismatch: %s\n", m.c_str());
+  }
+  for (const std::string& n : result.notes) {
+    std::printf("%s\n", n.c_str());
+  }
+  if (result.ok()) {
+    std::printf("PERF CHECK OK: %zu run(s) within +%s%% of baseline\n",
+                base.runs.size(),
+                pal::TablePrinter::num(options.tolerance * 100, 1).c_str());
+    return 0;
+  }
+  std::printf("PERF CHECK FAILED: %zu regression(s), %zu mismatch(es)\n",
+              result.regressions.size(), result.mismatches.size());
+  return report_only ? 0 : kExitRegression;
+}
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "perf_report: %s\n", status.message().c_str());
+  return kExitError;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pal::Config cfg = pal::Config::from_args(argc, argv);
+  if (cfg.positional().size() != 1 || cfg.has("help")) {
+    usage();
+    return cfg.has("help") ? 0 : kExitUsage;
+  }
+  const std::string input_path = cfg.positional()[0];
+
+  CheckOptions check_options;
+  check_options.tolerance = cfg.get_double_or("tolerance", 0.10);
+  const bool report_only = cfg.get_bool_or("report-only", false);
+
+  ReportOptions report_options;
+  report_options.spans = !cfg.get_bool_or("no-spans", false);
+  report_options.overlap = !cfg.get_bool_or("no-overlap", false);
+  report_options.wall = cfg.get_bool_or("wall", false);
+  report_options.top_spans =
+      static_cast<std::size_t>(cfg.get_int_or("top", 0));
+
+  const auto kind = classify(input_path);
+  if (!kind.ok()) return fail(kind.status());
+
+  // Resolve the input into (optionally) a report and a baseline view.
+  std::optional<Baseline> current;
+  switch (*kind) {
+    case InputKind::kTrace: {
+      auto imported = import_chrome_trace_file(input_path);
+      if (!imported.ok()) return fail(imported.status());
+      const std::vector<AnalyzedRun> runs = analyze_runs(imported->runs);
+      const std::string report = render_report(
+          runs, imported->has_meta ? &imported->meta : nullptr,
+          report_options);
+      std::fwrite(report.data(), 1, report.size(), stdout);
+      current = baseline_from_runs(runs, imported->meta);
+      break;
+    }
+    case InputKind::kBaseline: {
+      auto baseline = read_baseline_file(input_path);
+      if (!baseline.ok()) return fail(baseline.status());
+      std::fputs(
+          render_baseline_table(*baseline, "baseline: " + input_path)
+              .c_str(),
+          stdout);
+      current = std::move(*baseline);
+      break;
+    }
+    case InputKind::kMetrics: {
+      auto metrics = import_metrics_file(input_path);
+      if (!metrics.ok()) return fail(metrics.status());
+      std::fputs(render_metrics_table(*metrics).c_str(), stdout);
+      break;
+    }
+  }
+
+  if (cfg.has("metrics")) {
+    auto metrics = import_metrics_file(cfg.get_string_or("metrics", ""));
+    if (!metrics.ok()) return fail(metrics.status());
+    std::fputs(render_metrics_table(*metrics).c_str(), stdout);
+  }
+
+  if (cfg.has("write-baseline")) {
+    if (!current.has_value()) {
+      std::fputs("perf_report: --write-baseline needs a trace or baseline "
+                 "input\n",
+                 stderr);
+      return kExitUsage;
+    }
+    const std::string out_path = cfg.get_string_or("write-baseline", "");
+    const Status status = write_baseline_file(out_path, *current);
+    if (!status.ok()) return fail(status);
+    std::printf("wrote baseline: %s (%zu run(s))\n", out_path.c_str(),
+                current->runs.size());
+  }
+
+  if (cfg.has("check")) {
+    if (!current.has_value()) {
+      std::fputs("perf_report: --check needs a trace or baseline input\n",
+                 stderr);
+      return kExitUsage;
+    }
+    auto base = read_baseline_file(cfg.get_string_or("check", ""));
+    if (!base.ok()) return fail(base.status());
+    return run_check(*base, *current, check_options, report_only);
+  }
+  return 0;
+}
