@@ -40,6 +40,7 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
   }
   threads_ = threads < 1 ? 1 : threads;
   exec::set_global_threads(threads_);
+  pool_last_ = pal::buffer_pool().stats();
   g_obs_session = this;
 }
 
@@ -58,6 +59,8 @@ void ObsSession::record(const std::string& label,
   if (trace_enabled()) {
     traces_.push_back({full, report.trace});
     seeds_.push_back(report.seed);
+    pool_runs_.push_back(pal::buffer_pool().stats_since(pool_last_));
+    pool_last_ = pal::buffer_pool().stats();
   }
   if (metrics_enabled()) metrics_.push_back({full, report.metrics});
 }
@@ -112,9 +115,24 @@ int ObsSession::finish() {
     baseline.threads = threads_;
     baseline.seed = meta.seed;
     for (std::size_t i = 0; i < traces_.size(); ++i) {
-      baseline.runs.push_back(obs::analyze::baseline_run_from_analysis(
+      obs::analyze::BaselineRun run = obs::analyze::baseline_run_from_analysis(
           traces_[i].label, obs::analyze::analyze_trace(traces_[i].log),
-          i < seeds_.size() ? seeds_[i] : 0));
+          i < seeds_.size() ? seeds_[i] : 0);
+      if (i < pool_runs_.size()) {
+        const pal::BufferPoolStats& pool = pool_runs_[i];
+        // Short runs are dominated by warmup misses and by sim/worker
+        // scheduling wobble (a lagging async worker widens the live
+        // working set); only gate hit rates with enough traffic for a
+        // stable steady state.
+        if (pool.hits + pool.misses >= 256) {
+          run.has_pool = true;
+          run.pool_hit_rate = pool.hit_rate();
+          run.pool_bytes_allocated =
+              static_cast<double>(pool.bytes_allocated);
+          run.pool_bytes_reused = static_cast<double>(pool.bytes_reused);
+        }
+      }
+      baseline.runs.push_back(std::move(run));
     }
     const Status status =
         obs::analyze::write_baseline_file(baseline_path_, baseline);

@@ -22,6 +22,7 @@
 #include "miniapp/adaptor.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics_io.hpp"
+#include "pal/buffer_pool.hpp"
 #include "pal/table.hpp"
 #include "perfmodel/paper_model.hpp"
 
@@ -88,6 +89,10 @@ class ObsSession {
   std::vector<obs::TraceRun> traces_;
   std::vector<obs::MetricsRun> metrics_;
   std::vector<std::uint64_t> seeds_;  ///< per recorded trace run
+  /// Per recorded trace run: buffer-pool counter deltas between record()
+  /// calls, distilled into the baseline's optional "pool" block.
+  std::vector<pal::BufferPoolStats> pool_runs_;
+  pal::BufferPoolStats pool_last_;
   int threads_ = 1;
   bool finished_ = false;
 };

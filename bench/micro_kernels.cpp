@@ -13,6 +13,8 @@
 #include "analysis/histogram.hpp"
 #include "comm/runtime.hpp"
 #include "data/image_data.hpp"
+#include "io/block_io.hpp"
+#include "pal/buffer_pool.hpp"
 #include "render/compositor.hpp"
 #include "render/png.hpp"
 #include "render/rasterizer.hpp"
@@ -131,6 +133,104 @@ void BM_ImageCompositeMerge(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.num_pixels());
 }
 BENCHMARK(BM_ImageCompositeMerge)->Arg(512)->Arg(1024);
+
+// ---- pooled-memory / bulk-copy kernels ----
+
+data::DataArrayPtr make_array(std::int64_t tuples, data::Layout layout) {
+  auto a = data::DataArray::create<double>("v", tuples, 3, layout);
+  for (std::int64_t i = 0; i < tuples; ++i) {
+    for (int c = 0; c < 3; ++c) a->set(i, c, 0.25 * static_cast<double>(i + c));
+  }
+  return a;
+}
+
+void BM_DeepCopyAos(benchmark::State& state) {
+  auto a = make_array(state.range(0), data::Layout::kAos);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a->deep_copy());  // contiguous: single memcpy
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a->size_bytes()));
+}
+BENCHMARK(BM_DeepCopyAos)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_DeepCopySoa(benchmark::State& state) {
+  auto a = make_array(state.range(0), data::Layout::kSoa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a->deep_copy());  // per-component memcpy
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a->size_bytes()));
+}
+BENCHMARK(BM_DeepCopySoa)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_DeepCopyStrided(benchmark::State& state) {
+  // Non-unit stride: the typed-gather fallback.
+  const std::int64_t tuples = state.range(0);
+  std::vector<double> raw(static_cast<std::size_t>(4 * tuples));
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i] = static_cast<double>(i);
+  }
+  auto a = data::DataArray::wrap_typed("v", data::DataType::kFloat64, tuples,
+                                       1, {raw.data() + 1}, {4},
+                                       data::Layout::kSoa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a->deep_copy());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a->size_bytes()));
+}
+BENCHMARK(BM_DeepCopyStrided)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ToBytesSoa(benchmark::State& state) {
+  // SoA source packs to AoS wire order: the typed gather, not memcpy.
+  auto a = make_array(state.range(0), data::Layout::kSoa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a->to_bytes());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a->size_bytes()));
+}
+BENCHMARK(BM_ToBytesSoa)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  pal::BufferPool pool;
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  pool.release(pool.acquire(bytes));  // warm: steady state is all hits
+  for (auto _ : state) {
+    std::vector<std::byte> buf = pool.acquire(bytes);
+    benchmark::DoNotOptimize(buf.data());
+    pool.release(std::move(buf));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAcquireRelease)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_MallocAcquireRelease(benchmark::State& state) {
+  // The unpooled comparison: a fresh vector per step.
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::byte> buf;
+    buf.reserve(bytes);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MallocAcquireRelease)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_SerializeBlock(benchmark::State& state) {
+  auto img = make_grid_with_field(state.range(0));
+  pal::PooledBuffer buf;
+  std::size_t blob = 0;
+  for (auto _ : state) {
+    buf.bytes().clear();
+    blob = io::serialize_block_into(*img, buf.bytes());
+    benchmark::DoNotOptimize(buf.bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(blob));
+}
+BENCHMARK(BM_SerializeBlock)->Arg(16)->Arg(32);
 
 void BM_AllreduceRendezvous(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));

@@ -32,7 +32,6 @@ StatusOr<bool> Autocorrelation::execute(core::DataAdaptor& data) {
         "autocorrelation: block count changed mid-run");
   }
 
-  std::vector<std::int64_t> scratch;
   std::int64_t local_updates = 0;
   for (std::size_t b = 0; b < mesh->num_local_blocks(); ++b) {
     const data::DataSet& block = *mesh->block(b);
@@ -50,7 +49,7 @@ StatusOr<bool> Autocorrelation::execute(core::DataAdaptor& data) {
       state.centers.reserve(static_cast<std::size_t>(n));
       for (std::int64_t i = 0; i < n; ++i) {
         state.centers.push_back(
-            element_center(block, association_, i, scratch));
+            element_center(block, association_, i, cell_scratch_));
       }
     } else if (state.values_per_step != n) {
       return Status::FailedPrecondition(

@@ -75,6 +75,7 @@ class Autocorrelation final : public core::AnalysisAdaptor {
   long steps_ = 0;
   std::vector<BlockState> blocks_;
   std::vector<std::vector<Peak>> peaks_;
+  std::vector<std::int64_t> cell_scratch_;  // cell_points scratch, reused
 };
 
 }  // namespace insitu::analysis

@@ -23,10 +23,13 @@ std::int64_t HistogramResult::total() const {
 
 StatusOr<HistogramResult> compute_histogram(
     comm::Communicator& comm, const data::MultiBlockDataSet& mesh,
-    const std::string& array, data::Association association, int num_bins) {
+    const std::string& array, data::Association association, int num_bins,
+    HistogramScratch* scratch) {
   if (num_bins <= 0) {
     return Status::InvalidArgument("histogram needs num_bins > 0");
   }
+  HistogramScratch call_scratch;  // one-shot callers get fresh buffers
+  HistogramScratch& s = scratch != nullptr ? *scratch : call_scratch;
 
   // Pass 1: local min/max over all blocks.
   double local_min = std::numeric_limits<double>::max();
@@ -38,11 +41,14 @@ StatusOr<HistogramResult> compute_histogram(
     if (values == nullptr) continue;
     const std::int64_t n = values->num_tuples();
     const std::int64_t nchunks = exec::parallel_chunk_count(0, n, kValueGrain);
-    std::vector<double> chunk_min(static_cast<std::size_t>(nchunks),
-                                  std::numeric_limits<double>::max());
-    std::vector<double> chunk_max(static_cast<std::size_t>(nchunks),
-                                  std::numeric_limits<double>::lowest());
-    std::vector<std::int64_t> chunk_count(static_cast<std::size_t>(nchunks), 0);
+    std::vector<double>& chunk_min = s.chunk_min;
+    std::vector<double>& chunk_max = s.chunk_max;
+    std::vector<std::int64_t>& chunk_count = s.chunk_count;
+    chunk_min.assign(static_cast<std::size_t>(nchunks),
+                     std::numeric_limits<double>::max());
+    chunk_max.assign(static_cast<std::size_t>(nchunks),
+                     std::numeric_limits<double>::lowest());
+    chunk_count.assign(static_cast<std::size_t>(nchunks), 0);
     exec::parallel_for(0, n, kValueGrain, [&](std::int64_t lo,
                                               std::int64_t hi) {
       const auto chunk = static_cast<std::size_t>(lo / kValueGrain);
@@ -80,7 +86,8 @@ StatusOr<HistogramResult> compute_histogram(
 
   // Pass 2: local binning. Charge the modeled per-value cost; two sweeps
   // (range + binning) at roughly one update each.
-  std::vector<std::int64_t> local_bins(static_cast<std::size_t>(num_bins), 0);
+  std::vector<std::int64_t>& local_bins = s.local_bins;
+  local_bins.assign(static_cast<std::size_t>(num_bins), 0);
   const double width =
       global_max > global_min ? (global_max - global_min) : 1.0;
   for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
@@ -89,7 +96,8 @@ StatusOr<HistogramResult> compute_histogram(
     if (values == nullptr) continue;
     const std::int64_t n = values->num_tuples();
     const std::int64_t nchunks = exec::parallel_chunk_count(0, n, kValueGrain);
-    std::vector<std::int64_t> chunk_bins(
+    std::vector<std::int64_t>& chunk_bins = s.chunk_bins;
+    chunk_bins.assign(
         static_cast<std::size_t>(nchunks) * static_cast<std::size_t>(num_bins),
         0);
     exec::parallel_for(0, n, kValueGrain, [&](std::int64_t lo,
@@ -136,7 +144,7 @@ StatusOr<bool> HistogramAnalysis::execute(core::DataAdaptor& data) {
   INSITU_ASSIGN_OR_RETURN(
       HistogramResult result,
       compute_histogram(*data.communicator(), *mesh, array_, association_,
-                        num_bins_));
+                        num_bins_, &scratch_));
   last_ = std::move(result);
   ++steps_;
   return true;

@@ -28,15 +28,29 @@ struct HistogramResult {
   std::int64_t total() const;
 };
 
+/// Reusable scratch for compute_histogram. The per-chunk partials are
+/// sized with exec::parallel_chunk_count each call; keeping one of these
+/// per analysis makes the steady-state step reallocation-free (assign
+/// reuses the capacity grown on the first step).
+struct HistogramScratch {
+  std::vector<double> chunk_min;
+  std::vector<double> chunk_max;
+  std::vector<std::int64_t> chunk_count;
+  std::vector<std::int64_t> chunk_bins;
+  std::vector<std::int64_t> local_bins;
+};
+
 /// Distributed histogram of the named array. Ghost-flagged cells are
 /// excluded for cell arrays. Collective over `comm`; the returned bins are
 /// populated on rank 0. Virtual clock is charged with the modeled binning
-/// cost, on top of the real collective costs.
+/// cost, on top of the real collective costs. `scratch` (optional) lets
+/// repeated calls reuse the chunk partial buffers.
 StatusOr<HistogramResult> compute_histogram(comm::Communicator& comm,
                                             const data::MultiBlockDataSet& mesh,
                                             const std::string& array,
                                             data::Association association,
-                                            int num_bins);
+                                            int num_bins,
+                                            HistogramScratch* scratch = nullptr);
 
 /// AnalysisAdaptor wrapper: computes the histogram each step; retains the
 /// most recent result (root rank).
@@ -60,6 +74,7 @@ class HistogramAnalysis final : public core::AnalysisAdaptor {
   data::Association association_;
   int num_bins_;
   HistogramResult last_;
+  HistogramScratch scratch_;
   long steps_ = 0;
 };
 

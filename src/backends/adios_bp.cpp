@@ -62,6 +62,12 @@ StatusOr<BpIndex> BpIndex::deserialize(std::span<const std::byte> bytes) {
 
 std::vector<std::byte> bp_serialize(const data::MultiBlockDataSet& mesh) {
   std::vector<std::byte> out;
+  bp_serialize_into(mesh, out);
+  return out;
+}
+
+void bp_serialize_into(const data::MultiBlockDataSet& mesh,
+                       std::vector<std::byte>& out) {
   append_value(out, mesh.num_global_blocks());
   append_value(out, static_cast<std::int64_t>(mesh.num_local_blocks()));
   for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
@@ -69,11 +75,14 @@ std::vector<std::byte> bp_serialize(const data::MultiBlockDataSet& mesh) {
         dynamic_cast<const data::ImageData*>(mesh.block(b).get());
     if (img == nullptr) continue;  // only ImageData travels via BP here
     append_value(out, mesh.block_id(b));
-    const std::vector<std::byte> blob = io::serialize_block(*img);
-    append_value(out, static_cast<std::int64_t>(blob.size()));
-    out.insert(out.end(), blob.begin(), blob.end());
+    // Frame size is patched in after the fact so the block serializes
+    // straight into `out` with no per-block temporary.
+    const std::size_t size_pos = out.size();
+    append_value(out, std::int64_t{0});
+    const auto blob_size =
+        static_cast<std::int64_t>(io::serialize_block_into(*img, out));
+    std::memcpy(out.data() + size_pos, &blob_size, sizeof blob_size);
   }
-  return out;
 }
 
 StatusOr<data::MultiBlockPtr> bp_deserialize(

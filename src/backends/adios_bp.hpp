@@ -28,6 +28,11 @@ struct BpIndex {
 /// Serialize a rank's MultiBlock (ImageData blocks) into a BP payload.
 std::vector<std::byte> bp_serialize(const data::MultiBlockDataSet& mesh);
 
+/// Append the BP payload to `out` with no intermediate per-block buffers;
+/// the staging writers reuse one pooled buffer across steps through this.
+void bp_serialize_into(const data::MultiBlockDataSet& mesh,
+                       std::vector<std::byte>& out);
+
 /// Inverse of bp_serialize.
 StatusOr<data::MultiBlockPtr> bp_deserialize(std::span<const std::byte> bytes);
 

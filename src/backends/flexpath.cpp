@@ -28,12 +28,14 @@ Status FlexPathWriter::initialize(comm::Communicator& comm) {
 StatusOr<bool> FlexPathWriter::execute(core::DataAdaptor& data) {
   comm::Communicator& comm = *data.communicator();
 
-  // Materialize + serialize the step (the transport is not zero-copy).
-  std::vector<std::byte> payload;
+  // Materialize + serialize the step (the transport is not zero-copy, but
+  // the serialization buffer is pooled and reused across steps).
+  std::vector<std::byte>& payload = payload_buf_.bytes();
+  payload.clear();
   {
     obs::TraceScope span(obs::Category::kBackend, "flexpath.serialize");
     INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
-    payload = bp_serialize(*mesh);
+    bp_serialize_into(*mesh, payload);
     comm.advance_compute(comm.machine().memcpy_time(payload.size()));
 
     // adios::advance — metadata sync with the reader.
@@ -65,6 +67,7 @@ Status FlexPathWriter::finalize(comm::Communicator& comm) {
   BpIndex eos;
   eos.step = -1;  // end-of-stream sentinel
   world_->send(partner_, kTagMeta, eos.serialize());
+  payload_buf_.reset();  // return the stream's serialization buffer
   return Status::Ok();
 }
 

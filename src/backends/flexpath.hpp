@@ -21,6 +21,7 @@
 #include "core/analysis_adaptor.hpp"
 #include "core/bridge.hpp"
 #include "core/staged_adaptor.hpp"
+#include "pal/buffer_pool.hpp"
 #include "pal/timer.hpp"
 
 namespace insitu::backends {
@@ -66,6 +67,9 @@ class FlexPathWriter final : public core::AnalysisAdaptor {
   FlexPathOptions options_;
   FlexPathWriterTimings timings_;
   int credits_ = 0;
+  /// Step payloads serialize into this pooled buffer, reused every step
+  /// (send copies, so the buffer is free again as soon as send returns).
+  pal::PooledBuffer payload_buf_;
 };
 
 struct FlexPathEndpointTimings {

@@ -38,17 +38,22 @@ StatusOr<bool> GleanWriter::execute(core::DataAdaptor& data) {
   comm::Communicator& comm = *data.communicator();
   obs::TraceScope span(obs::Category::kBackend, "glean.ship");
   INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
-  std::vector<std::byte> payload = bp_serialize(*mesh);
-  span.arg("bytes", static_cast<double>(payload.size()));
+
+  // Serialize behind the frame header, straight into the reusable pooled
+  // buffer: no separate payload vector, no assembly copy.
+  const StepHeader header{data.time_step(), world_->rank()};
+  std::vector<std::byte>& framed = framed_buf_.bytes();
+  framed.clear();
+  const auto* hp = reinterpret_cast<const std::byte*>(&header);
+  framed.insert(framed.end(), hp, hp + sizeof header);
+  bp_serialize_into(*mesh, framed);
+  const std::size_t payload_bytes = framed.size() - sizeof header;
+
+  span.arg("bytes", static_cast<double>(payload_bytes));
   obs::metrics()
       .counter("comm.bytes_sent", {{"op", "glean"}})
-      .add(static_cast<std::int64_t>(payload.size()));
-  comm.advance_compute(comm.machine().memcpy_time(payload.size()));
-
-  StepHeader header{data.time_step(), world_->rank()};
-  std::vector<std::byte> framed(sizeof header + payload.size());
-  std::memcpy(framed.data(), &header, sizeof header);
-  std::memcpy(framed.data() + sizeof header, payload.data(), payload.size());
+      .add(static_cast<std::int64_t>(payload_bytes));
+  comm.advance_compute(comm.machine().memcpy_time(payload_bytes));
   world_->send(aggregator_, kTagGleanData, framed);
   return true;
 }

@@ -17,6 +17,7 @@
 #include "backends/adios_bp.hpp"
 #include "core/analysis_adaptor.hpp"
 #include "core/bridge.hpp"
+#include "pal/buffer_pool.hpp"
 #include "pal/timer.hpp"
 
 namespace insitu::backends {
@@ -56,6 +57,8 @@ class GleanWriter final : public core::AnalysisAdaptor {
  private:
   comm::Communicator* world_;
   int aggregator_;
+  /// Header + payload serialize into this pooled buffer, reused per step.
+  pal::PooledBuffer framed_buf_;
 };
 
 struct GleanAggregatorTimings {

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obs/context.hpp"
+#include "pal/buffer_pool.hpp"
 #include "pal/log.hpp"
 #include "pal/memory_tracker.hpp"
 
@@ -46,6 +47,11 @@ RunReport Runtime::run(int nranks,
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(nranks));
   report.seed = options.seed;
+
+  // Buffer-pool counters are process-global (pal cannot see obs, so the
+  // pool cannot publish its own metrics); snapshot them here and publish
+  // this run's delta as pool.* series after the join.
+  const pal::BufferPoolStats pool_start = pal::buffer_pool().stats();
 
   std::shared_ptr<detail::Group> world = detail::make_group(nranks);
   std::mutex failure_mutex;
@@ -119,6 +125,37 @@ RunReport Runtime::run(int nranks,
 
   for (const obs::MetricsSnapshot& snapshot : rank_metrics) {
     obs::merge_into(report.metrics, snapshot);
+  }
+  if (options.observe.metrics) {
+    const pal::BufferPoolStats d = pal::buffer_pool().stats_since(pool_start);
+    if (d.hits + d.misses + d.releases > 0) {
+      obs::MetricsSnapshot pool;
+      const auto add = [&pool](const char* key, obs::MetricKind kind,
+                               double value) {
+        obs::MetricSample sample;
+        sample.key = key;
+        sample.kind = kind;
+        sample.value = value;
+        pool.push_back(std::move(sample));
+      };
+      // Keep this list key-sorted: merge_into expects snapshot order.
+      add("pool.bytes_allocated", obs::MetricKind::kCounter,
+          static_cast<double>(d.bytes_allocated));
+      add("pool.bytes_reused", obs::MetricKind::kCounter,
+          static_cast<double>(d.bytes_reused));
+      add("pool.evictions", obs::MetricKind::kCounter,
+          static_cast<double>(d.evictions));
+      add("pool.free_bytes", obs::MetricKind::kGauge,
+          static_cast<double>(pal::buffer_pool().free_bytes()));
+      add("pool.hit_rate", obs::MetricKind::kGauge, d.hit_rate());
+      add("pool.hits", obs::MetricKind::kCounter,
+          static_cast<double>(d.hits));
+      add("pool.misses", obs::MetricKind::kCounter,
+          static_cast<double>(d.misses));
+      add("pool.releases", obs::MetricKind::kCounter,
+          static_cast<double>(d.releases));
+      obs::merge_into(report.metrics, pool);
+    }
   }
   if (options.observe.trace) {
     report.trace.nranks = nranks;

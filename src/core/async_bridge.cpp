@@ -131,7 +131,13 @@ void AsyncBridge::start_job(long step) {
         }
         const Status released = staged.release_data();
         if (out.status.ok() && !released.ok()) out.status = released;
-        // Free the snapshot here, while the rank's tracker is adopted.
+        // Retire the snapshot here, while the rank's tracker is adopted:
+        // recycle hands the deep-copied buffers straight back to the pool
+        // so the next step's snapshot reuses them.
+        if (StatusOr<data::MultiBlockPtr> staged_mesh = staged.mesh(false);
+            staged_mesh.ok()) {
+          exec::recycle_mesh(**staged_mesh);
+        }
         staged.set_mesh(nullptr);
         // Agree on the finish time even when an analysis failed, so the
         // ranks stay collectively aligned on the analysis plane.

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <limits>
 
+#include "pal/buffer_pool.hpp"
+
 namespace insitu::data {
 
 std::size_t size_of(DataType type) {
@@ -29,6 +31,30 @@ std::string_view to_string(DataType type) {
   return "unknown";
 }
 
+DataArray::~DataArray() {
+  if (owned_ && storage_.capacity() != 0) {
+    pal::buffer_pool().release(std::move(storage_));
+  }
+}
+
+void DataArray::bind_owned_pointers() {
+  const std::size_t elem = size_of(type_);
+  bases_.assign(static_cast<std::size_t>(components_), nullptr);
+  strides_.resize(static_cast<std::size_t>(components_));
+  for (int c = 0; c < components_; ++c) {
+    if (layout_ == Layout::kAos) {
+      bases_[static_cast<std::size_t>(c)] =
+          storage_.data() + static_cast<std::size_t>(c) * elem;
+      strides_[static_cast<std::size_t>(c)] = components_;
+    } else {
+      bases_[static_cast<std::size_t>(c)] =
+          storage_.data() +
+          static_cast<std::size_t>(c) * static_cast<std::size_t>(tuples_) * elem;
+      strides_[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+}
+
 DataArrayPtr DataArray::create_typed(std::string name, DataType type,
                                      std::int64_t tuples, int components,
                                      Layout layout) {
@@ -43,24 +69,10 @@ DataArrayPtr DataArray::create_typed(std::string name, DataType type,
 
   const std::size_t bytes =
       static_cast<std::size_t>(tuples) * components * size_of(type);
-  array->storage_.assign(bytes, std::byte{0});
+  array->storage_ = pal::buffer_pool().acquire(bytes);
+  array->storage_.resize(bytes);  // zero-fill within the pooled capacity
   array->tracked_ = pal::TrackedBytes(bytes);
-
-  const std::size_t elem = size_of(type);
-  array->bases_.resize(static_cast<std::size_t>(components));
-  array->strides_.resize(static_cast<std::size_t>(components));
-  for (int c = 0; c < components; ++c) {
-    if (layout == Layout::kAos) {
-      array->bases_[static_cast<std::size_t>(c)] =
-          array->storage_.data() + static_cast<std::size_t>(c) * elem;
-      array->strides_[static_cast<std::size_t>(c)] = components;
-    } else {
-      array->bases_[static_cast<std::size_t>(c)] =
-          array->storage_.data() +
-          static_cast<std::size_t>(c) * static_cast<std::size_t>(tuples) * elem;
-      array->strides_[static_cast<std::size_t>(c)] = 1;
-    }
-  }
+  array->bind_owned_pointers();
   return array;
 }
 
@@ -147,38 +159,111 @@ std::pair<double, double> DataArray::range(int component) const {
   return {lo, hi};
 }
 
-DataArrayPtr DataArray::deep_copy() const {
-  DataArrayPtr copy =
-      create_typed(name_, type_, tuples_, components_, Layout::kAos);
-  for (int c = 0; c < components_; ++c) {
-    for (std::int64_t i = 0; i < tuples_; ++i) {
-      copy->set(i, c, get(i, c));
+namespace {
+
+/// Strided gather into interleaved AoS order, one typed loop per component
+/// (no per-element double conversion, no per-element memcpy call).
+template <typename T>
+void gather_aos_typed(const std::vector<void*>& bases,
+                      const std::vector<std::int64_t>& strides,
+                      std::int64_t tuples, int components, std::byte* out) {
+  T* dst = reinterpret_cast<T*>(out);
+  for (int c = 0; c < components; ++c) {
+    const T* src = static_cast<const T*>(bases[static_cast<std::size_t>(c)]);
+    const std::int64_t stride = strides[static_cast<std::size_t>(c)];
+    T* d = dst + c;
+    for (std::int64_t i = 0; i < tuples; ++i) {
+      d[i * components] = src[i * stride];
     }
   }
+}
+
+}  // namespace
+
+void DataArray::pack_aos_into(std::byte* out) const {
+  switch (type_) {
+    case DataType::kFloat32:
+      gather_aos_typed<float>(bases_, strides_, tuples_, components_, out);
+      break;
+    case DataType::kFloat64:
+      gather_aos_typed<double>(bases_, strides_, tuples_, components_, out);
+      break;
+    case DataType::kInt32:
+      gather_aos_typed<std::int32_t>(bases_, strides_, tuples_, components_,
+                                     out);
+      break;
+    case DataType::kInt64:
+      gather_aos_typed<std::int64_t>(bases_, strides_, tuples_, components_,
+                                     out);
+      break;
+    case DataType::kUInt8:
+      gather_aos_typed<std::uint8_t>(bases_, strides_, tuples_, components_,
+                                     out);
+      break;
+  }
+}
+
+DataArrayPtr DataArray::deep_copy() const {
+  const std::size_t elem = size_of(type_);
+  const std::size_t bytes = size_bytes();
+  auto copy = DataArrayPtr(new DataArray());
+  copy->name_ = name_;
+  copy->type_ = type_;
+  copy->tuples_ = tuples_;
+  copy->components_ = components_;
+  copy->owned_ = true;
+  copy->storage_ = pal::buffer_pool().acquire(bytes);
+
+  bool unit_strides = true;
+  for (int c = 0; c < components_; ++c) {
+    if (strides_[static_cast<std::size_t>(c)] != 1) {
+      unit_strides = false;
+      break;
+    }
+  }
+
+  if (is_contiguous()) {
+    // One memcpy; vector::insert into reserved capacity does not zero-fill.
+    copy->layout_ = layout_;
+    const auto* src = static_cast<const std::byte*>(bases_[0]);
+    copy->storage_.insert(copy->storage_.end(), src, src + bytes);
+  } else if (unit_strides) {
+    // SoA source: one memcpy per component block, layout preserved.
+    copy->layout_ = Layout::kSoa;
+    const std::size_t comp_bytes = static_cast<std::size_t>(tuples_) * elem;
+    for (int c = 0; c < components_; ++c) {
+      const auto* src =
+          static_cast<const std::byte*>(bases_[static_cast<std::size_t>(c)]);
+      copy->storage_.insert(copy->storage_.end(), src, src + comp_bytes);
+    }
+  } else {
+    // Arbitrary strided wrap: densify to AoS with a typed gather.
+    copy->layout_ = Layout::kAos;
+    copy->storage_.resize(bytes);
+    pack_aos_into(copy->storage_.data());
+  }
+  copy->tracked_ = pal::TrackedBytes(bytes);
+  copy->bind_owned_pointers();
   return copy;
 }
 
 std::vector<std::byte> DataArray::to_bytes() const {
-  const std::size_t elem = size_of(type_);
-  std::vector<std::byte> out(size_bytes());
-  if (is_contiguous()) {
-    std::memcpy(out.data(), bases_[0], out.size());
-    return out;
-  }
-  // Element-wise AoS packing for strided/SoA sources.
-  for (std::int64_t i = 0; i < tuples_; ++i) {
-    for (int c = 0; c < components_; ++c) {
-      const auto* src =
-          static_cast<const std::byte*>(bases_[static_cast<std::size_t>(c)]) +
-          static_cast<std::size_t>(i *
-                                   strides_[static_cast<std::size_t>(c)]) *
-              elem;
-      std::memcpy(out.data() +
-                      (static_cast<std::size_t>(i) * components_ + c) * elem,
-                  src, elem);
-    }
-  }
+  std::vector<std::byte> out;
+  out.reserve(size_bytes());
+  append_bytes(out);
   return out;
+}
+
+void DataArray::append_bytes(std::vector<std::byte>& out) const {
+  const std::size_t bytes = size_bytes();
+  if (is_contiguous()) {
+    const auto* src = static_cast<const std::byte*>(bases_[0]);
+    out.insert(out.end(), src, src + bytes);
+    return;
+  }
+  const std::size_t start = out.size();
+  out.resize(start + bytes);
+  pack_aos_into(out.data() + start);
 }
 
 StatusOr<DataArrayPtr> DataArray::from_bytes(std::string name, DataType type,
@@ -192,10 +277,29 @@ StatusOr<DataArrayPtr> DataArray::from_bytes(std::string name, DataType type,
         "DataArray::from_bytes: payload size " + std::to_string(bytes.size()) +
         " != expected " + std::to_string(expected));
   }
-  DataArrayPtr array =
-      create_typed(std::move(name), type, tuples, components, Layout::kAos);
-  std::memcpy(array->bases_[0], bytes.data(), expected);
+  auto array = DataArrayPtr(new DataArray());
+  array->name_ = std::move(name);
+  array->type_ = type;
+  array->layout_ = Layout::kAos;
+  array->tuples_ = tuples;
+  array->components_ = components;
+  array->owned_ = true;
+  array->storage_ = pal::buffer_pool().acquire(expected);
+  array->storage_.insert(array->storage_.end(), bytes.begin(), bytes.end());
+  array->tracked_ = pal::TrackedBytes(expected);
+  array->bind_owned_pointers();
   return array;
+}
+
+void DataArray::recycle() {
+  if (!owned_) return;
+  if (storage_.capacity() != 0) {
+    pal::buffer_pool().release(std::move(storage_));
+  }
+  storage_ = std::vector<std::byte>();
+  tracked_ = pal::TrackedBytes();
+  tuples_ = 0;
+  std::fill(bases_.begin(), bases_.end(), nullptr);
 }
 
 }  // namespace insitu::data

@@ -157,22 +157,42 @@ class DataArray {
   /// Min/max of one component over all tuples.
   std::pair<double, double> range(int component = 0) const;
 
-  /// Deep copy into an owned AoS array of the same type.
+  /// Deep copy into an owned array of the same type and values. The copy
+  /// preserves the source layout when it can be copied in bulk (contiguous
+  /// sources: one memcpy; unit-stride SoA sources: one memcpy per
+  /// component); arbitrary strided wraps densify to AoS via a typed gather.
   DataArrayPtr deep_copy() const;
 
   /// Serialize payload to a contiguous AoS byte buffer (and back). Used by
-  /// the BP-like format and the staging transports.
+  /// the BP-like format and the staging transports. append_bytes appends
+  /// the same AoS packing to an existing buffer, so serializers can fill
+  /// one pooled buffer without a per-array temporary.
   std::vector<std::byte> to_bytes() const;
+  void append_bytes(std::vector<std::byte>& out) const;
   static StatusOr<DataArrayPtr> from_bytes(std::string name, DataType type,
                                            std::int64_t tuples, int components,
                                            std::span<const std::byte> bytes);
 
-  ~DataArray() = default;
+  /// Return owned storage to the buffer pool now instead of at destruction.
+  /// The array becomes empty (0 tuples, null bases). Only call when no one
+  /// else reads the array; zero-copy wraps are unaffected.
+  void recycle();
+
+  /// Owned storage comes from pal::buffer_pool() and goes back to it on
+  /// destruction, so step-periodic arrays (snapshots, staging payloads)
+  /// reuse last step's allocations.
+  ~DataArray();
   DataArray(const DataArray&) = delete;
   DataArray& operator=(const DataArray&) = delete;
 
  private:
   DataArray() = default;
+
+  /// Points bases_/strides_ into storage_ according to layout_. Owned
+  /// arrays only.
+  void bind_owned_pointers();
+  /// Typed strided gather into AoS order; out must hold size_bytes().
+  void pack_aos_into(std::byte* out) const;
 
   std::string name_;
   DataType type_ = DataType::kFloat64;

@@ -60,14 +60,20 @@ void append_array(std::vector<std::byte>& out, const data::DataArray& array,
   append_value(out, array.num_tuples());
   append_value(out, static_cast<std::int32_t>(array.name().size()));
   append_raw(out, array.name().data(), array.name().size());
-  const std::vector<std::byte> payload = array.to_bytes();
-  append_raw(out, payload.data(), payload.size());
+  array.append_bytes(out);  // AoS packing straight into the stream
 }
 
 }  // namespace
 
 std::vector<std::byte> serialize_block(const data::ImageData& block) {
   std::vector<std::byte> out;
+  serialize_block_into(block, out);
+  return out;
+}
+
+std::size_t serialize_block_into(const data::ImageData& block,
+                                 std::vector<std::byte>& out) {
+  const std::size_t start = out.size();
   append_value(out, kMagic);
   for (int a = 0; a < 3; ++a) append_value(out, block.box().offset[static_cast<std::size_t>(a)]);
   for (int a = 0; a < 3; ++a) append_value(out, block.box().cells[static_cast<std::size_t>(a)]);
@@ -82,7 +88,7 @@ std::vector<std::byte> serialize_block(const data::ImageData& block) {
   for (const auto& name : block.cell_fields().names()) {
     append_array(out, *block.cell_fields().get(name), /*association=*/1);
   }
-  return out;
+  return out.size() - start;
 }
 
 StatusOr<data::ImageDataPtr> deserialize_block(
@@ -156,6 +162,13 @@ Status write_file_bytes(const std::string& path,
 }
 
 StatusOr<std::vector<std::byte>> read_file_bytes(const std::string& path) {
+  std::vector<std::byte> bytes;
+  INSITU_RETURN_IF_ERROR(read_file_bytes_into(path, bytes));
+  return bytes;
+}
+
+Status read_file_bytes_into(const std::string& path,
+                            std::vector<std::byte>& out) {
   obs::TraceScope span(obs::Category::kIo, "io.read_file");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
@@ -164,17 +177,18 @@ StatusOr<std::vector<std::byte>> read_file_bytes(const std::string& path) {
   std::fseek(f, 0, SEEK_END);
   const long size = std::ftell(f);
   std::fseek(f, 0, SEEK_SET);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  out.clear();
+  out.resize(static_cast<std::size_t>(size));
+  const std::size_t got = std::fread(out.data(), 1, out.size(), f);
   std::fclose(f);
-  if (got != bytes.size()) {
+  if (got != out.size()) {
     return Status::Internal("short read from '" + path + "'");
   }
-  span.arg("bytes", static_cast<double>(bytes.size()));
+  span.arg("bytes", static_cast<double>(out.size()));
   obs::metrics()
       .counter("io.bytes_read", {{"reader", "file"}})
-      .add(static_cast<std::int64_t>(bytes.size()));
-  return bytes;
+      .add(static_cast<std::int64_t>(out.size()));
+  return Status::Ok();
 }
 
 std::string block_file_name(const std::string& directory, long step,

@@ -6,6 +6,7 @@
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pal/buffer_pool.hpp"
 
 namespace insitu::io {
 
@@ -13,9 +14,15 @@ namespace {
 
 constexpr int kTagCollectiveWrite = 7201;
 
+/// One block serialized into a pooled buffer; the pool gets the storage
+/// back when the step's write completes, so the next step reuses it.
+struct SerializedBlock {
+  std::int64_t id = 0;
+  pal::PooledBuffer bytes;
+};
+
 StatusOr<std::uint64_t> serialize_local_blocks(
-    const data::MultiBlockDataSet& mesh,
-    std::vector<std::pair<std::int64_t, std::vector<std::byte>>>& out) {
+    const data::MultiBlockDataSet& mesh, std::vector<SerializedBlock>& out) {
   std::uint64_t total = 0;
   for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
     const auto* img =
@@ -24,9 +31,10 @@ StatusOr<std::uint64_t> serialize_local_blocks(
       return Status::Unimplemented(
           "writers: only ImageData blocks are supported");
     }
-    std::vector<std::byte> bytes = serialize_block(*img);
-    total += bytes.size();
-    out.emplace_back(mesh.block_id(b), std::move(bytes));
+    SerializedBlock block;
+    block.id = mesh.block_id(b);
+    total += serialize_block_into(*img, block.bytes.bytes());
+    out.push_back(std::move(block));
   }
   return total;
 }
@@ -37,15 +45,15 @@ StatusOr<double> VtkMultiFileWriter::write_step(
     comm::Communicator& comm, const data::MultiBlockDataSet& mesh,
     long step) {
   obs::TraceScope span(obs::Category::kIo, "io.write_step:vtk-multifile");
-  std::vector<std::pair<std::int64_t, std::vector<std::byte>>> blocks;
+  std::vector<SerializedBlock> blocks;
   INSITU_ASSIGN_OR_RETURN(std::uint64_t local_bytes,
                           serialize_local_blocks(mesh, blocks));
   last_local_bytes_ = local_bytes;
 
   if (write_to_disk_) {
-    for (const auto& [id, bytes] : blocks) {
-      INSITU_RETURN_IF_ERROR(
-          write_file_bytes(block_file_name(directory_, step, id), bytes));
+    for (auto& block : blocks) {
+      INSITU_RETURN_IF_ERROR(write_file_bytes(
+          block_file_name(directory_, step, block.id), block.bytes.bytes()));
     }
   }
 
@@ -75,7 +83,7 @@ StatusOr<double> CollectiveWriter::write_step(
     comm::Communicator& comm, const data::MultiBlockDataSet& mesh,
     long step) {
   obs::TraceScope span(obs::Category::kIo, "io.write_step:collective");
-  std::vector<std::pair<std::int64_t, std::vector<std::byte>>> blocks;
+  std::vector<SerializedBlock> blocks;
   INSITU_ASSIGN_OR_RETURN(std::uint64_t local_bytes,
                           serialize_local_blocks(mesh, blocks));
 
@@ -84,10 +92,8 @@ StatusOr<double> CollectiveWriter::write_step(
   comm.allreduce(std::span<std::uint64_t>(&total_bytes, 1),
                  comm::ReduceOp::kSum);
   if (comm.rank() == 0) {
-    std::vector<std::byte> shard;
     // Own blocks first, then everyone else's.
-    std::vector<std::vector<std::byte>> all;
-    for (auto& [id, bytes] : blocks) all.push_back(std::move(bytes));
+    std::vector<std::vector<std::byte>> others;
     for (int src = 1; src < comm.size(); ++src) {
       int n_from_src = 0;
       {
@@ -95,20 +101,24 @@ StatusOr<double> CollectiveWriter::write_step(
         std::memcpy(&n_from_src, header.data(), sizeof n_from_src);
       }
       for (int i = 0; i < n_from_src; ++i) {
-        all.push_back(comm.recv(src, kTagCollectiveWrite));
+        others.push_back(comm.recv(src, kTagCollectiveWrite));
       }
     }
     if (write_to_disk_) {
-      std::vector<std::byte> file;
-      const auto count = static_cast<std::int64_t>(all.size());
+      pal::PooledBuffer file_buf;
+      std::vector<std::byte>& file = file_buf.bytes();
+      const auto count = static_cast<std::int64_t>(blocks.size() +
+                                                   others.size());
       file.insert(file.end(), reinterpret_cast<const std::byte*>(&count),
                   reinterpret_cast<const std::byte*>(&count) + sizeof count);
-      for (const auto& bytes : all) {
+      const auto append_framed = [&file](std::span<const std::byte> bytes) {
         const auto size = static_cast<std::int64_t>(bytes.size());
         file.insert(file.end(), reinterpret_cast<const std::byte*>(&size),
                     reinterpret_cast<const std::byte*>(&size) + sizeof size);
         file.insert(file.end(), bytes.begin(), bytes.end());
-      }
+      };
+      for (auto& block : blocks) append_framed(block.bytes.bytes());
+      for (const auto& bytes : others) append_framed(bytes);
       char name[64];
       std::snprintf(name, sizeof name, "/shared_step_%06ld.isvtk", step);
       INSITU_RETURN_IF_ERROR(write_file_bytes(directory_ + name, file));
@@ -118,8 +128,8 @@ StatusOr<double> CollectiveWriter::write_step(
     std::vector<std::byte> header(sizeof n);
     std::memcpy(header.data(), &n, sizeof n);
     comm.send(0, kTagCollectiveWrite, header);
-    for (const auto& [id, bytes] : blocks) {
-      comm.send(0, kTagCollectiveWrite, bytes);
+    for (auto& block : blocks) {
+      comm.send(0, kTagCollectiveWrite, block.bytes.bytes());
     }
   }
 
@@ -144,10 +154,11 @@ StatusOr<data::MultiBlockPtr> PostHocReader::read_step(
   obs::TraceScope span(obs::Category::kIo, "io.read_step:posthoc");
   auto mesh = std::make_shared<data::MultiBlockDataSet>(total_blocks);
   std::uint64_t local_bytes = 0;
+  pal::PooledBuffer read_buf;  // reused across this step's blocks
   for (std::int64_t id = comm.rank(); id < total_blocks; id += comm.size()) {
-    INSITU_ASSIGN_OR_RETURN(
-        std::vector<std::byte> bytes,
-        read_file_bytes(block_file_name(directory_, step, id)));
+    std::vector<std::byte>& bytes = read_buf.bytes();
+    INSITU_RETURN_IF_ERROR(
+        read_file_bytes_into(block_file_name(directory_, step, id), bytes));
     local_bytes += bytes.size();
     INSITU_ASSIGN_OR_RETURN(data::ImageDataPtr block,
                             deserialize_block(bytes));

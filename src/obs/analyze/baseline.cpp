@@ -61,7 +61,14 @@ std::string write_baseline(const Baseline& baseline) {
       out << "\"" << phase_name(c) << "\": " << format_num(run.phase_s[c]);
     }
     out << "},\n     \"total_s\": " << format_num(run.total_s)
-        << ", \"end_to_end_s\": " << format_num(run.end_to_end_s) << "}";
+        << ", \"end_to_end_s\": " << format_num(run.end_to_end_s);
+    if (run.has_pool) {
+      out << ",\n     \"pool\": {\"hit_rate\": "
+          << format_num(run.pool_hit_rate) << ", \"bytes_allocated\": "
+          << format_num(run.pool_bytes_allocated) << ", \"bytes_reused\": "
+          << format_num(run.pool_bytes_reused) << "}";
+    }
+    out << "}";
   }
   out << "\n  ]\n}\n";
   return out.str();
@@ -114,6 +121,13 @@ StatusOr<Baseline> read_baseline(std::string_view text) {
     }
     run.total_s = r.number_or("total_s", 0.0);
     run.end_to_end_s = r.number_or("end_to_end_s", 0.0);
+    if (const Json* pool = r.find("pool");
+        pool != nullptr && pool->is_object()) {
+      run.has_pool = true;
+      run.pool_hit_rate = pool->number_or("hit_rate", 0.0);
+      run.pool_bytes_allocated = pool->number_or("bytes_allocated", 0.0);
+      run.pool_bytes_reused = pool->number_or("bytes_reused", 0.0);
+    }
     out.runs.push_back(std::move(run));
   }
   return out;
@@ -189,6 +203,31 @@ CheckResult check_baseline(const Baseline& base, const Baseline& current,
     check_value(b.label, "total", b.total_s, c->total_s, options, result);
     check_value(b.label, "end_to_end", b.end_to_end_s, c->end_to_end_s,
                 options, result);
+    // Pool hit rate gates in the opposite direction of time: lower is
+    // worse. Allocated/reused bytes wobble with cross-rank interleaving at
+    // the pool mutex, so they stay informational.
+    if (b.has_pool && c->has_pool) {
+      if (c->pool_hit_rate < b.pool_hit_rate * (1.0 - options.tolerance)) {
+        result.regressions.push_back(
+            {b.label, "pool.hit_rate", b.pool_hit_rate, c->pool_hit_rate});
+      } else if (c->pool_hit_rate >
+                 b.pool_hit_rate * (1.0 + options.tolerance)) {
+        result.notes.push_back("note: " + b.label +
+                               "/pool.hit_rate improved " +
+                               format_num(b.pool_hit_rate) + " -> " +
+                               format_num(c->pool_hit_rate));
+      }
+      if (c->pool_bytes_allocated >
+          b.pool_bytes_allocated * (1.0 + options.tolerance)) {
+        result.notes.push_back(
+            "note: " + b.label + "/pool.bytes_allocated grew " +
+            format_num(b.pool_bytes_allocated) + " -> " +
+            format_num(c->pool_bytes_allocated));
+      }
+    } else if (b.has_pool && !c->has_pool) {
+      result.mismatches.push_back(b.label +
+                                  ": pool stats missing from current run");
+    }
   }
   for (const BaselineRun& c : current.runs) {
     bool known = false;

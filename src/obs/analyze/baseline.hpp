@@ -35,6 +35,14 @@ struct BaselineRun {
   std::array<double, kCategoryCount> phase_s{};
   double total_s = 0.0;       ///< sum of phase_s
   double end_to_end_s = 0.0;  ///< last span end across all tracks
+
+  /// Buffer-pool summary for the run (pal::BufferPool deltas captured by
+  /// the bench session). Optional: baselines written before the pool
+  /// existed parse with has_pool=false and are never pool-checked.
+  bool has_pool = false;
+  double pool_hit_rate = 0.0;         ///< hits / (hits + misses), 0..1
+  double pool_bytes_allocated = 0.0;  ///< fresh bytes allocated (misses)
+  double pool_bytes_reused = 0.0;     ///< request bytes served by the free list
 };
 
 struct Baseline {

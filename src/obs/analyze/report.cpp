@@ -162,6 +162,52 @@ std::string render_overlap_report(const AnalyzedRun& run,
   return out.str();
 }
 
+std::string render_pool_table(const MetricsTable& metrics) {
+  // One row per run, in first-appearance order.
+  struct PoolRow {
+    std::string run;
+    double hit_rate = 0.0, hits = 0.0, misses = 0.0, evictions = 0.0;
+    double bytes_allocated = 0.0, bytes_reused = 0.0;
+  };
+  std::vector<PoolRow> rows;
+  auto row_for = [&rows](const std::string& run) -> PoolRow& {
+    for (PoolRow& row : rows) {
+      if (row.run == run) return row;
+    }
+    rows.push_back(PoolRow{run, 0, 0, 0, 0, 0, 0});
+    return rows.back();
+  };
+  for (const MetricsRow& row : metrics.rows) {
+    if (row.metric.rfind("pool.", 0) != 0) continue;
+    PoolRow& pool = row_for(row.run);
+    if (row.metric == "pool.hit_rate") pool.hit_rate = row.value;
+    else if (row.metric == "pool.hits") pool.hits = row.value;
+    else if (row.metric == "pool.misses") pool.misses = row.value;
+    else if (row.metric == "pool.evictions") pool.evictions = row.value;
+    else if (row.metric == "pool.bytes_allocated")
+      pool.bytes_allocated = row.value;
+    else if (row.metric == "pool.bytes_reused")
+      pool.bytes_reused = row.value;
+  }
+  if (rows.empty()) return "";
+
+  constexpr double kMiB = 1024.0 * 1024.0;
+  TablePrinter table("buffer pool");
+  table.set_header({"run", "hit rate", "hits", "misses", "evictions",
+                    "alloc MiB", "reused MiB"});
+  for (const PoolRow& row : rows) {
+    table.add_row({row.run, TablePrinter::num(row.hit_rate, 3),
+                   TablePrinter::num(row.hits, 0),
+                   TablePrinter::num(row.misses, 0),
+                   TablePrinter::num(row.evictions, 0),
+                   TablePrinter::num(row.bytes_allocated / kMiB, 3),
+                   TablePrinter::num(row.bytes_reused / kMiB, 3)});
+  }
+  table.add_note("pal::BufferPool per-run deltas; alloc = fresh bytes on "
+                 "misses, reused = request bytes served by the free list");
+  return table.to_string();
+}
+
 std::string render_report(std::span<const AnalyzedRun> runs,
                           const ExportMeta* meta,
                           const ReportOptions& options) {

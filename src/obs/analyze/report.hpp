@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/analyze/analyze.hpp"
+#include "obs/analyze/import.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/export_meta.hpp"
 
@@ -52,6 +53,12 @@ std::string render_span_table(const AnalyzedRun& run,
 /// Sim/worker overlap per rank plus the aggregated critical-path walk.
 std::string render_overlap_report(const AnalyzedRun& run,
                                   const ReportOptions& options = {});
+
+/// Buffer-pool summary distilled from `pool.*` metric rows, one line per
+/// run (hit rate, allocation traffic, evictions). Returns the empty
+/// string when the dump carries no pool metrics, so callers can append it
+/// unconditionally.
+std::string render_pool_table(const MetricsTable& metrics);
 
 /// Full report: metadata header, breakdown table, then per-run sections.
 std::string render_report(std::span<const AnalyzedRun> runs,

@@ -131,6 +131,51 @@ TEST(DataArray, DeepCopyOfSoaProducesSameValues) {
   }
 }
 
+// Golden contract for the bulk-copy fast paths: whatever the source layout
+// (contiguous AoS, contiguous SoA, zero-copy SoA wrap, arbitrary stride),
+// deep_copy must yield the exact same AoS-packed bytes as the source.
+TEST(DataArray, DeepCopyIsByteIdenticalAcrossLayouts) {
+  // Contiguous AoS: single-memcpy path; layout is preserved.
+  auto aos = DataArray::create<double>("a", 16, 3, Layout::kAos);
+  for (int i = 0; i < 16; ++i) {
+    for (int c = 0; c < 3; ++c) aos->set(i, c, 100.0 * i + c);
+  }
+  auto aos_copy = aos->deep_copy();
+  EXPECT_EQ(aos_copy->layout(), Layout::kAos);
+  EXPECT_TRUE(aos_copy->is_contiguous());
+  EXPECT_EQ(aos_copy->to_bytes(), aos->to_bytes());
+
+  // Contiguous SoA: per-component memcpy path; layout is preserved.
+  auto soa = DataArray::create<float>("s", 9, 2, Layout::kSoa);
+  for (int i = 0; i < 9; ++i) {
+    soa->set(i, 0, 1.5f * i);
+    soa->set(i, 1, -2.5f * i);
+  }
+  auto soa_copy = soa->deep_copy();
+  EXPECT_EQ(soa_copy->layout(), Layout::kSoa);
+  EXPECT_FALSE(soa_copy->is_zero_copy());
+  EXPECT_EQ(soa_copy->to_bytes(), soa->to_bytes());
+
+  // Zero-copy SoA wrap (unit strides, non-contiguous storage): copied as
+  // owned SoA, bytes unchanged.
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {5, 6, 7, 8};
+  auto wrap = DataArray::wrap_soa<double>("w", {x.data(), y.data()}, 4);
+  auto wrap_copy = wrap->deep_copy();
+  EXPECT_FALSE(wrap_copy->is_zero_copy());
+  EXPECT_EQ(wrap_copy->to_bytes(), wrap->to_bytes());
+
+  // Arbitrary stride: typed-gather fallback packs to AoS.
+  std::vector<double> block(32);
+  for (int i = 0; i < 32; ++i) block[static_cast<std::size_t>(i)] = i;
+  auto strided = DataArray::wrap_typed("t", DataType::kFloat64, 8, 1,
+                                       {block.data() + 1}, {4}, Layout::kSoa);
+  auto strided_copy = strided->deep_copy();
+  EXPECT_EQ(strided_copy->layout(), Layout::kAos);
+  EXPECT_TRUE(strided_copy->is_contiguous());
+  EXPECT_EQ(strided_copy->to_bytes(), strided->to_bytes());
+}
+
 TEST(DataArray, ToBytesFromBytesRoundTrip) {
   auto a = DataArray::create<float>("f", 4, 2);
   for (int i = 0; i < 4; ++i) {

@@ -1,0 +1,261 @@
+#include "pal/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "data/data_array.hpp"
+#include "pal/memory_tracker.hpp"
+
+namespace insitu::pal {
+namespace {
+
+TEST(BufferPool, AcquireReturnsEmptyBufferWithRequestedCapacity) {
+  BufferPool pool;
+  std::vector<std::byte> buf = pool.acquire(1000);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_GE(buf.capacity(), 1000u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(BufferPool, RecycleReturnsSameCapacityBuffer) {
+  BufferPool pool;
+  std::vector<std::byte> buf = pool.acquire(1000);
+  buf.resize(1000, std::byte{0x5a});
+  const std::size_t capacity = buf.capacity();
+  const void* storage = buf.data();
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  EXPECT_GE(pool.free_bytes(), capacity);
+
+  std::vector<std::byte> again = pool.acquire(1000);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(again.size(), 0u);          // recycled buffers come back cleared
+  EXPECT_EQ(again.capacity(), capacity);
+  EXPECT_EQ(again.data(), storage);     // literally the same allocation
+  EXPECT_EQ(pool.free_buffers(), 0u);
+  EXPECT_EQ(pool.free_bytes(), 0u);
+}
+
+TEST(BufferPool, ReleaseFilesUnderLargestSatisfiedBucket) {
+  // A buffer whose capacity is >= 2048 must satisfy any request that
+  // rounds up to the 2048 bucket, whatever size it was acquired at.
+  BufferPool pool;
+  std::vector<std::byte> buf = pool.acquire(1500);
+  EXPECT_GE(buf.capacity(), 2048u);  // 1500 rounds up to 2048
+  pool.release(std::move(buf));
+  std::vector<std::byte> again = pool.acquire(2048);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPool, EvictsWhenBucketIsFull) {
+  BufferPoolOptions options;
+  options.max_buffers_per_bucket = 2;
+  BufferPool pool(options);
+  // Three live buffers in the same bucket, released together: the third
+  // release overflows the depth-2 free list.
+  std::vector<std::byte> a = pool.acquire(4096);
+  std::vector<std::byte> b = pool.acquire(4096);
+  std::vector<std::byte> c = pool.acquire(4096);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  pool.release(std::move(c));  // third one overflows the bucket
+  EXPECT_EQ(pool.free_buffers(), 2u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST(BufferPool, OversizeRequestsBypassThePool) {
+  BufferPoolOptions options;
+  options.max_pooled_bytes = 1 << 10;
+  BufferPool pool(options);
+  std::vector<std::byte> big = pool.acquire(1 << 20);
+  EXPECT_GE(big.capacity(), std::size_t{1} << 20);
+  pool.release(std::move(big));
+  EXPECT_EQ(pool.free_buffers(), 0u);  // never parked
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  std::vector<std::byte> again = pool.acquire(1 << 20);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(BufferPool, DisabledPoolAlwaysAllocatesAndFrees) {
+  BufferPool pool;
+  pool.set_enabled(false);
+  EXPECT_FALSE(pool.enabled());
+  std::vector<std::byte> buf = pool.acquire(512);
+  pool.release(std::move(buf));
+  std::vector<std::byte> again = pool.acquire(512);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST(BufferPool, SetEnabledFalseDrainsTheFreeList) {
+  BufferPool pool;
+  pool.release(pool.acquire(256));
+  EXPECT_EQ(pool.free_buffers(), 1u);
+  pool.set_enabled(false);
+  EXPECT_EQ(pool.free_buffers(), 0u);
+  EXPECT_EQ(pool.free_bytes(), 0u);
+}
+
+TEST(BufferPool, StatsSinceReportsPerWindowDeltas) {
+  BufferPool pool;
+  pool.release(pool.acquire(128));
+  const BufferPoolStats start = pool.stats();
+  std::vector<std::byte> hit = pool.acquire(128);  // served from free list
+  pool.release(std::move(hit));
+  const BufferPoolStats delta = pool.stats_since(start);
+  EXPECT_EQ(delta.hits, 1u);
+  EXPECT_EQ(delta.misses, 0u);
+  EXPECT_EQ(delta.releases, 1u);
+  EXPECT_DOUBLE_EQ(delta.hit_rate(), 1.0);
+}
+
+TEST(BufferPool, FreeBytesPeakTracksParkedHighWater) {
+  BufferPool pool;
+  pool.release(pool.acquire(4096));
+  const std::size_t parked = pool.free_bytes();
+  EXPECT_GE(parked, 4096u);
+  std::vector<std::byte> buf = pool.acquire(4096);  // drains the free list
+  EXPECT_EQ(pool.free_bytes(), 0u);
+  EXPECT_GE(pool.free_bytes_peak(), parked);
+  pool.reset_stats();
+  EXPECT_EQ(pool.free_bytes_peak(), pool.free_bytes());
+  pool.release(std::move(buf));
+}
+
+// Satellite: rank MemoryTracker accounting must be identical with pooling
+// on and off. Parked buffers are the pool's own bytes, never a rank's.
+TEST(BufferPool, RankTrackerAccountingIsUnchangedByPooling) {
+  BufferPool& pool = buffer_pool();
+  const bool was_enabled = pool.enabled();
+  for (const bool enabled : {true, false}) {
+    pool.set_enabled(enabled);
+    rank_memory_tracker().reset();
+    {
+      auto a = data::DataArray::create<double>("t", 1000, 1);
+      EXPECT_GE(rank_memory_tracker().current_bytes(), 8000u);
+    }
+    EXPECT_EQ(rank_memory_tracker().current_bytes(), 0u);
+    {
+      auto b = data::DataArray::create<double>("t", 1000, 1);
+      EXPECT_GE(rank_memory_tracker().current_bytes(), 8000u);
+      EXPECT_EQ(rank_memory_tracker().high_water_bytes(),
+                rank_memory_tracker().current_bytes());
+    }
+    EXPECT_EQ(rank_memory_tracker().current_bytes(), 0u);
+  }
+  pool.set_enabled(was_enabled);
+}
+
+TEST(BufferPool, DataArrayStorageRecyclesThroughGlobalPool) {
+  BufferPool& pool = buffer_pool();
+  pool.clear();
+  // Warm the 8 KiB bucket, then verify a same-size create is a pool hit.
+  { auto warm = data::DataArray::create<double>("w", 1000, 1); }
+  const BufferPoolStats start = pool.stats();
+  {
+    auto a = data::DataArray::create<double>("a", 1000, 1);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a->get(i), 0.0);  // zeroed
+    a->set(7, 0, 3.5);
+  }
+  const BufferPoolStats delta = pool.stats_since(start);
+  EXPECT_EQ(delta.hits, 1u);
+  EXPECT_EQ(delta.misses, 0u);
+  EXPECT_EQ(delta.releases, 1u);
+  pool.clear();
+}
+
+TEST(BufferPool, DataArrayRecycleReleasesStorageEarly) {
+  BufferPool& pool = buffer_pool();
+  pool.clear();
+  const BufferPoolStats start = pool.stats();
+  auto a = data::DataArray::create<float>("r", 500, 2);
+  a->recycle();
+  EXPECT_EQ(a->num_tuples(), 0);
+  EXPECT_EQ(a->owned_bytes(), 0u);
+  EXPECT_EQ(pool.stats_since(start).releases, 1u);
+  // Destroying the recycled array must not release a second time.
+  a.reset();
+  EXPECT_EQ(pool.stats_since(start).releases, 1u);
+  pool.clear();
+}
+
+TEST(BufferPool, ZeroCopyArraysNeverTouchThePool) {
+  BufferPool& pool = buffer_pool();
+  const BufferPoolStats start = pool.stats();
+  std::vector<double> sim(64);
+  {
+    auto a = data::DataArray::wrap_aos("zc", sim.data(), 64, 1);
+    a->recycle();  // no-op for views
+  }
+  const BufferPoolStats delta = pool.stats_since(start);
+  EXPECT_EQ(delta.releases, 0u);
+  EXPECT_EQ(delta.misses, 0u);
+}
+
+TEST(PooledBuffer, AcquiresLazilyAndReleasesOnDestruction) {
+  BufferPool& pool = buffer_pool();
+  pool.clear();
+  const BufferPoolStats start = pool.stats();
+  {
+    PooledBuffer lease;  // no pool traffic yet
+    EXPECT_EQ(pool.stats_since(start).hits + pool.stats_since(start).misses,
+              0u);
+    std::vector<std::byte>& bytes = lease.bytes();
+    bytes.resize(300, std::byte{1});
+    EXPECT_EQ(pool.stats_since(start).misses + pool.stats_since(start).hits,
+              1u);
+  }
+  EXPECT_EQ(pool.stats_since(start).releases, 1u);
+  pool.clear();
+}
+
+TEST(PooledBuffer, MoveTransfersTheLease) {
+  BufferPool& pool = buffer_pool();
+  pool.clear();
+  const BufferPoolStats start = pool.stats();
+  PooledBuffer a;
+  a.bytes().resize(100);
+  PooledBuffer b = std::move(a);
+  EXPECT_EQ(b.bytes().size(), 100u);
+  b.reset();
+  EXPECT_EQ(pool.stats_since(start).releases, 1u);  // exactly one release
+  pool.clear();
+}
+
+// Exercised under TSan in CI: concurrent acquire/release from many threads
+// mirrors the async engine (worker threads release, rank threads acquire).
+TEST(BufferPool, ConcurrentAcquireReleaseIsRaceFree) {
+  BufferPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::size_t bytes =
+            64u << (static_cast<unsigned>(t + i) % 6);  // 64..2048
+        std::vector<std::byte> buf = pool.acquire(bytes);
+        buf.resize(bytes);
+        std::memset(buf.data(), t, bytes);
+        pool.release(std::move(buf));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(stats.releases,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_GT(stats.hit_rate(), 0.5);  // free list is actually being reused
+}
+
+}  // namespace
+}  // namespace insitu::pal

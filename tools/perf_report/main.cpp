@@ -131,6 +131,25 @@ std::string render_baseline_table(const Baseline& baseline,
   return table.to_string();
 }
 
+/// Pool block of a baseline file, one row per run that carries one.
+std::string render_baseline_pool_table(const Baseline& baseline) {
+  bool any = false;
+  for (const BaselineRun& run : baseline.runs) any = any || run.has_pool;
+  if (!any) return "";
+  constexpr double kMiB = 1024.0 * 1024.0;
+  pal::TablePrinter table("buffer pool");
+  table.set_header({"run", "hit rate", "alloc MiB", "reused MiB"});
+  for (const BaselineRun& run : baseline.runs) {
+    if (!run.has_pool) continue;
+    table.add_row({run.label, pal::TablePrinter::num(run.pool_hit_rate, 3),
+                   pal::TablePrinter::num(run.pool_bytes_allocated / kMiB, 3),
+                   pal::TablePrinter::num(run.pool_bytes_reused / kMiB, 3)});
+  }
+  table.add_note("hit rate gates against the baseline (lower is a "
+                 "regression); byte counts are informational");
+  return table.to_string();
+}
+
 /// Distill an imported trace into baseline form (one entry per run).
 Baseline baseline_from_runs(const std::vector<AnalyzedRun>& runs,
                             const ExportMeta& meta) {
@@ -229,6 +248,7 @@ int main(int argc, char** argv) {
           render_baseline_table(*baseline, "baseline: " + input_path)
               .c_str(),
           stdout);
+      std::fputs(render_baseline_pool_table(*baseline).c_str(), stdout);
       current = std::move(*baseline);
       break;
     }
@@ -236,6 +256,7 @@ int main(int argc, char** argv) {
       auto metrics = import_metrics_file(input_path);
       if (!metrics.ok()) return fail(metrics.status());
       std::fputs(render_metrics_table(*metrics).c_str(), stdout);
+      std::fputs(render_pool_table(*metrics).c_str(), stdout);
       break;
     }
   }
@@ -244,6 +265,7 @@ int main(int argc, char** argv) {
     auto metrics = import_metrics_file(cfg.get_string_or("metrics", ""));
     if (!metrics.ok()) return fail(metrics.status());
     std::fputs(render_metrics_table(*metrics).c_str(), stdout);
+    std::fputs(render_pool_table(*metrics).c_str(), stdout);
   }
 
   if (cfg.has("write-baseline")) {
