@@ -26,8 +26,7 @@ void executed_table() {
     for (const int dim : {128, 256}) {
       double tree_time = 0.0, swap_time = 0.0;
       std::uint64_t tree_hash = 0, swap_hash = 0;
-      comm::Runtime::Options options;
-      options.machine = comm::cori_haswell();
+      const comm::Runtime::Options options = bench::ablation_options();
       comm::Runtime::run(p, options, [&](comm::Communicator& comm) {
         render::Image local(dim, dim);
         // Each rank paints a band at its own depth.

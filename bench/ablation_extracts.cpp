@@ -24,13 +24,9 @@ void extract_reduction_table() {
   table.set_header({"grid", "volume bytes", "extract bytes", "reduction"});
   for (const std::int64_t n : {16, 32, 48}) {
     std::uint64_t extract_bytes = 0, field_bytes = 0;
-    comm::Runtime::run(4, [&](comm::Communicator& comm) {
-      miniapp::OscillatorConfig cfg;
-      cfg.global_cells = {n, n, n};
-      cfg.oscillators = {{miniapp::Oscillator::Kind::kPeriodic,
-                          {n / 2.0, n / 2.0, n / 2.0}, n / 4.0,
-                          2.0 * M_PI, 0.0}};
-      miniapp::OscillatorSim sim(comm, cfg);
+    comm::Runtime::run(4, ablation_options(), [&](comm::Communicator& comm) {
+      miniapp::OscillatorSim sim(
+          comm, ablation_oscillator_config(n, static_cast<double>(n) / 4.0));
       sim.initialize();
       miniapp::OscillatorDataAdaptor adaptor(sim);
       backends::ExtractConfig ec;
@@ -95,9 +91,7 @@ void tracking_cost_table() {
   for (const std::int64_t n : {24, 32}) {
     double per_step = 0.0;
     int features = 0;
-    comm::Runtime::Options options;
-    options.machine = comm::cori_haswell();
-    comm::Runtime::run(4, options, [&](comm::Communicator& comm) {
+    comm::Runtime::run(4, ablation_options(), [&](comm::Communicator& comm) {
       miniapp::OscillatorConfig cfg;
       cfg.global_cells = {n, n, n};
       cfg.oscillators = {

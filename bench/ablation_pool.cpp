@@ -41,20 +41,13 @@ ArmResult run_arm(int ranks, bool pooled, const std::string& label) {
   pool.set_enabled(pooled);
   const pal::BufferPoolStats start = pool.stats();
 
-  comm::Runtime::Options options;
-  options.machine = comm::cori_haswell();
-  options.seed = 7;
   bench::ObsSession* obs = bench::ObsSession::current();
-  options.observe.trace = obs != nullptr && obs->trace_enabled();
+  const comm::Runtime::Options options = bench::ablation_options();
 
   comm::RunReport report = comm::Runtime::run(
       ranks, options, [&](comm::Communicator& comm) {
-        miniapp::OscillatorConfig cfg;
-        cfg.global_cells = {16, 16, 16};
-        cfg.dt = 0.05;
-        cfg.oscillators = {{miniapp::Oscillator::Kind::kPeriodic, {8, 8, 8},
-                            3.0, 2.0 * M_PI, 0.0}};
-        miniapp::OscillatorSim sim(comm, cfg);
+        miniapp::OscillatorSim sim(comm,
+                                   bench::ablation_oscillator_config(16, 3.0));
         sim.initialize();
         miniapp::OscillatorDataAdaptor adaptor(sim);
 

@@ -77,15 +77,11 @@ int main(int argc, char** argv) {
 
   for (const bool zero_copy : {true, false}) {
     double per_step = 0.0;
-    comm::Runtime::Options options;
-    options.machine = comm::cori_haswell();
+    const comm::Runtime::Options options = bench::ablation_options();
     comm::RunReport report = comm::Runtime::run(
         4, options, [&](comm::Communicator& comm) {
-          miniapp::OscillatorConfig cfg;
-          cfg.global_cells = {32, 32, 32};
-          cfg.oscillators = {{miniapp::Oscillator::Kind::kPeriodic,
-                              {16, 16, 16}, 6.0, 2.0 * M_PI, 0.0}};
-          miniapp::OscillatorSim sim(comm, cfg);
+          miniapp::OscillatorSim sim(
+              comm, bench::ablation_oscillator_config(32, 6.0));
           sim.initialize();
           std::unique_ptr<core::DataAdaptor> adaptor;
           if (zero_copy) {

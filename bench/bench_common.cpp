@@ -40,7 +40,22 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
   }
   threads_ = threads < 1 ? 1 : threads;
   exec::set_global_threads(threads_);
+  // Kernel-dispatch variant: `kernels=NAME` or `--kernels NAME`
+  // overrides the INSITU_KERNELS default for the whole process.
+  std::string kernels = args.get_string_or("kernels", "");
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--kernels") == 0) kernels = argv[i + 1];
+  }
+  if (!kernels.empty()) {
+    if (kernels::set_variant(kernels)) {
+      kernels_ = std::string(kernels::variant_name(kernels::active_variant()));
+    } else {
+      std::fprintf(stderr, "unknown kernels variant '%s' (ignored)\n",
+                   kernels.c_str());
+    }
+  }
   pool_last_ = pal::buffer_pool().stats();
+  kernels_last_ = kernels::stats_snapshot();
   g_obs_session = this;
 }
 
@@ -54,13 +69,28 @@ void ObsSession::record(const std::string& label,
                         const comm::RunReport& report) {
   // Multi-threaded kernels change wall time but not results; tag such
   // runs so their series stay distinguishable (serial labels unchanged).
-  const std::string full =
+  // Same for an explicit dispatch-variant override: identical results,
+  // distinguishable series.
+  std::string full =
       threads_ > 1 ? label + "/t" + std::to_string(threads_) : label;
+  if (!kernels_.empty()) full += "/k" + kernels_;
   if (trace_enabled()) {
     traces_.push_back({full, report.trace});
     seeds_.push_back(report.seed);
     pool_runs_.push_back(pal::buffer_pool().stats_since(pool_last_));
     pool_last_ = pal::buffer_pool().stats();
+    const kernels::StatsSnapshot now = kernels::stats_snapshot();
+    kernels::StatsSnapshot delta;
+    for (int k = 0; k < kernels::kNumKernels; ++k) {
+      for (int v = 0; v < kernels::kNumVariants; ++v) {
+        delta.s[k][v].calls = now.s[k][v].calls - kernels_last_.s[k][v].calls;
+        delta.s[k][v].elements =
+            now.s[k][v].elements - kernels_last_.s[k][v].elements;
+        delta.s[k][v].bytes = now.s[k][v].bytes - kernels_last_.s[k][v].bytes;
+      }
+    }
+    kernels_runs_.push_back(delta);
+    kernels_last_ = now;
   }
   if (metrics_enabled()) metrics_.push_back({full, report.metrics});
 }
@@ -132,6 +162,33 @@ int ObsSession::finish() {
           run.pool_bytes_reused = static_cast<double>(pool.bytes_reused);
         }
       }
+      if (i < kernels_runs_.size()) {
+        // Informational only (check_baseline never fails on it): which
+        // dispatch variant ran and how many elements each kernel saw.
+        const kernels::StatsSnapshot& delta = kernels_runs_[i];
+        std::uint64_t calls_per_variant[kernels::kNumVariants] = {};
+        for (int k = 0; k < kernels::kNumKernels; ++k) {
+          std::uint64_t elements = 0;
+          for (int v = 0; v < kernels::kNumVariants; ++v) {
+            elements += delta.s[k][v].elements;
+            calls_per_variant[v] += delta.s[k][v].calls;
+          }
+          if (elements > 0) {
+            run.kernels_elements.emplace_back(
+                kernels::kernel_name(static_cast<kernels::KernelId>(k)),
+                static_cast<double>(elements));
+          }
+        }
+        int dominant = 0;
+        for (int v = 1; v < kernels::kNumVariants; ++v) {
+          if (calls_per_variant[v] > calls_per_variant[dominant]) dominant = v;
+        }
+        if (!run.kernels_elements.empty()) {
+          run.has_kernels = true;
+          run.kernels_variant = std::string(
+              kernels::variant_name(static_cast<kernels::Variant>(dominant)));
+        }
+      }
       baseline.runs.push_back(std::move(run));
     }
     const Status status =
@@ -169,6 +226,26 @@ miniapp::OscillatorConfig executed_sim_config(
 }
 
 }  // namespace
+
+comm::Runtime::Options ablation_options() {
+  comm::Runtime::Options options;
+  options.machine = comm::cori_haswell();
+  options.seed = 7;
+  ObsSession* obs = ObsSession::current();
+  options.observe.trace = obs != nullptr && obs->trace_enabled();
+  return options;
+}
+
+miniapp::OscillatorConfig ablation_oscillator_config(
+    std::int64_t cells_per_axis, double radius) {
+  miniapp::OscillatorConfig cfg;
+  cfg.global_cells = {cells_per_axis, cells_per_axis, cells_per_axis};
+  cfg.dt = 0.05;
+  const double c = static_cast<double>(cells_per_axis) / 2.0;
+  cfg.oscillators = {{miniapp::Oscillator::Kind::kPeriodic, {c, c, c},
+                      radius, 2.0 * M_PI, 0.0}};
+  return cfg;
+}
 
 RunResult run_miniapp_config(MiniappConfig config,
                              const MiniappBenchParams& params) {

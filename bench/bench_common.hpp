@@ -19,6 +19,7 @@
 #include "backends/libsim.hpp"
 #include "comm/runtime.hpp"
 #include "core/bridge.hpp"
+#include "kernels/kernels.hpp"
 #include "miniapp/adaptor.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics_io.hpp"
@@ -65,6 +66,9 @@ class ObsSession {
   bool baseline_enabled() const { return !baseline_path_.empty(); }
   /// Kernel threads requested via `threads=N` / `--threads N` (>= 1).
   int threads() const { return threads_; }
+  /// Kernel-dispatch variant requested via `kernels=NAME` /
+  /// `--kernels NAME`; empty when running the process default.
+  const std::string& kernels_variant() const { return kernels_; }
 
   /// Capture one run's trace + metrics under `label`.
   void record(const std::string& label, const comm::RunReport& report);
@@ -93,6 +97,12 @@ class ObsSession {
   /// calls, distilled into the baseline's optional "pool" block.
   std::vector<pal::BufferPoolStats> pool_runs_;
   pal::BufferPoolStats pool_last_;
+  /// Per recorded trace run: kernel-dispatch counter deltas between
+  /// record() calls, distilled into the baseline's optional "kernels"
+  /// block.
+  std::vector<kernels::StatsSnapshot> kernels_runs_;
+  kernels::StatsSnapshot kernels_last_;
+  std::string kernels_;  ///< requested dispatch variant ("" = default)
   int threads_ = 1;
   bool finished_ = false;
 };
@@ -146,6 +156,17 @@ struct MiniappBenchParams {
 /// Run one miniapp configuration end-to-end at executed scale.
 RunResult run_miniapp_config(MiniappConfig config,
                              const MiniappBenchParams& params);
+
+/// Standard ablation-bench Runtime options: Cori Haswell machine,
+/// seed 7, tracing wired to the current ObsSession (off when no session
+/// is installed or no --trace/--baseline flag was given).
+comm::Runtime::Options ablation_options();
+
+/// The standard single-source ablation workload: one periodic
+/// oscillator (omega = 2*pi) of the given radius at the center of an
+/// n^3 grid, dt = 0.05.
+miniapp::OscillatorConfig ablation_oscillator_config(
+    std::int64_t cells_per_axis, double radius);
 
 /// Standard executed-scale rank counts for the weak-scaling tables.
 inline std::vector<int> executed_ranks() { return {4, 8, 16}; }

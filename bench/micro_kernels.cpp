@@ -14,6 +14,7 @@
 #include "comm/runtime.hpp"
 #include "data/image_data.hpp"
 #include "io/block_io.hpp"
+#include "kernels/kernels.hpp"
 #include "pal/buffer_pool.hpp"
 #include "render/compositor.hpp"
 #include "render/png.hpp"
@@ -231,6 +232,131 @@ void BM_SerializeBlock(benchmark::State& state) {
                           static_cast<std::int64_t>(blob));
 }
 BENCHMARK(BM_SerializeBlock)->Arg(16)->Arg(32);
+
+// ---- kernel-dispatch primitives, per variant ----
+//
+// state.range(0) selects the dispatch variant (0 generic, 1 batched,
+// 2 simd), state.range(1) the element count. Items/sec is elements/sec,
+// so the three variants of one primitive are directly comparable.
+
+void use_variant(benchmark::State& state) {
+  const auto v = static_cast<kernels::Variant>(state.range(0));
+  kernels::set_variant(v);
+  state.SetLabel(std::string(kernels::variant_name(v)));
+}
+
+std::vector<double> kernel_input(std::int64_t n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = std::sin(0.001 * static_cast<double>(i));
+  }
+  return v;
+}
+
+constexpr std::int64_t kKernelN = 1 << 16;
+
+void BM_KernelReduceMoments(benchmark::State& state) {
+  use_variant(state);
+  const std::vector<double> x = kernel_input(state.range(1));
+  for (auto _ : state) {
+    kernels::Moments m = kernels::reduce_moments(
+        x.data(), static_cast<std::int64_t>(x.size()), nullptr);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_KernelReduceMoments)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelHistogramBin(benchmark::State& state) {
+  use_variant(state);
+  const std::vector<double> x = kernel_input(state.range(1));
+  std::vector<std::int64_t> bins(64, 0);
+  for (auto _ : state) {
+    kernels::histogram_bin(x.data(), static_cast<std::int64_t>(x.size()),
+                           nullptr, -1.0, 2.0, 64, bins.data());
+    benchmark::DoNotOptimize(bins.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_KernelHistogramBin)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelLerp(benchmark::State& state) {
+  use_variant(state);
+  const std::vector<double> a = kernel_input(state.range(1));
+  std::vector<double> b(a.rbegin(), a.rend());
+  std::vector<double> dst(a.size());
+  for (auto _ : state) {
+    kernels::lerp(dst.data(), a.data(), b.data(), 0.37,
+                  static_cast<std::int64_t>(a.size()));
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_KernelLerp)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelColormap(benchmark::State& state) {
+  use_variant(state);
+  const std::vector<double> x = kernel_input(state.range(1));
+  const std::uint8_t controls[8] = {0, 0, 255, 255, 255, 0, 0, 255};
+  std::vector<std::uint8_t> out(4 * x.size());
+  for (auto _ : state) {
+    kernels::colormap_apply(x.data(), static_cast<std::int64_t>(x.size()),
+                            -1.0, 1.0, controls, 2, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_KernelColormap)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelDepthComposite(benchmark::State& state) {
+  use_variant(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::uint8_t> src_c(4 * n, 0x7F);
+  std::vector<float> src_d(n), dst_d0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    src_d[i] = static_cast<float>(i % 3);
+    dst_d0[i] = static_cast<float>((i + 1) % 3);
+  }
+  std::vector<std::uint8_t> dst_c(4 * n, 0);
+  std::vector<float> dst_d = dst_d0;
+  for (auto _ : state) {
+    kernels::depth_composite(dst_c.data(), dst_d.data(), src_c.data(),
+                             src_d.data(), static_cast<std::int64_t>(n));
+    benchmark::DoNotOptimize(dst_c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelDepthComposite)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelOscillator(benchmark::State& state) {
+  use_variant(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<double> dst(n, 0.0);
+  for (auto _ : state) {
+    kernels::oscillator_accumulate(dst.data(), static_cast<std::int64_t>(n),
+                                   0.0, 1.0, 0, 4.0, 9.0, 100.0, 50.0, 0.8);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelOscillator)->ArgsProduct({{0, 1, 2}, {1 << 12}});
+
+void BM_KernelVexp(benchmark::State& state) {
+  use_variant(state);
+  const std::vector<double> x = kernel_input(state.range(1));
+  std::vector<double> out(x.size());
+  for (auto _ : state) {
+    kernels::vexp(x.data(), out.data(), static_cast<std::int64_t>(x.size()));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_KernelVexp)->ArgsProduct({{0, 1, 2}, {1 << 14}});
 
 void BM_AllreduceRendezvous(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/kernel_view.hpp"
+#include "kernels/kernels.hpp"
+
 namespace insitu::analysis {
 
 namespace {
@@ -57,25 +60,27 @@ StatusOr<bool> Autocorrelation::execute(core::DataAdaptor& data) {
     }
 
     // Update running correlations against the circular history, then store
-    // the current step into the history slot it displaces.
+    // the current step into the history slot it displaces. Delay-outer with
+    // a fused multiply-accumulate per delay row: each (delay, i) cell still
+    // receives exactly one product per step, in unchanged step order, so
+    // the running sums stay bit-identical to the element-outer original.
     const int usable_delays =
         static_cast<int>(std::min<long>(window_, steps_));
     const std::size_t un = static_cast<std::size_t>(n);
-    for (std::int64_t i = 0; i < n; ++i) {
-      const double now = values->get(i);
-      for (int delay = 1; delay <= usable_delays; ++delay) {
-        const long past_step = steps_ - delay;
-        const std::size_t slot =
-            static_cast<std::size_t>(past_step % window_) * un +
-            static_cast<std::size_t>(i);
-        state.correlation[static_cast<std::size_t>(delay - 1) * un +
-                          static_cast<std::size_t>(i)] +=
-            state.history[slot] * now;
-      }
-      state.history[static_cast<std::size_t>(steps_ % window_) * un +
-                    static_cast<std::size_t>(i)] = now;
-      local_updates += usable_delays + 1;
+    const double* now = dense_values(*values, 0, n, value_scratch_);
+    for (int delay = 1; delay <= usable_delays; ++delay) {
+      const long past_step = steps_ - delay;
+      const double* past =
+          state.history.data() + static_cast<std::size_t>(past_step % window_) * un;
+      double* corr = state.correlation.data() +
+                     static_cast<std::size_t>(delay - 1) * un;
+      kernels::fma_accumulate(corr, past, now, n);
     }
+    std::copy_n(now, un,
+                state.history.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        static_cast<std::size_t>(steps_ % window_) * un));
+    local_updates += n * (usable_delays + 1);
   }
 
   data.communicator()->advance_compute(

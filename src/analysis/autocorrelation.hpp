@@ -76,6 +76,7 @@ class Autocorrelation final : public core::AnalysisAdaptor {
   std::vector<BlockState> blocks_;
   std::vector<std::vector<Peak>> peaks_;
   std::vector<std::int64_t> cell_scratch_;  // cell_points scratch, reused
+  std::vector<double> value_scratch_;       // densified step values, reused
 };
 
 }  // namespace insitu::analysis

@@ -4,6 +4,7 @@
 
 #include "data/unstructured_grid.hpp"
 #include "exec/task_pool.hpp"
+#include "kernels/kernels.hpp"
 
 namespace insitu::analysis {
 
@@ -20,9 +21,11 @@ TetVert edge_cut(const TetVert& a, const TetVert& b, double iso) {
   const double denom = b.f - a.f;
   const double t = denom != 0.0 ? (iso - a.f) / denom : 0.5;
   TetVert v;
-  v.p = a.p + (b.p - a.p) * t;
+  v.p.x = kernels::lerp1(a.p.x, b.p.x, t);
+  v.p.y = kernels::lerp1(a.p.y, b.p.y, t);
+  v.p.z = kernels::lerp1(a.p.z, b.p.z, t);
   v.f = iso;
-  v.attr = a.attr + (b.attr - a.attr) * t;
+  v.attr = kernels::lerp1(a.attr, b.attr, t);
   return v;
 }
 
@@ -206,10 +209,22 @@ StatusOr<TriangleMesh> slice_plane(const data::DataSet& dataset,
   const std::int64_t npoints = dataset.num_points();
   data::DataArrayPtr distance =
       data::DataArray::create<double>("plane_distance", npoints, 1);
+  double* dist = distance->component_base<double>(0);
+  // Gather coordinates into disjoint chunk slices of SoA scratch, then
+  // evaluate the signed distance with the dispatch kernel.
+  std::vector<double> xs(static_cast<std::size_t>(npoints));
+  std::vector<double> ys(static_cast<std::size_t>(npoints));
+  std::vector<double> zs(static_cast<std::size_t>(npoints));
   exec::parallel_for(0, npoints, 8192, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
-      distance->set(i, 0, (dataset.point(i) - origin).dot(n));
+      const data::Vec3 p = dataset.point(i);
+      xs[static_cast<std::size_t>(i)] = p.x;
+      ys[static_cast<std::size_t>(i)] = p.y;
+      zs[static_cast<std::size_t>(i)] = p.z;
     }
+    kernels::plane_distance(xs.data() + lo, ys.data() + lo, zs.data() + lo,
+                            hi - lo, origin.x, origin.y, origin.z, n.x, n.y,
+                            n.z, dist + lo);
   });
   return contour_field(dataset, *distance, 0.0, *values);
 }

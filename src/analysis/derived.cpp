@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "kernels/kernels.hpp"
+
 namespace insitu::analysis {
 
 StatusOr<data::DataArrayPtr> velocity_magnitude(
@@ -14,12 +16,25 @@ StatusOr<data::DataArrayPtr> velocity_magnitude(
   const std::int64_t n = velocity.num_tuples();
   data::DataArrayPtr out = data::DataArray::create<double>(output_name, n, 1);
   double* dst = out->component_base<double>(0);
-  for (std::int64_t i = 0; i < n; ++i) {
-    const double u = velocity.get(i, 0);
-    const double v = velocity.get(i, 1);
-    const double w = velocity.get(i, 2);
-    dst[i] = std::sqrt(u * u + v * v + w * w);
+  if (velocity.type() == data::DataType::kFloat64) {
+    // Any layout (AoS, SoA, strided) via the per-component strides.
+    kernels::magnitude3(velocity.component_base<double>(0),
+                        velocity.component_stride(0),
+                        velocity.component_base<double>(1),
+                        velocity.component_stride(1),
+                        velocity.component_base<double>(2),
+                        velocity.component_stride(2), n, dst);
+    return out;
   }
+  std::vector<double> u(static_cast<std::size_t>(n));
+  std::vector<double> v(static_cast<std::size_t>(n));
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    u[static_cast<std::size_t>(i)] = velocity.get(i, 0);
+    v[static_cast<std::size_t>(i)] = velocity.get(i, 1);
+    w[static_cast<std::size_t>(i)] = velocity.get(i, 2);
+  }
+  kernels::magnitude3(u.data(), 1, v.data(), 1, w.data(), 1, n, dst);
   return out;
 }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/kernel_view.hpp"
 #include "exec/task_pool.hpp"
+#include "kernels/kernels.hpp"
 
 namespace insitu::analysis {
 
@@ -31,7 +33,11 @@ StatusOr<HistogramResult> compute_histogram(
   HistogramScratch call_scratch;  // one-shot callers get fresh buffers
   HistogramScratch& s = scratch != nullptr ? *scratch : call_scratch;
 
-  // Pass 1: local min/max over all blocks.
+  // Pass 1: local min/max over all blocks, one fused moments reduction
+  // per chunk. Dense float64 arrays feed the kernel zero-copy; other
+  // layouts gather through the generic accessor into per-chunk slices of
+  // the block-sized scratch (disjoint [lo, hi) ranges, so chunks stay
+  // race-free).
   double local_min = std::numeric_limits<double>::max();
   double local_max = std::numeric_limits<double>::lowest();
   std::int64_t local_values = 0;
@@ -49,25 +55,35 @@ StatusOr<HistogramResult> compute_histogram(
     chunk_max.assign(static_cast<std::size_t>(nchunks),
                      std::numeric_limits<double>::lowest());
     chunk_count.assign(static_cast<std::size_t>(nchunks), 0);
+    const bool dense = dense_f64(*values);
+    const bool masked = association == data::Association::kCell &&
+                        block.ghost_cells() != nullptr;
+    if (!dense) s.gather.resize(static_cast<std::size_t>(n));
+    if (masked) s.skip.resize(static_cast<std::size_t>(n));
     exec::parallel_for(0, n, kValueGrain, [&](std::int64_t lo,
                                               std::int64_t hi) {
       const auto chunk = static_cast<std::size_t>(lo / kValueGrain);
-      double mn = std::numeric_limits<double>::max();
-      double mx = std::numeric_limits<double>::lowest();
-      std::int64_t count = 0;
-      for (std::int64_t i = lo; i < hi; ++i) {
-        if (association == data::Association::kCell &&
-            block.is_ghost_cell(i)) {
-          continue;
+      const double* x;
+      if (dense) {
+        x = values->component_base<double>(0) + lo;
+      } else {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          s.gather[static_cast<std::size_t>(i)] = values->get(i);
         }
-        const double v = values->get(i);
-        mn = std::min(mn, v);
-        mx = std::max(mx, v);
-        ++count;
+        x = s.gather.data() + lo;
       }
-      chunk_min[chunk] = mn;
-      chunk_max[chunk] = mx;
-      chunk_count[chunk] = count;
+      const std::uint8_t* sk = nullptr;
+      if (masked) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          s.skip[static_cast<std::size_t>(i)] =
+              static_cast<std::uint8_t>(block.is_ghost_cell(i));
+        }
+        sk = s.skip.data() + lo;
+      }
+      const kernels::Moments m = kernels::reduce_moments(x, hi - lo, sk);
+      chunk_min[chunk] = m.min;
+      chunk_max[chunk] = m.max;
+      chunk_count[chunk] = m.count;
     });
     for (std::size_t c = 0; c < static_cast<std::size_t>(nchunks); ++c) {
       local_min = std::min(local_min, chunk_min[c]);
@@ -84,8 +100,9 @@ StatusOr<HistogramResult> compute_histogram(
   result.min = global_min;
   result.max = global_max;
 
-  // Pass 2: local binning. Charge the modeled per-value cost; two sweeps
-  // (range + binning) at roughly one update each.
+  // Pass 2: local binning into chunk-private bin rows. Charge the
+  // modeled per-value cost; two sweeps (range + binning) at roughly one
+  // update each.
   std::vector<std::int64_t>& local_bins = s.local_bins;
   local_bins.assign(static_cast<std::size_t>(num_bins), 0);
   const double width =
@@ -100,30 +117,51 @@ StatusOr<HistogramResult> compute_histogram(
     chunk_bins.assign(
         static_cast<std::size_t>(nchunks) * static_cast<std::size_t>(num_bins),
         0);
+    const bool dense = dense_f64(*values);
+    const bool masked = association == data::Association::kCell &&
+                        block.ghost_cells() != nullptr;
+    if (!dense) s.gather.resize(static_cast<std::size_t>(n));
+    if (masked) s.skip.resize(static_cast<std::size_t>(n));
     exec::parallel_for(0, n, kValueGrain, [&](std::int64_t lo,
                                               std::int64_t hi) {
       std::int64_t* bins =
           chunk_bins.data() +
           static_cast<std::size_t>(lo / kValueGrain) *
               static_cast<std::size_t>(num_bins);
-      for (std::int64_t i = lo; i < hi; ++i) {
-        if (association == data::Association::kCell &&
-            block.is_ghost_cell(i)) {
-          continue;
+      const double* x;
+      if (dense) {
+        x = values->component_base<double>(0) + lo;
+      } else {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          s.gather[static_cast<std::size_t>(i)] = values->get(i);
         }
-        const double v = values->get(i);
-        int bin = static_cast<int>((v - global_min) / width * num_bins);
-        bin = std::clamp(bin, 0, num_bins - 1);
-        ++bins[bin];
+        x = s.gather.data() + lo;
       }
+      const std::uint8_t* sk = nullptr;
+      if (masked) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          s.skip[static_cast<std::size_t>(i)] =
+              static_cast<std::uint8_t>(block.is_ghost_cell(i));
+        }
+        sk = s.skip.data() + lo;
+      }
+      kernels::histogram_bin(x, hi - lo, sk, global_min, width, num_bins,
+                             bins);
     });
-    for (std::int64_t c = 0; c < nchunks; ++c) {
-      const std::int64_t* bins =
-          chunk_bins.data() +
-          static_cast<std::size_t>(c) * static_cast<std::size_t>(num_bins);
-      for (int k = 0; k < num_bins; ++k) {
-        local_bins[static_cast<std::size_t>(k)] += bins[k];
+    // Tree merge of the chunk-private rows: integer adds are associative,
+    // so the totals are bit-identical to any merge order.
+    for (std::int64_t stride = 1; stride < nchunks; stride *= 2) {
+      for (std::int64_t c = 0; c + stride < nchunks; c += 2 * stride) {
+        kernels::accumulate_i64(
+            chunk_bins.data() +
+                static_cast<std::size_t>(c) * static_cast<std::size_t>(num_bins),
+            chunk_bins.data() + static_cast<std::size_t>(c + stride) *
+                                    static_cast<std::size_t>(num_bins),
+            num_bins);
       }
+    }
+    if (nchunks > 0) {
+      kernels::accumulate_i64(local_bins.data(), chunk_bins.data(), num_bins);
     }
   }
   comm.advance_compute(

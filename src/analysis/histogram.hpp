@@ -38,6 +38,8 @@ struct HistogramScratch {
   std::vector<std::int64_t> chunk_count;
   std::vector<std::int64_t> chunk_bins;
   std::vector<std::int64_t> local_bins;
+  std::vector<double> gather;      ///< densified values (non-f64 layouts)
+  std::vector<std::uint8_t> skip;  ///< ghost mask fed to the kernels
 };
 
 /// Distributed histogram of the named array. Ghost-flagged cells are

@@ -1,0 +1,55 @@
+#pragma once
+
+// Adapters from the DataArray layout model to the dense spans the
+// kernels:: primitives operate on. Contiguous float64 arrays are passed
+// through zero-copy; everything else gathers into caller-provided
+// scratch (grown once, reused across steps).
+
+#include <cstdint>
+#include <vector>
+
+#include "data/data_array.hpp"
+#include "data/dataset.hpp"
+
+namespace insitu::analysis {
+
+/// True when component 0 of `a` can be read directly as a unit-stride
+/// double span starting at tuple 0.
+inline bool dense_f64(const data::DataArray& a) {
+  return a.type() == data::DataType::kFloat64 && a.num_components() == 1 &&
+         a.component_stride(0) == 1;
+}
+
+/// Pointer to values [lo, hi) of component 0 as doubles: zero-copy for
+/// dense float64 arrays, a converting gather into `scratch` otherwise.
+inline const double* dense_values(const data::DataArray& a, std::int64_t lo,
+                                  std::int64_t hi,
+                                  std::vector<double>& scratch) {
+  if (dense_f64(a)) return a.component_base<double>(0) + lo;
+  scratch.resize(static_cast<std::size_t>(hi - lo));
+  for (std::int64_t i = lo; i < hi; ++i) {
+    scratch[static_cast<std::size_t>(i - lo)] = a.get(i);
+  }
+  return scratch.data();
+}
+
+/// Ghost-cell skip mask for `block`, or nullptr when nothing is skipped
+/// (point association, or no ghost array present). The mask is rebuilt
+/// into `scratch` and covers cells [0, n).
+inline const std::uint8_t* ghost_skip(const data::DataSet& block,
+                                      data::Association association,
+                                      std::int64_t n,
+                                      std::vector<std::uint8_t>& scratch) {
+  if (association != data::Association::kCell ||
+      block.ghost_cells() == nullptr) {
+    return nullptr;
+  }
+  scratch.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    scratch[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(block.is_ghost_cell(i));
+  }
+  return scratch.data();
+}
+
+}  // namespace insitu::analysis

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
+
+#include "analysis/kernel_view.hpp"
+#include "kernels/kernels.hpp"
 
 namespace insitu::analysis {
 
@@ -14,22 +18,21 @@ StatusOr<FieldStatistics> compute_statistics(
   double sum_sq = 0.0;
   std::int64_t count = 0;
 
+  std::vector<double> gather;
+  std::vector<std::uint8_t> skip;
   for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
     const data::DataSet& block = *mesh.block(b);
     const data::DataArrayPtr values = block.fields(association).get(array);
     if (values == nullptr) continue;
     const std::int64_t n = values->num_tuples();
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (association == data::Association::kCell && block.is_ghost_cell(i)) {
-        continue;
-      }
-      const double v = values->get(i);
-      local_min = std::min(local_min, v);
-      local_max = std::max(local_max, v);
-      sum += v;
-      sum_sq += v * v;
-      ++count;
-    }
+    const double* x = dense_values(*values, 0, n, gather);
+    const std::uint8_t* sk = ghost_skip(block, association, n, skip);
+    const kernels::Moments m = kernels::reduce_moments(x, n, sk);
+    local_min = std::min(local_min, m.min);
+    local_max = std::max(local_max, m.max);
+    sum += m.sum;
+    sum_sq += m.sum_sq;
+    count += m.count;
   }
   comm.advance_compute(
       comm.machine().compute_time(static_cast<std::uint64_t>(count)));

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <thread>
 
+#include "kernels/kernels.hpp"
 #include "obs/context.hpp"
 #include "pal/buffer_pool.hpp"
 #include "pal/log.hpp"
@@ -50,8 +51,10 @@ RunReport Runtime::run(int nranks,
 
   // Buffer-pool counters are process-global (pal cannot see obs, so the
   // pool cannot publish its own metrics); snapshot them here and publish
-  // this run's delta as pool.* series after the join.
+  // this run's delta as pool.* series after the join. Same story for the
+  // kernel-dispatch counters: the kernels layer sits below obs.
   const pal::BufferPoolStats pool_start = pal::buffer_pool().stats();
+  const kernels::StatsSnapshot kernels_start = kernels::stats_snapshot();
 
   std::shared_ptr<detail::Group> world = detail::make_group(nranks);
   std::mutex failure_mutex;
@@ -155,6 +158,44 @@ RunReport Runtime::run(int nranks,
       add("pool.releases", obs::MetricKind::kCounter,
           static_cast<double>(d.releases));
       obs::merge_into(report.metrics, pool);
+    }
+    // Publish this run's kernel activity as labeled kernels.* counters,
+    // one series per (kernel, variant) pair that was actually called.
+    const kernels::StatsSnapshot kernels_now = kernels::stats_snapshot();
+    obs::MetricsSnapshot kern;
+    for (int k = 0; k < kernels::kNumKernels; ++k) {
+      for (int v = 0; v < kernels::kNumVariants; ++v) {
+        const kernels::KernelStats& before = kernels_start.s[k][v];
+        const kernels::KernelStats& now = kernels_now.s[k][v];
+        if (now.calls == before.calls) continue;
+        const std::string labels =
+            std::string("{kernel=") +
+            kernels::kernel_name(static_cast<kernels::KernelId>(k)) +
+            ",variant=" +
+            std::string(kernels::variant_name(
+                static_cast<kernels::Variant>(v))) +
+            "}";
+        const auto add = [&kern, &labels](const char* name, double value) {
+          obs::MetricSample sample;
+          sample.key = std::string(name) + labels;
+          sample.kind = obs::MetricKind::kCounter;
+          sample.value = value;
+          kern.push_back(std::move(sample));
+        };
+        add("kernels.bytes", static_cast<double>(now.bytes - before.bytes));
+        add("kernels.calls", static_cast<double>(now.calls - before.calls));
+        add("kernels.elements",
+            static_cast<double>(now.elements - before.elements));
+      }
+    }
+    if (!kern.empty()) {
+      // merge_into expects key-sorted snapshots; label order within one
+      // kernel is already sorted, but kernel/variant enumeration is not.
+      std::sort(kern.begin(), kern.end(),
+                [](const obs::MetricSample& a, const obs::MetricSample& b) {
+                  return a.key < b.key;
+                });
+      obs::merge_into(report.metrics, kern);
     }
   }
   if (options.observe.trace) {

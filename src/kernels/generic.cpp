@@ -1,0 +1,165 @@
+// The scalar reference variant. Compiled with auto-vectorization
+// disabled (see CMakeLists.txt) so "INSITU_KERNELS=generic" really is
+// the element-at-a-time semantics contract the other variants are
+// golden-tested against.
+
+#include <cmath>
+#include <limits>
+
+#include "kernels/detail.hpp"
+#include "kernels/table.hpp"
+#include "kernels/vmath.hpp"
+
+namespace insitu::kernels::detail {
+
+namespace {
+
+Moments g_reduce_moments(const double* x, std::int64_t n,
+                         const std::uint8_t* skip) {
+  Moments m{std::numeric_limits<double>::max(),
+            std::numeric_limits<double>::lowest(), 0.0, 0.0, 0};
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (skip != nullptr && skip[i] != 0) continue;
+    const double v = x[i];
+    m.min = v < m.min ? v : m.min;
+    m.max = m.max < v ? v : m.max;
+    m.sum += v;
+    m.sum_sq += v * v;
+    ++m.count;
+  }
+  return m;
+}
+
+void g_histogram_bin(const double* x, std::int64_t n,
+                     const std::uint8_t* skip, double min_value,
+                     double width, int num_bins, std::int64_t* bins) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (skip != nullptr && skip[i] != 0) continue;
+    ++bins[bin_index(x[i], min_value, width, num_bins)];
+  }
+}
+
+void g_accumulate_i64(std::int64_t* dst, const std::int64_t* src,
+                      std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+double g_dot(const double* a, const double* b, std::int64_t n) {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void g_fma_accumulate(double* dst, const double* a, const double* b,
+                      std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+void g_saxpy(double* dst, double a, const double* x, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += a * x[i];
+}
+
+void g_lerp(double* dst, const double* a, const double* b, double t,
+            std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = a[i] + (b[i] - a[i]) * t;
+}
+
+void g_colormap_apply(const double* s, std::int64_t n, double lo, double hi,
+                      const std::uint8_t* controls, int ncontrols,
+                      std::uint8_t* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    colormap_one(s[i], lo, hi, controls, ncontrols, out + 4 * i);
+  }
+}
+
+void g_depth_composite(std::uint8_t* dst_color, float* dst_depth,
+                       const std::uint8_t* src_color, const float* src_depth,
+                       std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (src_depth[i] < dst_depth[i]) {
+      store_u32(dst_color + 4 * i, load_u32(src_color + 4 * i));
+      dst_depth[i] = src_depth[i];
+    }
+  }
+}
+
+void g_raster_span(const RasterTri& tri, double py, int x0, std::int64_t n,
+                   const float* dst_depth, float* depth, double* scalar,
+                   std::uint8_t* inside) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double px = static_cast<double>(x0 + i) + 0.5;
+    inside[i] = raster_one(tri, px, py, dst_depth[i], depth + i, scalar + i);
+  }
+}
+
+std::int64_t g_masked_store_span(std::uint8_t* dst_color, float* dst_depth,
+                                 const std::uint8_t* colors,
+                                 const float* depth,
+                                 const std::uint8_t* inside,
+                                 std::int64_t n) {
+  std::int64_t stored = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (inside[i] != 0) {
+      store_u32(dst_color + 4 * i, load_u32(colors + 4 * i));
+      dst_depth[i] = depth[i];
+      ++stored;
+    }
+  }
+  return stored;
+}
+
+void g_plane_distance(const double* x, const double* y, const double* z,
+                      std::int64_t n, double ox, double oy, double oz,
+                      double nx, double ny, double nz, double* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = (x[i] - ox) * nx + (y[i] - oy) * ny + (z[i] - oz) * nz;
+  }
+}
+
+void g_magnitude3(const double* u, std::int64_t su, const double* v,
+                  std::int64_t sv, const double* w, std::int64_t sw,
+                  std::int64_t n, double* dst) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double a = u[i * su];
+    const double b = v[i * sv];
+    const double c = w[i * sw];
+    dst[i] = std::sqrt(a * a + b * b + c * c);
+  }
+}
+
+void g_oscillator_accumulate(double* dst, std::int64_t n, double ox,
+                             double sx, std::int64_t i0, double dyy,
+                             double dzz, double cx, double denom,
+                             double tf) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double px = ox + sx * static_cast<double>(i0 + i);
+    const double dx = px - cx;
+    const double r2 = dx * dx + dyy + dzz;
+    dst[i] += std::exp(-r2 / denom) * tf;
+  }
+}
+
+void g_vexp(const double* x, double* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = exp_core<ScalarOps>(x[i]);
+}
+
+void g_vsin(const double* x, double* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = sin_core<ScalarOps>(x[i]);
+}
+
+void g_vcos(const double* x, double* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = cos_core<ScalarOps>(x[i]);
+}
+
+}  // namespace
+
+const KernelTable kGenericTable = {
+    g_reduce_moments, g_histogram_bin, g_accumulate_i64,
+    g_dot,            g_fma_accumulate, g_saxpy,
+    g_lerp,           g_colormap_apply, g_depth_composite,
+    g_raster_span,    g_masked_store_span, g_plane_distance,
+    g_magnitude3,     g_oscillator_accumulate, g_vexp,
+    g_vsin,           g_vcos,
+};
+
+}  // namespace insitu::kernels::detail

@@ -1,0 +1,282 @@
+#include "kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "kernels/table.hpp"
+
+namespace insitu::kernels {
+
+namespace {
+
+const detail::KernelTable* table_for(Variant v) {
+  switch (v) {
+    case Variant::kGeneric: return &detail::kGenericTable;
+    case Variant::kBatched: return &detail::kBatchedTable;
+    case Variant::kSimd: return &detail::kSimdTable;
+  }
+  return &detail::kGenericTable;
+}
+
+/// -1 until the first active_variant() call folds in INSITU_KERNELS.
+std::atomic<int> g_variant{-1};
+
+/// True when the explicit-SIMD TU's code can run on this CPU. The build
+/// may compile simd.cpp for x86-64-v3 (AVX2 + FMA); dispatching there on
+/// an older core would be an illegal instruction, so variant selection
+/// downgrades kSimd to kBatched when the CPU lacks the ISA.
+bool simd_supported() {
+#if defined(INSITU_KERNELS_SIMD_NEEDS_AVX2)
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return true;
+#endif
+}
+
+Variant clamp_supported(Variant v) {
+  return v == Variant::kSimd && !simd_supported() ? Variant::kBatched : v;
+}
+
+bool parse_variant(std::string_view name, Variant* out) {
+  if (name == "generic" || name == "scalar") {
+    *out = Variant::kGeneric;
+    return true;
+  }
+  if (name == "batched") {
+    *out = Variant::kBatched;
+    return true;
+  }
+  if (name == "simd") {
+    *out = Variant::kSimd;
+    return true;
+  }
+  return false;
+}
+
+struct StatCell {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> elements{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+StatCell g_stats[kNumKernels][kNumVariants];
+
+/// Relaxed counters: cheap enough for per-chunk granularity, race-free
+/// under TSan, and snapshot consistency is not required (deltas are
+/// read after rank threads join).
+inline void bump(KernelId id, Variant v, std::int64_t elements,
+                 std::int64_t bytes) {
+  StatCell& c = g_stats[static_cast<int>(id)][static_cast<int>(v)];
+  c.calls.fetch_add(1, std::memory_order_relaxed);
+  c.elements.fetch_add(static_cast<std::uint64_t>(elements),
+                       std::memory_order_relaxed);
+  c.bytes.fetch_add(static_cast<std::uint64_t>(bytes),
+                    std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Variant active_variant() {
+  int v = g_variant.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Variant>(v);
+  Variant from_env = Variant::kSimd;
+  if (const char* env = std::getenv("INSITU_KERNELS")) {
+    (void)parse_variant(env, &from_env);  // unknown values keep the default
+  }
+  from_env = clamp_supported(from_env);
+  int expected = -1;
+  g_variant.compare_exchange_strong(expected, static_cast<int>(from_env),
+                                    std::memory_order_relaxed);
+  return static_cast<Variant>(g_variant.load(std::memory_order_relaxed));
+}
+
+void set_variant(Variant v) {
+  g_variant.store(static_cast<int>(clamp_supported(v)),
+                  std::memory_order_relaxed);
+}
+
+bool set_variant(std::string_view name) {
+  Variant v;
+  if (!parse_variant(name, &v)) return false;
+  set_variant(v);
+  return true;
+}
+
+std::string_view variant_name(Variant v) {
+  switch (v) {
+    case Variant::kGeneric: return "generic";
+    case Variant::kBatched: return "batched";
+    case Variant::kSimd: return "simd";
+  }
+  return "?";
+}
+
+const char* kernel_name(KernelId id) {
+  switch (id) {
+    case KernelId::kReduceMoments: return "reduce_moments";
+    case KernelId::kHistogramBin: return "histogram_bin";
+    case KernelId::kAccumulateI64: return "accumulate_i64";
+    case KernelId::kDot: return "dot";
+    case KernelId::kFmaAccumulate: return "fma_accumulate";
+    case KernelId::kSaxpy: return "saxpy";
+    case KernelId::kLerp: return "lerp";
+    case KernelId::kColormap: return "colormap";
+    case KernelId::kDepthComposite: return "depth_composite";
+    case KernelId::kRasterSpan: return "raster_span";
+    case KernelId::kMaskedStore: return "masked_store";
+    case KernelId::kPlaneDistance: return "plane_distance";
+    case KernelId::kMagnitude3: return "magnitude3";
+    case KernelId::kOscillator: return "oscillator";
+    case KernelId::kVexp: return "vexp";
+    case KernelId::kVsin: return "vsin";
+    case KernelId::kVcos: return "vcos";
+    case KernelId::kCount: break;
+  }
+  return "?";
+}
+
+StatsSnapshot stats_snapshot() {
+  StatsSnapshot snap;
+  for (int k = 0; k < kNumKernels; ++k) {
+    for (int v = 0; v < kNumVariants; ++v) {
+      const StatCell& c = g_stats[k][v];
+      snap.s[k][v].calls = c.calls.load(std::memory_order_relaxed);
+      snap.s[k][v].elements = c.elements.load(std::memory_order_relaxed);
+      snap.s[k][v].bytes = c.bytes.load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+// ---- dispatching wrappers ----
+
+Moments reduce_moments(const double* x, std::int64_t n,
+                       const std::uint8_t* skip) {
+  const Variant v = active_variant();
+  bump(KernelId::kReduceMoments, v, n, n * (skip != nullptr ? 9 : 8));
+  return table_for(v)->reduce_moments(x, n, skip);
+}
+
+void histogram_bin(const double* x, std::int64_t n, const std::uint8_t* skip,
+                   double min_value, double width, int num_bins,
+                   std::int64_t* bins) {
+  const Variant v = active_variant();
+  bump(KernelId::kHistogramBin, v, n,
+       n * (skip != nullptr ? 9 : 8) + static_cast<std::int64_t>(num_bins) * 8);
+  table_for(v)->histogram_bin(x, n, skip, min_value, width, num_bins, bins);
+}
+
+void accumulate_i64(std::int64_t* dst, const std::int64_t* src,
+                    std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kAccumulateI64, v, n, n * 24);
+  table_for(v)->accumulate_i64(dst, src, n);
+}
+
+double dot(const double* a, const double* b, std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kDot, v, n, n * 16);
+  return table_for(v)->dot(a, b, n);
+}
+
+void fma_accumulate(double* dst, const double* a, const double* b,
+                    std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kFmaAccumulate, v, n, n * 32);
+  table_for(v)->fma_accumulate(dst, a, b, n);
+}
+
+void saxpy(double* dst, double a, const double* x, std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kSaxpy, v, n, n * 24);
+  table_for(v)->saxpy(dst, a, x, n);
+}
+
+void lerp(double* dst, const double* a, const double* b, double t,
+          std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kLerp, v, n, n * 24);
+  table_for(v)->lerp(dst, a, b, t, n);
+}
+
+void colormap_apply(const double* s, std::int64_t n, double lo, double hi,
+                    const std::uint8_t* controls, int ncontrols,
+                    std::uint8_t* out) {
+  const Variant v = active_variant();
+  bump(KernelId::kColormap, v, n, n * 12);
+  table_for(v)->colormap_apply(s, n, lo, hi, controls, ncontrols, out);
+}
+
+void depth_composite(std::uint8_t* dst_color, float* dst_depth,
+                     const std::uint8_t* src_color, const float* src_depth,
+                     std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kDepthComposite, v, n, n * 24);
+  table_for(v)->depth_composite(dst_color, dst_depth, src_color, src_depth,
+                                n);
+}
+
+void raster_span(const RasterTri& tri, double py, int x0, std::int64_t n,
+                 const float* dst_depth, float* depth, double* scalar,
+                 std::uint8_t* inside) {
+  const Variant v = active_variant();
+  bump(KernelId::kRasterSpan, v, n, n * 17);
+  table_for(v)->raster_span(tri, py, x0, n, dst_depth, depth, scalar,
+                            inside);
+}
+
+std::int64_t masked_store_span(std::uint8_t* dst_color, float* dst_depth,
+                               const std::uint8_t* colors, const float* depth,
+                               const std::uint8_t* inside, std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kMaskedStore, v, n, n * 17);
+  return table_for(v)->masked_store_span(dst_color, dst_depth, colors, depth,
+                                         inside, n);
+}
+
+void plane_distance(const double* x, const double* y, const double* z,
+                    std::int64_t n, double ox, double oy, double oz,
+                    double nx, double ny, double nz, double* out) {
+  const Variant v = active_variant();
+  bump(KernelId::kPlaneDistance, v, n, n * 32);
+  table_for(v)->plane_distance(x, y, z, n, ox, oy, oz, nx, ny, nz, out);
+}
+
+void magnitude3(const double* u, std::int64_t su, const double* v,
+                std::int64_t sv, const double* w, std::int64_t sw,
+                std::int64_t n, double* dst) {
+  const Variant var = active_variant();
+  bump(KernelId::kMagnitude3, var, n, n * 32);
+  table_for(var)->magnitude3(u, su, v, sv, w, sw, n, dst);
+}
+
+void oscillator_accumulate(double* dst, std::int64_t n, double ox, double sx,
+                           std::int64_t i0, double dyy, double dzz, double cx,
+                           double denom, double tf) {
+  const Variant v = active_variant();
+  bump(KernelId::kOscillator, v, n, n * 16);
+  table_for(v)->oscillator_accumulate(dst, n, ox, sx, i0, dyy, dzz, cx,
+                                      denom, tf);
+}
+
+void vexp(const double* x, double* out, std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kVexp, v, n, n * 16);
+  table_for(v)->vexp(x, out, n);
+}
+
+void vsin(const double* x, double* out, std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kVsin, v, n, n * 16);
+  table_for(v)->vsin(x, out, n);
+}
+
+void vcos(const double* x, double* out, std::int64_t n) {
+  const Variant v = active_variant();
+  bump(KernelId::kVcos, v, n, n * 16);
+  table_for(v)->vcos(x, out, n);
+}
+
+}  // namespace insitu::kernels

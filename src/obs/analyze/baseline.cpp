@@ -68,6 +68,17 @@ std::string write_baseline(const Baseline& baseline) {
           << format_num(run.pool_bytes_allocated) << ", \"bytes_reused\": "
           << format_num(run.pool_bytes_reused) << "}";
     }
+    if (run.has_kernels) {
+      out << ",\n     \"kernels\": {\"variant\": \""
+          << json_escape(run.kernels_variant) << "\", \"elements\": {";
+      bool first_kernel = true;
+      for (const auto& [kernel, elements] : run.kernels_elements) {
+        if (!first_kernel) out << ", ";
+        first_kernel = false;
+        out << "\"" << json_escape(kernel) << "\": " << format_num(elements);
+      }
+      out << "}}";
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";
@@ -127,6 +138,19 @@ StatusOr<Baseline> read_baseline(std::string_view text) {
       run.pool_hit_rate = pool->number_or("hit_rate", 0.0);
       run.pool_bytes_allocated = pool->number_or("bytes_allocated", 0.0);
       run.pool_bytes_reused = pool->number_or("bytes_reused", 0.0);
+    }
+    if (const Json* kern = r.find("kernels");
+        kern != nullptr && kern->is_object()) {
+      run.has_kernels = true;
+      run.kernels_variant = kern->string_or("variant", "");
+      if (const Json* elems = kern->find("elements");
+          elems != nullptr && elems->is_object()) {
+        for (const auto& [key, value] : elems->members) {
+          if (value.kind == Json::Kind::kNumber) {
+            run.kernels_elements.emplace_back(key, value.number);
+          }
+        }
+      }
     }
     out.runs.push_back(std::move(run));
   }
@@ -227,6 +251,40 @@ CheckResult check_baseline(const Baseline& base, const Baseline& current,
     } else if (b.has_pool && !c->has_pool) {
       result.mismatches.push_back(b.label +
                                   ": pool stats missing from current run");
+    }
+    // Kernel-dispatch stats are informational only: virtual time already
+    // gates the result, so variant or element-count drift is worth a note
+    // (the workload routed differently) but never fails the check.
+    if (b.has_kernels && c->has_kernels) {
+      if (c->kernels_variant != b.kernels_variant) {
+        result.notes.push_back("note: " + b.label +
+                               ": kernel variant changed " +
+                               b.kernels_variant + " -> " +
+                               c->kernels_variant);
+      }
+      for (const auto& [kernel, base_elems] : b.kernels_elements) {
+        double cur_elems = 0.0;
+        bool found = false;
+        for (const auto& [ck, cv] : c->kernels_elements) {
+          if (ck == kernel) {
+            cur_elems = cv;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          result.notes.push_back("note: " + b.label + "/kernels." + kernel +
+                                 " no longer called");
+        } else if (cur_elems != base_elems) {
+          result.notes.push_back("note: " + b.label + "/kernels." + kernel +
+                                 " elements changed " +
+                                 format_num(base_elems) + " -> " +
+                                 format_num(cur_elems));
+        }
+      }
+    } else if (b.has_kernels && !c->has_kernels) {
+      result.notes.push_back("note: " + b.label +
+                             ": kernel stats missing from current run");
     }
   }
   for (const BaselineRun& c : current.runs) {

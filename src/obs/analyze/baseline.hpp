@@ -43,6 +43,14 @@ struct BaselineRun {
   double pool_hit_rate = 0.0;         ///< hits / (hits + misses), 0..1
   double pool_bytes_allocated = 0.0;  ///< fresh bytes allocated (misses)
   double pool_bytes_reused = 0.0;     ///< request bytes served by the free list
+
+  /// Kernel-dispatch summary (insitu::kernels counter deltas captured by
+  /// the bench session). Optional like the pool block; informational only
+  /// in check_baseline — element-count or variant drift produces notes,
+  /// never regressions (virtual time already gates the result).
+  bool has_kernels = false;
+  std::string kernels_variant;  ///< active dispatch variant for the run
+  std::vector<std::pair<std::string, double>> kernels_elements;
 };
 
 struct Baseline {

@@ -208,6 +208,64 @@ std::string render_pool_table(const MetricsTable& metrics) {
   return table.to_string();
 }
 
+std::string render_kernel_table(const MetricsTable& metrics) {
+  // One row per (run, kernel, variant) series, in first-appearance
+  // order. Keys look like "kernels.elements{kernel=dot,variant=simd}".
+  struct KernelRow {
+    std::string run, kernel, variant;
+    double calls = 0.0, elements = 0.0, bytes = 0.0;
+  };
+  std::vector<KernelRow> rows;
+  auto row_for = [&rows](const std::string& run, const std::string& kernel,
+                         const std::string& variant) -> KernelRow& {
+    for (KernelRow& row : rows) {
+      if (row.run == run && row.kernel == kernel &&
+          row.variant == variant) {
+        return row;
+      }
+    }
+    rows.push_back(KernelRow{run, kernel, variant, 0, 0, 0});
+    return rows.back();
+  };
+  auto label_value = [](const std::string& labels,
+                        const std::string& key) -> std::string {
+    const std::size_t at = labels.find(key + "=");
+    if (at == std::string::npos) return "";
+    const std::size_t from = at + key.size() + 1;
+    return labels.substr(from, labels.find_first_of(",}", from) - from);
+  };
+  for (const MetricsRow& row : metrics.rows) {
+    if (row.metric.rfind("kernels.", 0) != 0) continue;
+    const std::size_t brace = row.metric.find('{');
+    if (brace == std::string::npos) continue;
+    const std::string field = row.metric.substr(0, brace);
+    const std::string labels = row.metric.substr(brace);
+    const std::string kernel = label_value(labels, "kernel");
+    const std::string variant = label_value(labels, "variant");
+    if (kernel.empty() || variant.empty()) continue;
+    KernelRow& cell = row_for(row.run, kernel, variant);
+    if (field == "kernels.calls") cell.calls = row.value;
+    else if (field == "kernels.elements") cell.elements = row.value;
+    else if (field == "kernels.bytes") cell.bytes = row.value;
+  }
+  if (rows.empty()) return "";
+
+  constexpr double kMiB = 1024.0 * 1024.0;
+  TablePrinter table("kernel dispatch");
+  table.set_header({"run", "kernel", "variant", "calls", "elements",
+                    "MiB touched"});
+  for (const KernelRow& row : rows) {
+    table.add_row({row.run, row.kernel, row.variant,
+                   TablePrinter::num(row.calls, 0),
+                   TablePrinter::num(row.elements, 0),
+                   TablePrinter::num(row.bytes / kMiB, 3)});
+  }
+  table.add_note("per-run deltas from kernels::stats_snapshot(); variants "
+                 "are bit-identical for integer kernels and ULP-bounded "
+                 "for transcendentals (docs/PERFORMANCE.md)");
+  return table.to_string();
+}
+
 std::string render_report(std::span<const AnalyzedRun> runs,
                           const ExportMeta* meta,
                           const ReportOptions& options) {

@@ -60,6 +60,13 @@ std::string render_overlap_report(const AnalyzedRun& run,
 /// unconditionally.
 std::string render_pool_table(const MetricsTable& metrics);
 
+/// Kernel-dispatch summary distilled from the labeled
+/// `kernels.{calls,elements,bytes}{kernel=...,variant=...}` counter rows:
+/// one line per (run, kernel, variant) series that was actually called.
+/// Returns the empty string when the dump carries no kernel metrics, so
+/// callers can append it unconditionally.
+std::string render_kernel_table(const MetricsTable& metrics);
+
 /// Full report: metadata header, breakdown table, then per-run sections.
 std::string render_report(std::span<const AnalyzedRun> runs,
                           const ExportMeta* meta = nullptr,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.hpp"
+
 namespace insitu::render {
 
 ColorMap::ColorMap(std::vector<Rgba> controls, double lo, double hi)
@@ -34,19 +36,19 @@ ColorMap ColorMap::by_name(const std::string& name, double lo, double hi) {
 }
 
 Rgba ColorMap::map(double value) const {
-  double t = hi_ > lo_ ? (value - lo_) / (hi_ - lo_) : 0.5;
-  t = std::clamp(t, 0.0, 1.0);
-  const double scaled = t * static_cast<double>(controls_.size() - 1);
-  const std::size_t idx = std::min(
-      static_cast<std::size_t>(scaled), controls_.size() - 2);
-  const double frac = scaled - static_cast<double>(idx);
-  const Rgba& a = controls_[idx];
-  const Rgba& b = controls_[idx + 1];
-  auto lerp = [frac](std::uint8_t x, std::uint8_t y) {
-    return static_cast<std::uint8_t>(
-        std::lround(x + frac * (static_cast<double>(y) - x)));
-  };
-  return Rgba{lerp(a.r, b.r), lerp(a.g, b.g), lerp(a.b, b.b), lerp(a.a, b.a)};
+  Rgba out;
+  map_array(&value, 1, &out);
+  return out;
+}
+
+void ColorMap::map_array(const double* values, std::int64_t n,
+                         Rgba* out) const {
+  // Rgba is four uint8 channels, so the control ramp and the output are
+  // exactly the byte layout colormap_apply expects.
+  kernels::colormap_apply(
+      values, n, lo_, hi_,
+      reinterpret_cast<const std::uint8_t*>(controls_.data()),
+      static_cast<int>(controls_.size()), reinterpret_cast<std::uint8_t*>(out));
 }
 
 }  // namespace insitu::render

@@ -23,6 +23,10 @@ class ColorMap {
 
   Rgba map(double value) const;
 
+  /// Maps `n` scalars to colors in one call through the dispatch kernel.
+  /// NaN scalars map to the low end of the ramp.
+  void map_array(const double* values, std::int64_t n, Rgba* out) const;
+
   double lo() const { return lo_; }
   double hi() const { return hi_; }
   void set_range(double lo, double hi) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "exec/task_pool.hpp"
+#include "kernels/kernels.hpp"
 
 namespace insitu::render {
 
@@ -37,12 +38,11 @@ void merge_range(Image& img, std::int64_t begin,
   exec::parallel_for(
       0, static_cast<std::int64_t>(n), 16384,
       [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          if (depths[i] < dst_d[i]) {
-            dst_c[i] = colors[i];
-            dst_d[i] = depths[i];
-          }
-        }
+        kernels::depth_composite(reinterpret_cast<std::uint8_t*>(dst_c + lo),
+                                 dst_d + lo,
+                                 reinterpret_cast<const std::uint8_t*>(
+                                     colors + lo),
+                                 depths + lo, hi - lo);
       });
 }
 

@@ -8,6 +8,7 @@
 #include <limits>
 #include <vector>
 
+#include "kernels/kernels.hpp"
 #include "pal/memory_tracker.hpp"
 
 namespace insitu::render {
@@ -80,13 +81,10 @@ class Image {
 
   /// Depth-composite `other` over this image: nearer fragment wins.
   void composite_over(const Image& other) {
-    const std::size_t n = pixels_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (other.depth_[i] < depth_[i]) {
-        pixels_[i] = other.pixels_[i];
-        depth_[i] = other.depth_[i];
-      }
-    }
+    kernels::depth_composite(
+        reinterpret_cast<std::uint8_t*>(pixels_.data()), depth_.data(),
+        reinterpret_cast<const std::uint8_t*>(other.pixels_.data()),
+        other.depth_.data(), static_cast<std::int64_t>(pixels_.size()));
   }
 
   /// FNV-1a hash of the color plane; used for determinism checks.

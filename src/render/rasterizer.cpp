@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exec/task_pool.hpp"
+#include "kernels/kernels.hpp"
 
 namespace insitu::render {
 
@@ -47,6 +48,12 @@ std::int64_t rasterize(const analysis::TriangleMesh& mesh,
   exec::parallel_for(0, h, kRowGrain, [&](std::int64_t band_lo,
                                           std::int64_t band_hi) {
     std::int64_t frags = 0;
+    // Band-private span scratch: coverage, depth, scalar, and mapped
+    // colors for one framebuffer row at a time.
+    std::vector<float> span_depth(static_cast<std::size_t>(w));
+    std::vector<double> span_scalar(static_cast<std::size_t>(w));
+    std::vector<std::uint8_t> span_inside(static_cast<std::size_t>(w));
+    std::vector<Rgba> span_color(static_cast<std::size_t>(w));
     for (const auto& tri : mesh.triangles) {
       const ScreenVert& a = screen[static_cast<std::size_t>(tri[0])];
       const ScreenVert& b = screen[static_cast<std::size_t>(tri[1])];
@@ -66,29 +73,29 @@ std::int64_t rasterize(const analysis::TriangleMesh& mesh,
       const int y1 = std::min(static_cast<int>(band_hi) - 1,
                               static_cast<int>(std::ceil(
                                   std::max({a.y, b.y, c.y}))));
+      if (x1 < x0) continue;
 
-      const double inv_area = 1.0 / area;
+      kernels::RasterTri rt;
+      rt.ax = a.x; rt.ay = a.y; rt.adepth = a.depth; rt.ascalar = a.scalar;
+      rt.bx = b.x; rt.by = b.y; rt.bdepth = b.depth; rt.bscalar = b.scalar;
+      rt.cx = c.x; rt.cy = c.y; rt.cdepth = c.depth; rt.cscalar = c.scalar;
+      rt.inv_area = 1.0 / area;
+      const std::int64_t span = x1 - x0 + 1;
       for (int y = y0; y <= y1; ++y) {
-        for (int x = x0; x <= x1; ++x) {
-          const double px = x + 0.5;
-          const double py = y + 0.5;
-          // Barycentric coordinates (signed; accept either winding).
-          const double w0 =
-              ((b.x - px) * (c.y - py) - (c.x - px) * (b.y - py)) * inv_area;
-          const double w1 =
-              ((c.x - px) * (a.y - py) - (a.x - px) * (c.y - py)) * inv_area;
-          const double w2 = 1.0 - w0 - w1;
-          if (w0 < 0.0 || w1 < 0.0 || w2 < 0.0) continue;
-
-          const float depth = static_cast<float>(
-              w0 * a.depth + w1 * b.depth + w2 * c.depth);
-          if (depth >= target.depth(x, y) || depth <= 0.0f) continue;
-
-          const double scalar = w0 * a.scalar + w1 * b.scalar + w2 * c.scalar;
-          target.pixel(x, y) = config.colormap.map(scalar);
-          target.depth(x, y) = depth;
-          ++frags;
-        }
+        // Evaluate coverage/depth/scalar for the whole span, colormap the
+        // span in one call, then depth-write only the covered pixels.
+        // Within a row every pixel is distinct, so batching the writes is
+        // identical to the interleaved per-pixel loop.
+        float* row_depth = &target.depth(x0, y);
+        kernels::raster_span(rt, y + 0.5, x0, span, row_depth,
+                             span_depth.data(), span_scalar.data(),
+                             span_inside.data());
+        config.colormap.map_array(span_scalar.data(), span,
+                                  span_color.data());
+        frags += kernels::masked_store_span(
+            reinterpret_cast<std::uint8_t*>(&target.pixel(x0, y)), row_depth,
+            reinterpret_cast<const std::uint8_t*>(span_color.data()),
+            span_depth.data(), span_inside.data(), span);
       }
     }
     band_fragments[static_cast<std::size_t>(band_lo / kRowGrain)] = frags;

@@ -150,6 +150,28 @@ std::string render_baseline_pool_table(const Baseline& baseline) {
   return table.to_string();
 }
 
+/// Kernel block of a baseline file: one row per run that carries one,
+/// with the dominant dispatch variant and per-kernel element totals.
+std::string render_baseline_kernel_table(const Baseline& baseline) {
+  bool any = false;
+  for (const BaselineRun& run : baseline.runs) any = any || run.has_kernels;
+  if (!any) return "";
+  pal::TablePrinter table("kernel dispatch");
+  table.set_header({"run", "variant", "kernel", "elements"});
+  for (const BaselineRun& run : baseline.runs) {
+    if (!run.has_kernels) continue;
+    bool first = true;
+    for (const auto& [kernel, elements] : run.kernels_elements) {
+      table.add_row({first ? run.label : "", first ? run.kernels_variant : "",
+                     kernel, pal::TablePrinter::num(elements, 0)});
+      first = false;
+    }
+  }
+  table.add_note("informational only: kernel drift surfaces as check notes, "
+                 "never as regressions");
+  return table.to_string();
+}
+
 /// Distill an imported trace into baseline form (one entry per run).
 Baseline baseline_from_runs(const std::vector<AnalyzedRun>& runs,
                             const ExportMeta& meta) {
@@ -249,6 +271,7 @@ int main(int argc, char** argv) {
               .c_str(),
           stdout);
       std::fputs(render_baseline_pool_table(*baseline).c_str(), stdout);
+      std::fputs(render_baseline_kernel_table(*baseline).c_str(), stdout);
       current = std::move(*baseline);
       break;
     }
@@ -257,6 +280,7 @@ int main(int argc, char** argv) {
       if (!metrics.ok()) return fail(metrics.status());
       std::fputs(render_metrics_table(*metrics).c_str(), stdout);
       std::fputs(render_pool_table(*metrics).c_str(), stdout);
+      std::fputs(render_kernel_table(*metrics).c_str(), stdout);
       break;
     }
   }
@@ -266,6 +290,7 @@ int main(int argc, char** argv) {
     if (!metrics.ok()) return fail(metrics.status());
     std::fputs(render_metrics_table(*metrics).c_str(), stdout);
     std::fputs(render_pool_table(*metrics).c_str(), stdout);
+    std::fputs(render_kernel_table(*metrics).c_str(), stdout);
   }
 
   if (cfg.has("write-baseline")) {
