@@ -1,9 +1,12 @@
 #include "bench_common.hpp"
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "comm/sched.hpp"
 #include "exec/task_pool.hpp"
 #include "obs/analyze/baseline.hpp"
 #include "pal/config.hpp"
@@ -54,9 +57,90 @@ ObsSession::ObsSession(int argc, const char* const* argv) {
                    kernels.c_str());
     }
   }
+  // Scheduler backend: `sched=NAME` or `--sched NAME`. Unlike the kernel
+  // variant (where "ignore and run the default" still measures the same
+  // thing), running the wrong scheduler invalidates what the bench
+  // claims to compare, so a bad value is a hard error.
+  std::string sched = args.get_string_or("sched", "");
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--sched") == 0) sched = argv[i + 1];
+  }
+  if (!sched.empty()) {
+    const auto backend = comm::parse_sched_backend(sched);
+    if (!backend.has_value()) {
+      std::fprintf(stderr,
+                   "error: sched=%s is not a scheduler backend "
+                   "(expected threads|mn)\n",
+                   sched.c_str());
+      std::exit(2);
+    }
+    comm::set_default_sched_backend(*backend);
+    sched_ = comm::to_string(*backend);
+  }
+  sched_workers_ = static_cast<int>(args.get_int_or("sched_workers", 0));
+  if (sched_workers_ < 0) sched_workers_ = 0;
+  // Executed rank counts: `ranks=N[,M...]` or `--ranks N[,M...]`.
+  std::string ranks_text = args.get_string_or("ranks", "");
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--ranks") == 0) ranks_text = argv[i + 1];
+  }
+  if (!ranks_text.empty()) {
+    std::string error;
+    const auto parsed = parse_ranks_list(ranks_text, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "error: invalid ranks '%s': %s\n",
+                   ranks_text.c_str(), error.c_str());
+      std::exit(2);
+    }
+    ranks_ = *parsed;
+  }
   pool_last_ = pal::buffer_pool().stats();
   kernels_last_ = kernels::stats_snapshot();
   g_obs_session = this;
+}
+
+std::optional<std::vector<int>> parse_ranks_list(std::string_view text,
+                                                 std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (text.empty()) return fail("empty list");
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string element(text.substr(pos, comma - pos));
+    if (element.empty()) return fail("empty element");
+    for (const char c : element) {
+      // Reject signs and whitespace outright: a rank count is a plain
+      // positive decimal integer, and strtol's leniency ("+8", " 8",
+      // "-1" parsing as a huge unsigned) is exactly what we don't want.
+      if (c < '0' || c > '9') {
+        return fail("'" + element + "' is not a positive integer");
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(element.c_str(), &end, 10);
+    if (errno == ERANGE || value > INT_MAX) {
+      return fail("'" + element + "' overflows the rank count");
+    }
+    if (*end != '\0') return fail("'" + element + "' is not an integer");
+    if (value <= 0) return fail("rank count must be >= 1");
+    out.push_back(static_cast<int>(value));
+    if (comma == text.size()) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<int> executed_ranks() {
+  ObsSession* obs = ObsSession::current();
+  if (obs != nullptr && !obs->ranks_override().empty()) {
+    return obs->ranks_override();
+  }
+  return {4, 8, 16};
 }
 
 ObsSession::~ObsSession() {
@@ -74,6 +158,7 @@ void ObsSession::record(const std::string& label,
   std::string full =
       threads_ > 1 ? label + "/t" + std::to_string(threads_) : label;
   if (!kernels_.empty()) full += "/k" + kernels_;
+  if (!sched_.empty()) full += "/s" + sched_;
   if (trace_enabled()) {
     traces_.push_back({full, report.trace});
     seeds_.push_back(report.seed);
@@ -233,6 +318,7 @@ comm::Runtime::Options ablation_options() {
   options.seed = 7;
   ObsSession* obs = ObsSession::current();
   options.observe.trace = obs != nullptr && obs->trace_enabled();
+  if (obs != nullptr) options.sched.workers = obs->sched_workers();
   return options;
 }
 
@@ -259,6 +345,7 @@ RunResult run_miniapp_config(MiniappConfig config,
   options.machine = params.machine;
   options.seed = 7;
   options.observe.trace = obs != nullptr && obs->trace_enabled();
+  if (obs != nullptr) options.sched.workers = obs->sched_workers();
 
   comm::RunReport report = comm::Runtime::run(
       params.ranks, options, [&](comm::Communicator& comm) {

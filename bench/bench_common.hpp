@@ -10,7 +10,9 @@
 
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/autocorrelation.hpp"
@@ -69,6 +71,19 @@ class ObsSession {
   /// Kernel-dispatch variant requested via `kernels=NAME` /
   /// `--kernels NAME`; empty when running the process default.
   const std::string& kernels_variant() const { return kernels_; }
+  /// Scheduler backend requested via `sched=NAME` / `--sched NAME`;
+  /// empty when running the process default (INSITU_SCHED or threads).
+  /// An explicit request also becomes the process default, so every
+  /// Runtime::Options constructed afterwards picks it up.
+  const std::string& sched_backend_name() const { return sched_; }
+  /// Carrier workers for the mn backend (`sched_workers=N`); 0 = one per
+  /// hardware thread.
+  int sched_workers() const { return sched_workers_; }
+  /// Executed rank counts requested via `ranks=N[,M...]` / `--ranks ...`;
+  /// empty when the bench should use its own defaults. Values are
+  /// validated at parse time (positive, no overflow) — an invalid list
+  /// exits the process with a clear error rather than silently clamping.
+  const std::vector<int>& ranks_override() const { return ranks_; }
 
   /// Capture one run's trace + metrics under `label`.
   void record(const std::string& label, const comm::RunReport& report);
@@ -103,9 +118,20 @@ class ObsSession {
   std::vector<kernels::StatsSnapshot> kernels_runs_;
   kernels::StatsSnapshot kernels_last_;
   std::string kernels_;  ///< requested dispatch variant ("" = default)
+  std::string sched_;    ///< requested scheduler backend ("" = default)
+  int sched_workers_ = 0;
+  std::vector<int> ranks_;  ///< executed-rank override (empty = default)
   int threads_ = 1;
   bool finished_ = false;
 };
+
+/// Parse a comma-separated list of executed rank counts ("8" or
+/// "4,8,16"). Every element must be a positive integer that fits an int;
+/// empty elements, trailing garbage, zero, negatives, and overflow all
+/// fail with a message in *error. Used by the `ranks=`/`--ranks` flag and
+/// covered by tests/sched_test.
+std::optional<std::vector<int>> parse_ranks_list(std::string_view text,
+                                                 std::string* error);
 
 /// The miniapp in situ configurations of §4.1.1.
 enum class MiniappConfig {
@@ -168,8 +194,9 @@ comm::Runtime::Options ablation_options();
 miniapp::OscillatorConfig ablation_oscillator_config(
     std::int64_t cells_per_axis, double radius);
 
-/// Standard executed-scale rank counts for the weak-scaling tables.
-inline std::vector<int> executed_ranks() { return {4, 8, 16}; }
+/// Executed-scale rank counts for the weak-scaling tables: the session's
+/// `ranks=` override when one was given, else {4, 8, 16}.
+std::vector<int> executed_ranks();
 
 /// Paper-scale specs (812 / 6496 / 45440 on Cori).
 inline std::vector<perfmodel::MiniappScale> paper_scales() {

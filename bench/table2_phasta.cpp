@@ -72,6 +72,65 @@ void paper_scale_table() {
   sizes.print();
 }
 
+/// Executed PHASTA weak scaling: the IS-run pipeline (solver proxy +
+/// Catalyst slice + compositing) really runs at each requested rank
+/// count — `ranks=10240 sched=mn` executes the full control flow at
+/// paper-adjacent scale on one machine (docs/SCALING.md). Cells per rank
+/// stay constant (weak scaling) and the image stays small so the cost is
+/// dominated by the rank-level structure, not pixel work.
+void executed_weak_scaling() {
+  bench::ObsSession* obs = bench::ObsSession::current();
+  pal::TablePrinter table(
+      "Table 2 (executed): PHASTA proxy weak scaling, Catalyst slice");
+  table.set_header({"ranks", "one-time (s)", "in situ/step (s)",
+                    "total (s)"});
+  for (const int p : bench::executed_ranks()) {
+    double onetime = 0.0;
+    double step_cost = 0.0;
+    comm::Runtime::Options options;
+    options.machine = comm::mira_bgq();
+    options.seed = 7;
+    options.observe.trace = obs != nullptr && obs->trace_enabled();
+    if (obs != nullptr) options.sched.workers = obs->sched_workers();
+    const comm::RunReport report =
+        comm::Runtime::run(p, options, [&](comm::Communicator& comm) {
+          proxy::PhastaConfig cfg;
+          cfg.cells_per_rank = {4, 4, 4};
+          proxy::PhastaSim sim(comm, cfg);
+          sim.initialize();
+          proxy::PhastaDataAdaptor adaptor(sim);
+          backends::CatalystSliceConfig cs;
+          cs.array = "velocity_magnitude";
+          cs.image_width = 180;
+          cs.image_height = 45;
+          cs.scalar_min = 0.0;
+          cs.scalar_max = 2.0;
+          cs.compress_png = false;
+          core::InSituBridge bridge(&comm);
+          bridge.add_analysis(std::make_shared<backends::CatalystSlice>(cs));
+          (void)bridge.initialize();
+          for (long s = 0; s < 2; ++s) {
+            sim.step();
+            (void)bridge.execute(adaptor, sim.time(), s);
+          }
+          (void)bridge.finalize();
+          if (comm.rank() == 0) {
+            onetime = bridge.timings().initialize_seconds;
+            step_cost = bridge.timings().analysis_per_step.mean();
+          }
+        });
+    table.add_row({std::to_string(p), pal::TablePrinter::num(onetime, 3),
+                   pal::TablePrinter::num(step_cost, 3),
+                   pal::TablePrinter::num(report.max_virtual_seconds(), 2)});
+    if (obs != nullptr) {
+      obs->record("phasta-executed/p" + std::to_string(p), report);
+    }
+  }
+  table.add_note("per-rank work constant; structure (collectives, "
+                 "compositing ladder) really executes at each rank count");
+  table.print();
+}
+
 void toy_compression_ablation() {
   // The 8-process toy problem, executed for real: same pipeline, PNG
   // compression on vs off, on the Mira machine model.
@@ -121,6 +180,7 @@ int main(int argc, char** argv) {
   bench::ObsSession obs(argc, argv);
   std::printf("=== bench: Table 2 — PHASTA at up to 1M ranks (Mira) ===\n");
   paper_scale_table();
+  executed_weak_scaling();
   toy_compression_ablation();
   return obs.finish();
 }

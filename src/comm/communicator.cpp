@@ -1,12 +1,12 @@
 #include "comm/communicator.hpp"
 
 #include "comm/group_factory.hpp"
+#include "exec/fiber.hpp"
 #include "obs/context.hpp"
 #include "obs/trace.hpp"
 
 #include <algorithm>
 #include <cassert>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -73,9 +73,15 @@ class Group {
   // slot can be reused. Generation counting makes the slot reusable
   // back-to-back without races.
 
+  // Blocking here must be fiber-aware: under the M:N scheduler a rank
+  // that waits on an unmatched receive or an incomplete rendezvous parks
+  // its continuation and frees the carrier worker instead of blocking an
+  // OS thread. exec::WaitSet degrades to a plain condition variable for
+  // thread-backed ranks and the async bridge's OS workers.
+
   struct CollectiveState {
     std::mutex mutex;
-    std::condition_variable cv;
+    exec::WaitSet cv;
     long generation = 0;
     int arrived = 0;
     int readers_pending = 0;
@@ -94,7 +100,7 @@ class Group {
  private:
   struct Mailbox {
     mutable std::mutex mutex;
-    std::condition_variable cv;
+    exec::WaitSet cv;
     std::deque<Message> queue;
   };
 

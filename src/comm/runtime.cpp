@@ -1,12 +1,14 @@
 #include "comm/runtime.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <numeric>
 #include <thread>
 
+#include "exec/fiber.hpp"
 #include "kernels/kernels.hpp"
 #include "obs/context.hpp"
 #include "pal/buffer_pool.hpp"
@@ -66,9 +68,15 @@ RunReport Runtime::run(int nranks,
   std::vector<std::vector<obs::TraceEvent>> rank_events(
       static_cast<std::size_t>(nranks));
 
+  // Every rank charges a runtime-owned tracker (adopted for the duration
+  // of its body) instead of the hosting thread's private one: under the
+  // mn backend many ranks share each worker thread, and under both
+  // backends this keeps the accounting identical. deque, not vector:
+  // MemoryTracker holds atomics and cannot move.
+  std::deque<pal::MemoryTracker> trackers(static_cast<std::size_t>(nranks));
+
   auto rank_main = [&](int rank) {
     pal::set_thread_log_label("rank " + std::to_string(rank));
-    pal::rank_memory_tracker().reset();
 
     VirtualClock clock;
     pal::Rng rng = pal::Rng(options.seed).split(static_cast<std::uint64_t>(rank));
@@ -121,10 +129,58 @@ RunReport Runtime::run(int nranks,
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
-  for (auto& t : threads) t.join();
+  if (options.sched.backend == SchedBackend::kThreads) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back([&, r] {
+        pal::ScopedMemoryTracker adopt(&trackers[static_cast<std::size_t>(r)]);
+        rank_main(r);
+      });
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    // M:N path: each rank is a fiber. Rank-confined thread-local state
+    // (observability context, adopted memory tracker, log label) must
+    // travel with the continuation as it migrates between carrier
+    // workers; the resume/suspend hooks swap it in and out around every
+    // context switch. The context swap round-trips through the hook
+    // state so mutations made while running (span_depth, an installed
+    // worker recorder) survive the next park.
+    struct FiberTls {
+      obs::RankContext ctx;           // rank's context while parked
+      obs::RankContext saved_ctx;     // carrier's context while running
+      pal::MemoryTracker* tracker = nullptr;
+      pal::MemoryTracker* saved_tracker = nullptr;
+      std::string label;
+    };
+    std::deque<FiberTls> tls(static_cast<std::size_t>(nranks));
+
+    exec::FiberScheduler::Options fiber_options;
+    fiber_options.workers = options.sched.workers;
+    fiber_options.stack_bytes = options.sched.stack_bytes;
+    exec::FiberScheduler sched(fiber_options);
+    for (int r = 0; r < nranks; ++r) {
+      FiberTls& state = tls[static_cast<std::size_t>(r)];
+      state.tracker = &trackers[static_cast<std::size_t>(r)];
+      state.label = "rank " + std::to_string(r);
+      exec::FiberScheduler::Hooks hooks;
+      hooks.on_resume = [&state] {
+        state.saved_ctx = obs::context();
+        obs::context() = state.ctx;
+        state.saved_tracker =
+            pal::exchange_adopted_memory_tracker(state.tracker);
+        pal::set_thread_log_label(state.label);
+      };
+      hooks.on_suspend = [&state] {
+        state.ctx = obs::context();
+        obs::context() = state.saved_ctx;
+        pal::exchange_adopted_memory_tracker(state.saved_tracker);
+      };
+      sched.spawn([&, r] { rank_main(r); }, std::move(hooks));
+    }
+    sched.run();
+  }
 
   for (const obs::MetricsSnapshot& snapshot : rank_metrics) {
     obs::merge_into(report.metrics, snapshot);

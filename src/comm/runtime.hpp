@@ -1,19 +1,27 @@
 #pragma once
 
-// SPMD runtime: launches N ranks as threads, hands each a Communicator
+// SPMD runtime: executes N virtual ranks, hands each a Communicator
 // bound to a shared world group, and collects per-rank statistics
 // (virtual time, tracked memory high-water mark) when the job completes.
 //
 // This is the substitute for `mpirun` + MPI_COMM_WORLD described in
-// DESIGN.md: executed-scale runs really move data between rank threads
-// while the virtual clock reproduces cluster-scale cost shapes.
+// DESIGN.md: executed-scale runs really move data between ranks while
+// the virtual clock reproduces cluster-scale cost shapes.
+//
+// Two scheduler backends (comm/sched.hpp, docs/SCALING.md): `threads`
+// runs one OS thread per rank; `mn` runs each rank as a fiber
+// multiplexed onto a small worker pool, which is what makes 10K+
+// executed ranks practical on one machine. Both backends produce
+// bit-identical results (bench/ablation_sched gates this).
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
 #include "comm/machine_model.hpp"
+#include "comm/sched.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -63,6 +71,16 @@ class Runtime {
       bool metrics = true;
       bool trace = false;
     } observe;
+    /// Scheduler backend and its tuning knobs. The backend default is the
+    /// process default (INSITU_SCHED, or whatever the CLI layer set via
+    /// set_default_sched_backend) at the moment Options is constructed.
+    struct Sched {
+      SchedBackend backend = default_sched_backend();
+      /// mn only: carrier workers; <= 0 means one per hardware thread.
+      int workers = 0;
+      /// mn only: per-fiber stack bytes; 0 means the 256 KiB default.
+      std::size_t stack_bytes = 0;
+    } sched;
   };
 
   /// Run `body` on `nranks` SPMD ranks and block until all complete.

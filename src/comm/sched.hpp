@@ -1,0 +1,44 @@
+#pragma once
+
+// Scheduler backend selection for the SPMD runtime.
+//
+// Two ways to execute virtual ranks (docs/SCALING.md):
+//
+//   * threads — one OS thread per rank. Simple, fully preemptive,
+//     fine up to a few hundred ranks.
+//   * mn      — M:N fiber scheduler (exec::FiberScheduler): ranks are
+//     pooled continuations multiplexed onto a small worker pool,
+//     yielding only at message-match points. Executes the full pipeline
+//     at 10K+ ranks on one machine.
+//
+// Both produce bit-identical virtual times, histograms, and image
+// hashes (gated by bench/ablation_sched). Selection follows the same
+// convention as the kernel dispatch (`--kernels`/`INSITU_KERNELS`):
+// benches accept `sched=`/`--sched`, and the INSITU_SCHED environment
+// variable sets the process default.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace insitu::comm {
+
+enum class SchedBackend {
+  kThreads,  ///< one OS thread per virtual rank
+  kMn,       ///< M:N fibers on a TaskPool (exec::FiberScheduler)
+};
+
+const char* to_string(SchedBackend backend);
+
+/// Parse "threads" or "mn"; nullopt for anything else.
+std::optional<SchedBackend> parse_sched_backend(std::string_view name);
+
+/// Process default: INSITU_SCHED if set and valid (invalid values warn
+/// once to stderr and are ignored), else kThreads, unless overridden by
+/// set_default_sched_backend.
+SchedBackend default_sched_backend();
+
+/// Override the process default (how `sched=`/`--sched` is wired).
+void set_default_sched_backend(SchedBackend backend);
+
+}  // namespace insitu::comm

@@ -95,9 +95,12 @@ void AsyncBridge::start_job(long step) {
   p.started = true;
   const double time = p.time;
   const double enq = p.enqueue;
-  p.result = pool_->submit(
-      [this, mesh = std::move(p.snapshot.mesh), time, step,
-       enq]() mutable -> JobResult {
+  p.result = std::make_shared<ResultSlot>();
+  // The slot is captured by value: it outlives a pending_ erase, so the
+  // worker can always deliver even if the entry is dropped meanwhile.
+  (void)pool_->submit(
+      [this, slot = p.result, mesh = std::move(p.snapshot.mesh), time, step,
+       enq]() mutable {
         pal::ScopedMemoryTracker adopt(rank_tracker_);
         obs::ScopedRankContext ctx(worker_ctx_);
         // Step-keyed stream: a job's randomness does not depend on how
@@ -143,8 +146,16 @@ void AsyncBridge::start_job(long step) {
         // ranks stay collectively aligned on the analysis plane.
         worker_comm_->barrier();
         out.finish = worker_clock_.now();
-        return out;
+        std::lock_guard<std::mutex> lock(slot->mutex);
+        slot->value = std::move(out);
+        slot->ready.notify_all();
       });
+}
+
+AsyncBridge::JobResult AsyncBridge::await_result(ResultSlot& slot) {
+  std::unique_lock<std::mutex> lock(slot.mutex);
+  slot.ready.wait(lock, [&slot] { return slot.value.has_value(); });
+  return std::move(*slot.value);
 }
 
 double AsyncBridge::resolve_job(long step) {
@@ -152,7 +163,7 @@ double AsyncBridge::resolve_job(long step) {
   if (it == pending_.end() || !it->second.started) return 0.0;
   Pending& p = it->second;
   if (!p.resolved.has_value()) {
-    p.resolved = p.result.get();
+    p.resolved = await_result(*p.result);
     ++executed_steps_;
     if (!p.resolved->keep_running) stop_requested_ = true;
     if (first_error_.ok() && !p.resolved->status.ok()) {
@@ -234,28 +245,30 @@ Status AsyncBridge::finalize() {
 
   // One-time analysis finalize on the analysis plane (it may reduce
   // whole-run state, e.g. a final gather).
-  std::future<JobResult> fin =
-      pool_->submit([this, drain_start]() -> JobResult {
-        pal::ScopedMemoryTracker adopt(rank_tracker_);
-        obs::ScopedRankContext ctx(worker_ctx_);
-        worker_clock_.observe(drain_start);
-        JobResult out;
-        for (const auto& analysis : analyses_) {
-          obs::TraceScope backend_span(obs::Category::kBackend,
-                                       "backend.finalize:" + analysis->name());
-          const double t0 = worker_clock_.now();
-          const Status st = analysis->finalize(*worker_comm_);
-          if (out.status.ok() && !st.ok()) out.status = st;
-          obs::metrics()
-              .histogram("backend.finalize.seconds",
-                         {{"backend", analysis->name()}})
-              .record(worker_clock_.now() - t0);
-        }
-        worker_comm_->barrier();
-        out.finish = worker_clock_.now();
-        return out;
-      });
-  const JobResult fin_result = fin.get();
+  auto fin = std::make_shared<ResultSlot>();
+  (void)pool_->submit([this, fin, drain_start] {
+    pal::ScopedMemoryTracker adopt(rank_tracker_);
+    obs::ScopedRankContext ctx(worker_ctx_);
+    worker_clock_.observe(drain_start);
+    JobResult out;
+    for (const auto& analysis : analyses_) {
+      obs::TraceScope backend_span(obs::Category::kBackend,
+                                   "backend.finalize:" + analysis->name());
+      const double t0 = worker_clock_.now();
+      const Status st = analysis->finalize(*worker_comm_);
+      if (out.status.ok() && !st.ok()) out.status = st;
+      obs::metrics()
+          .histogram("backend.finalize.seconds",
+                     {{"backend", analysis->name()}})
+          .record(worker_clock_.now() - t0);
+    }
+    worker_comm_->barrier();
+    out.finish = worker_clock_.now();
+    std::lock_guard<std::mutex> lock(fin->mutex);
+    fin->value = std::move(out);
+    fin->ready.notify_all();
+  });
+  const JobResult fin_result = await_result(*fin);
   if (first_error_.ok() && !fin_result.status.ok()) {
     first_error_ = fin_result.status;
   }

@@ -27,6 +27,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "core/analysis_adaptor.hpp"
 #include "core/bridge.hpp"
 #include "core/data_adaptor.hpp"
+#include "exec/fiber.hpp"
 #include "exec/snapshot.hpp"
 #include "exec/task_pool.hpp"
 #include "obs/context.hpp"
@@ -91,11 +93,22 @@ class AsyncBridge {
     bool keep_running = true;
     Status status;
   };
+  /// Hand-off cell between the worker thread and the rank. Waiting goes
+  /// through exec::WaitSet rather than std::future so that, under the
+  /// `mn` scheduler, a rank fiber blocked on its worker *parks* and
+  /// releases its carrier — a future wait would pin the carrier while the
+  /// worker's analysis-plane barrier waits for ranks that can no longer
+  /// be scheduled (deadlock with fewer carriers than ranks).
+  struct ResultSlot {
+    std::mutex mutex;
+    exec::WaitSet ready;
+    std::optional<JobResult> value;
+  };
   struct Pending {
     exec::MeshSnapshot snapshot;
     double time = 0.0;
     double enqueue = 0.0;
-    std::future<JobResult> result;
+    std::shared_ptr<ResultSlot> result;
     bool started = false;
     /// Cached once the worker's result is collected; the overlap model may
     /// ask for a released job's finish time more than once.
@@ -106,6 +119,7 @@ class AsyncBridge {
   void start_job(long step);
   double resolve_job(long step);
   void drop_job(long step);
+  static JobResult await_result(ResultSlot& slot);
 
   comm::Communicator* comm_;
   AsyncBridgeOptions options_;

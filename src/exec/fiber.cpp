@@ -1,0 +1,371 @@
+#include "exec/fiber.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "exec/task_pool.hpp"
+
+#if INSITU_EXEC_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace insitu::exec {
+
+namespace {
+
+constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+thread_local Fiber* t_current_fiber = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t size =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t page = page_size();
+  return (bytes + page - 1) / page * page;
+}
+
+// ---- stack cache ----
+//
+// Fiber stacks are mmap'd (one guard page below the usable range; the
+// stack grows down into it) rather than drawn from pal::buffer_pool: a
+// vector-backed pool would memset-commit the full stack on resize —
+// gigabytes of touched pages at 45K ranks — while MAP_NORESERVE plus
+// lazy faulting commits only what each rank actually uses. Retired
+// stacks go to a process-wide free list keyed by size, with
+// madvise(MADV_DONTNEED) returning their pages to the OS, so a long
+// run's RSS tracks live stack usage, not cumulative fiber count.
+
+struct StackCache {
+  std::mutex mutex;
+  // usable-size -> blocks (block = guard page + usable pages)
+  std::map<std::size_t, std::vector<void*>> free_blocks;
+  std::size_t pooled_bytes = 0;
+  // Guardless-slab fallback (see acquire_stack_block): current slab
+  // carve-out state, one entry per block size in use.
+  struct Slab {
+    char* next = nullptr;
+    char* end = nullptr;
+  };
+  std::map<std::size_t, Slab> slabs;
+  bool guardless = false;
+};
+
+constexpr int kSlabBlocks = 64;  // stacks carved per guardless slab
+
+// Above this many fibers a scheduler requests guardless slab stacks up
+// front: 2 VMAs x fibers would otherwise brush against vm.max_map_count
+// (default 65530) somewhere past ~32K concurrent stacks.
+constexpr std::size_t kGuardlessFiberThreshold = 8192;
+
+StackCache& stack_cache() {
+  static StackCache* cache = new StackCache();  // leaked: process lifetime
+  return *cache;
+}
+
+/// Carves one block out of the current guardless slab for `usable`,
+/// mapping a fresh slab when the current one is exhausted. Caller holds
+/// cache.mutex. Returns nullptr if the slab mmap itself fails.
+void* acquire_from_slab(StackCache& cache, std::size_t usable) {
+  const std::size_t block_bytes = page_size() + usable;
+  StackCache::Slab& slab = cache.slabs[usable];
+  if (slab.next == slab.end) {
+    void* mem =
+        ::mmap(nullptr, block_bytes * kSlabBlocks, PROT_READ | PROT_WRITE,
+               MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (mem == MAP_FAILED) return nullptr;
+    slab.next = static_cast<char*>(mem);
+    slab.end = slab.next + block_bytes * kSlabBlocks;
+  }
+  char* block = slab.next;
+  slab.next += block_bytes;
+  return block;
+}
+
+/// Returns the block base. Usable stack is [base + page, base + page +
+/// usable); with `guard` the base page is PROT_NONE so an overrun faults
+/// instead of silently corrupting a neighbouring allocation.
+///
+/// Every guarded stack costs two kernel VMAs (the mprotect splits the
+/// mapping), so tens of thousands of concurrent fibers exhaust
+/// vm.max_map_count (default 65530) long before they exhaust memory.
+/// Callers that know they will host that many fibers pass guard=false
+/// and blocks are carved kSlabBlocks at a time from shared slabs — one
+/// VMA per slab — trading per-fiber overflow detection for a ~128x
+/// smaller map-table footprint.
+void* acquire_stack_block(std::size_t usable, bool guard) {
+  StackCache& cache = stack_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    auto it = cache.free_blocks.find(usable);
+    if (it != cache.free_blocks.end() && !it->second.empty()) {
+      void* block = it->second.back();
+      it->second.pop_back();
+      cache.pooled_bytes -= usable;
+      return block;
+    }
+    if (!guard || cache.guardless) {
+      void* block = acquire_from_slab(cache, usable);
+      if (block != nullptr) return block;
+      std::fprintf(stderr,
+                   "fiber: mmap of a %d-stack slab (%zu-byte stacks) failed; "
+                   "out of address space or vm.max_map_count\n",
+                   kSlabBlocks, usable);
+      std::abort();
+    }
+  }
+  const std::size_t page = page_size();
+  void* block = ::mmap(nullptr, page + usable, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (block == MAP_FAILED) {
+    // Likely the VMA table, not memory: fall back to guardless slabs for
+    // the rest of the process. (If the table is already full this mmap
+    // fails too and we abort with the message above.)
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    if (!cache.guardless) {
+      cache.guardless = true;
+      std::fprintf(stderr,
+                   "fiber: per-stack mmap failed; switching to guardless "
+                   "slab stacks (check vm.max_map_count)\n");
+    }
+    block = acquire_from_slab(cache, usable);
+    if (block == nullptr) {
+      std::fprintf(stderr, "fiber: mmap of %zu-byte stack failed\n", usable);
+      std::abort();
+    }
+    return block;
+  }
+  if (::mprotect(block, page, PROT_NONE) != 0) {
+    // The split failed (usually the VMA table); the page stays writable,
+    // so the stack simply has no guard. Stop splitting future stacks.
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.guardless = true;
+  }
+  return block;
+}
+
+void release_stack_block(void* block, std::size_t usable) {
+  const std::size_t page = page_size();
+  ::madvise(static_cast<char*>(block) + page, usable, MADV_DONTNEED);
+  StackCache& cache = stack_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.free_blocks[usable].push_back(block);
+  cache.pooled_bytes += usable;
+}
+
+}  // namespace
+
+Fiber* current_fiber() { return t_current_fiber; }
+
+void Fiber::entry(unsigned int hi, unsigned int lo) {
+  auto* fiber = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  fiber->body_();
+  fiber->body_ = nullptr;  // release captured state while still alive
+  fiber->state_.store(State::kFinished, std::memory_order_release);
+  fiber->suspend();
+  // Unreachable: the carrier never resumes a finished fiber.
+}
+
+void Fiber::suspend() {
+#if INSITU_EXEC_TSAN_FIBERS
+  __tsan_switch_to_fiber(tsan_parent_, 0);
+#endif
+  ::swapcontext(&context_, return_context_);
+}
+
+// ---- WaitSet ----
+
+void WaitSet::wait(std::unique_lock<std::mutex>& lock) {
+  Fiber* fiber = t_current_fiber;
+  if (fiber == nullptr) {
+    cv_.wait(lock);
+    return;
+  }
+  // Register under the caller's mutex: any notify_all after our unlock
+  // runs with the mutex held, so it observes both the registration and
+  // the kParking state, and resolves the park/wake race through the CAS
+  // protocol in FiberScheduler::wake / resume.
+  fibers_.push_back(fiber);
+  fiber->state_.store(Fiber::State::kParking, std::memory_order_release);
+  lock.unlock();
+  fiber->suspend();  // resumes here once a waker re-enqueued us
+  lock.lock();
+}
+
+void WaitSet::notify_all() {
+  cv_.notify_all();
+  if (fibers_.empty()) return;
+  std::vector<Fiber*> to_wake;
+  to_wake.swap(fibers_);
+  for (Fiber* fiber : to_wake) fiber->scheduler()->wake(fiber);
+}
+
+// ---- FiberScheduler ----
+
+FiberScheduler::FiberScheduler() : FiberScheduler(Options{}) {}
+
+FiberScheduler::FiberScheduler(Options options) {
+  workers_ = options.workers > 0
+                 ? options.workers
+                 : static_cast<int>(
+                       std::max(1u, std::thread::hardware_concurrency()));
+  stack_bytes_ = round_up_pages(
+      options.stack_bytes > 0 ? options.stack_bytes : kDefaultStackBytes);
+}
+
+FiberScheduler::~FiberScheduler() = default;
+
+void FiberScheduler::spawn(std::function<void()> body, Hooks hooks) {
+  auto fiber = std::make_unique<Fiber>();
+  fiber->body_ = std::move(body);
+  fiber->on_resume_ = std::move(hooks.on_resume);
+  fiber->on_suspend_ = std::move(hooks.on_suspend);
+  fiber->scheduler_ = this;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ready_.push_back(fiber.get());
+  fibers_.push_back(std::move(fiber));
+}
+
+void FiberScheduler::run() {
+  if (fibers_.empty()) return;
+  guard_stacks_ = fibers_.size() < kGuardlessFiberThreshold;
+  const int carriers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(workers_), fibers_.size()));
+  carriers_ = std::make_unique<TaskPool>(carriers);
+  for (int i = 0; i < carriers; ++i) {
+    carriers_->submit([this] { carrier_main(); });
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return finished_ == fibers_.size(); });
+  stop_ = true;
+  ready_cv_.notify_all();
+  lock.unlock();
+  carriers_->shutdown();
+  carriers_.reset();
+}
+
+void FiberScheduler::carrier_main() {
+  for (;;) {
+    Fiber* fiber = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_cv_.wait(lock, [this] { return stop_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stop_ set and nothing runnable
+      fiber = ready_.front();
+      ready_.pop_front();
+    }
+    resume(fiber);
+  }
+}
+
+void FiberScheduler::resume(Fiber* fiber) {
+  if (fiber->stack_block_ == nullptr) {
+    // First run: allocate the stack and arm the entry trampoline.
+    fiber->stack_bytes_ = stack_bytes_;
+    fiber->stack_block_ = acquire_stack_block(stack_bytes_, guard_stacks_);
+    ::getcontext(&fiber->context_);
+    fiber->context_.uc_stack.ss_sp =
+        static_cast<char*>(fiber->stack_block_) + page_size();
+    fiber->context_.uc_stack.ss_size = stack_bytes_;
+    fiber->context_.uc_link = nullptr;  // explicit switch-back only
+    const auto addr = reinterpret_cast<std::uintptr_t>(fiber);
+    ::makecontext(&fiber->context_, reinterpret_cast<void (*)()>(&Fiber::entry),
+                  2, static_cast<unsigned int>(addr >> 32),
+                  static_cast<unsigned int>(addr & 0xffffffffu));
+#if INSITU_EXEC_TSAN_FIBERS
+    fiber->tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+  }
+
+  ucontext_t carrier_context;
+  // Fibers migrate between carriers: the return path must be the context
+  // of *this* resume call, never a stale one from a previous carrier.
+  fiber->return_context_ = &carrier_context;
+  fiber->state_.store(Fiber::State::kRunning, std::memory_order_relaxed);
+  if (fiber->on_resume_) fiber->on_resume_();
+  t_current_fiber = fiber;
+#if INSITU_EXEC_TSAN_FIBERS
+  fiber->tsan_parent_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(fiber->tsan_fiber_, 0);
+#endif
+  ::swapcontext(&carrier_context, &fiber->context_);
+  // Back on the carrier: the fiber either parked or finished.
+  t_current_fiber = nullptr;
+  if (fiber->on_suspend_) fiber->on_suspend_();
+
+  if (fiber->state_.load(std::memory_order_acquire) ==
+      Fiber::State::kFinished) {
+#if INSITU_EXEC_TSAN_FIBERS
+    __tsan_destroy_fiber(fiber->tsan_fiber_);
+    fiber->tsan_fiber_ = nullptr;
+#endif
+    release_stack_block(fiber->stack_block_, fiber->stack_bytes_);
+    fiber->stack_block_ = nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (++finished_ == fibers_.size()) done_cv_.notify_all();
+    return;
+  }
+
+  // The fiber announced a park (kParking). Complete it: publish kParked
+  // so a waker both flips the state and enqueues. If a waker already
+  // flipped kParking to kReady, the notify landed before the switch-out
+  // finished and the enqueue is on us.
+  Fiber::State expected = Fiber::State::kParking;
+  if (!fiber->state_.compare_exchange_strong(expected, Fiber::State::kParked,
+                                             std::memory_order_acq_rel)) {
+    enqueue(fiber);
+  }
+}
+
+void FiberScheduler::wake(Fiber* fiber) {
+  Fiber::State state = fiber->state_.load(std::memory_order_acquire);
+  for (;;) {
+    switch (state) {
+      case Fiber::State::kParked:
+        // Fully switched out: make it ready and hand it to a carrier.
+        if (fiber->state_.compare_exchange_weak(state, Fiber::State::kReady,
+                                                std::memory_order_acq_rel)) {
+          enqueue(fiber);
+          return;
+        }
+        break;  // state reloaded; re-dispatch
+      case Fiber::State::kParking:
+        // Still unwinding onto its carrier: flip the state; that carrier
+        // sees its park CAS fail and does the enqueue itself.
+        if (fiber->state_.compare_exchange_weak(state, Fiber::State::kReady,
+                                                std::memory_order_acq_rel)) {
+          return;
+        }
+        break;
+      default:
+        return;  // kReady / kRunning / kFinished: spurious notify
+    }
+  }
+}
+
+void FiberScheduler::enqueue(Fiber* fiber) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ready_.push_back(fiber);
+  ready_cv_.notify_one();
+}
+
+std::size_t FiberScheduler::pooled_stack_bytes() {
+  StackCache& cache = stack_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  return cache.pooled_bytes;
+}
+
+}  // namespace insitu::exec

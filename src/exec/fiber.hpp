@@ -1,0 +1,229 @@
+#pragma once
+
+// exec::FiberScheduler — M:N scheduling of rank continuations.
+//
+// The SPMD runtime used to launch one OS thread per virtual rank, which
+// caps *executed* scale at a few dozen ranks. Here each virtual rank is a
+// fiber: a pooled, schedulable continuation with its own (small, lazily
+// committed) stack, multiplexed onto the workers of an exec::TaskPool.
+// A fiber runs until it would block at a message-match point — a receive
+// with no matching message, a collective rendezvous that is not yet
+// complete — and then *parks*: it registers itself with the WaitSet
+// guarding the condition, switches back to its carrier worker, and the
+// worker picks up the next runnable fiber. When the condition is
+// notified the fiber re-enters the ready queue and resumes on whichever
+// worker frees up first (fibers migrate between carriers; the runtime
+// moves a rank's thread-local state — observability context, memory
+// tracker adoption, log label — along with it via the resume/suspend
+// hooks).
+//
+// This is what lets the full pipeline — collectives, compositing
+// ladders, in transit staging — really *execute* at 10K+ virtual ranks
+// on one machine (docs/SCALING.md): the cost per rank drops from an OS
+// thread (~8 MiB stack, kernel scheduling) to a fiber (~256 KiB virtual,
+// a few touched pages, user-space switches only at match points).
+//
+// Determinism: the scheduler makes no ordering decisions the thread
+// backend does not already make. Message matching stays FIFO per
+// (source, tag), collective combines happen in arrival order exactly as
+// before, and virtual time is pure arithmetic over agreed values — so
+// virtual times, histograms, and image hashes are bit-identical between
+// the `threads` and `mn` backends (bench/ablation_sched gates this).
+//
+// Blocking in a fiber through plain condition variables (e.g. waiting on
+// a std::future from a TaskPool) is *safe* but pins the carrier for the
+// duration; only WaitSet-based waits release the worker. All comm-layer
+// match points use WaitSet.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <ucontext.h>
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define INSITU_EXEC_TSAN_FIBERS 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define INSITU_EXEC_TSAN_FIBERS 1
+#endif
+#ifndef INSITU_EXEC_TSAN_FIBERS
+#define INSITU_EXEC_TSAN_FIBERS 0
+#endif
+
+namespace insitu::exec {
+
+class FiberScheduler;
+
+/// One rank continuation. Created by FiberScheduler::spawn; lives until
+/// its body returns. All members are managed by the scheduler; user code
+/// only ever sees Fiber* as an opaque token via current_fiber().
+class Fiber {
+ public:
+  Fiber() = default;
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Scheduler this fiber belongs to.
+  FiberScheduler* scheduler() const { return scheduler_; }
+
+ private:
+  friend class FiberScheduler;
+  friend class WaitSet;
+
+  enum class State : int {
+    kReady,    ///< in the ready queue (or about to be enqueued by owner)
+    kRunning,  ///< executing on a carrier worker
+    kParking,  ///< announced a park; still unwinding onto its carrier
+    kParked,   ///< fully switched out; a waker may enqueue it
+    kFinished  ///< body returned
+  };
+
+  /// makecontext entry point (the Fiber* arrives split across two ints).
+  static void entry(unsigned int hi, unsigned int lo);
+
+  /// Switch from the fiber back to its carrier. Must be called on the
+  /// fiber, with no locks held, after state_ was set to kParking (or
+  /// kFinished by entry()).
+  void suspend();
+
+  ucontext_t context_;                    // where the fiber last left off
+  ucontext_t* return_context_ = nullptr;  // the current carrier's context
+  std::atomic<State> state_{State::kReady};
+  std::function<void()> body_;
+  std::function<void()> on_resume_;   // carrier-side, before switch-in
+  std::function<void()> on_suspend_;  // carrier-side, after switch-out
+  FiberScheduler* scheduler_ = nullptr;
+  void* stack_block_ = nullptr;  // mmap block (guard page + stack)
+  std::size_t stack_bytes_ = 0;  // usable stack size (excludes guard)
+
+#if INSITU_EXEC_TSAN_FIBERS
+  // TSan must be told about user-space context switches or it sees one OS
+  // thread interleaving unrelated stacks and reports phantom races.
+  void* tsan_fiber_ = nullptr;   // this fiber's TSan identity
+  void* tsan_parent_ = nullptr;  // the hosting carrier's TSan identity
+#endif
+};
+
+/// The fiber the calling thread is currently running, or nullptr when
+/// called from a plain thread (rank threads, TaskPool workers, main).
+Fiber* current_fiber();
+
+/// Condition-variable lookalike that understands fibers. Non-fiber
+/// callers block on an internal std::condition_variable exactly like
+/// before; fiber callers park and release their carrier worker. Both
+/// kinds of waiter are woken by notify_all(). All calls must hold the
+/// one mutex that guards the associated state (the same discipline as a
+/// condition variable).
+class WaitSet {
+ public:
+  /// Block until notified. Spurious wakeups happen (exactly as with a
+  /// condition variable): always wait in a predicate loop.
+  void wait(std::unique_lock<std::mutex>& lock);
+
+  template <typename Predicate>
+  void wait(std::unique_lock<std::mutex>& lock, Predicate predicate) {
+    while (!predicate()) wait(lock);
+  }
+
+  /// Wake every registered waiter (cv waiters and parked fibers). Must be
+  /// called while holding the mutex the waiters registered under; safe
+  /// from plain threads and fibers alike.
+  void notify_all();
+
+ private:
+  std::condition_variable cv_;
+  std::vector<Fiber*> fibers_;
+};
+
+class TaskPool;
+
+/// Runs N spawned fibers to completion on M TaskPool workers (M << N).
+/// Usage: construct, spawn() every fiber, then run() once; run() blocks
+/// the caller until all fibers finish. Not reusable after run().
+class FiberScheduler {
+ public:
+  struct Options {
+    /// Carrier workers; <= 0 means one per hardware thread.
+    int workers = 0;
+    /// Usable stack bytes per fiber (rounded up to whole pages); 0 means
+    /// the 256 KiB default. Stacks are mmap'd with a guard page below
+    /// and recycled through a process-wide free list, so only the pages
+    /// a rank actually touches ever become resident. Very large runs
+    /// (>= 8192 fibers) drop the per-stack guard pages and carve stacks
+    /// from shared slabs instead, keeping the kernel VMA count far below
+    /// vm.max_map_count at 45K+ fibers.
+    std::size_t stack_bytes = 0;
+  };
+
+  FiberScheduler();
+  explicit FiberScheduler(Options options);
+  ~FiberScheduler();
+
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Per-fiber carrier-side hooks, run on the worker thread that hosts
+  /// the fiber: on_resume immediately before every switch-in, on_suspend
+  /// immediately after every switch-out (including the final one). The
+  /// SPMD runtime uses them to migrate a rank's thread-local state with
+  /// its continuation.
+  struct Hooks {
+    std::function<void()> on_resume;
+    std::function<void()> on_suspend;
+  };
+
+  /// Create a runnable fiber. Must be called before run().
+  void spawn(std::function<void()> body, Hooks hooks = {});
+
+  /// Run every spawned fiber to completion. Blocks the calling thread
+  /// (which does not itself carry fibers).
+  void run();
+
+  /// Resolved worker count.
+  int workers() const { return workers_; }
+
+  /// Number of fibers spawned so far.
+  std::size_t size() const { return fibers_.size(); }
+
+  /// Make a parked (or parking) fiber runnable again. Called by
+  /// WaitSet::notify_all; safe from any thread. Calls on fibers that are
+  /// already ready/running/finished are ignored.
+  void wake(Fiber* fiber);
+
+  /// Stacks parked in the process-wide free list, in bytes (test hook).
+  static std::size_t pooled_stack_bytes();
+
+ private:
+  friend class Fiber;
+  friend class WaitSet;
+
+  void carrier_main();
+  void resume(Fiber* fiber);
+  void enqueue(Fiber* fiber);
+
+  int workers_ = 1;
+  std::size_t stack_bytes_ = 0;
+  // Whether stacks get a PROT_NONE guard page. run() turns this off for
+  // very large fiber counts, where the 2-VMAs-per-guarded-stack cost
+  // would exhaust vm.max_map_count (see fiber.cpp).
+  bool guard_stacks_ = true;
+
+  std::mutex mutex_;
+  std::condition_variable ready_cv_;  // carriers: a fiber is runnable
+  std::condition_variable done_cv_;   // run(): all fibers finished
+  std::deque<Fiber*> ready_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::size_t finished_ = 0;
+  bool stop_ = false;
+
+  std::unique_ptr<TaskPool> carriers_;
+};
+
+}  // namespace insitu::exec

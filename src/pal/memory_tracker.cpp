@@ -21,6 +21,12 @@ ScopedMemoryTracker::ScopedMemoryTracker(MemoryTracker* tracker)
 
 ScopedMemoryTracker::~ScopedMemoryTracker() { t_adopted_tracker = saved_; }
 
+MemoryTracker* exchange_adopted_memory_tracker(MemoryTracker* tracker) {
+  MemoryTracker* previous = t_adopted_tracker;
+  t_adopted_tracker = tracker;
+  return previous;
+}
+
 std::uint64_t process_high_water_bytes() {
   std::FILE* f = std::fopen("/proc/self/status", "r");
   if (f == nullptr) return 0;

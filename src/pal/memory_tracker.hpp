@@ -76,6 +76,13 @@ class MemoryTracker {
 /// charge allocations here.
 MemoryTracker& rank_memory_tracker();
 
+/// Swap the calling thread's adopted tracker, returning the previous one
+/// (null when none was adopted). The M:N scheduler uses this from its
+/// fiber resume/suspend hooks: a rank continuation's tracker follows it
+/// across carrier workers, where the RAII scoping of ScopedMemoryTracker
+/// cannot (the install and restore happen on different stack frames).
+MemoryTracker* exchange_adopted_memory_tracker(MemoryTracker* tracker);
+
 /// RAII redirection of the calling thread's allocations to another rank's
 /// tracker. Installed by worker threads that run analyses on behalf of a
 /// rank so snapshots and analysis state appear in that rank's footprint.

@@ -1,0 +1,235 @@
+// M:N scheduler tests: rank-count > worker-count multiplexing,
+// threads/mn result equivalence, seed-replay determinism, large-rank
+// collective completion, thread-local migration (spans, memory
+// trackers), and the bench-side ranks=/sched= parsing. The whole binary
+// also runs under the TSan CI job; SchedTest.TsanStressManyRanksFewWorkers
+// is the dedicated data-race stressor.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "comm/runtime.hpp"
+#include "comm/sched.hpp"
+#include "exec/fiber.hpp"
+#include "pal/memory_tracker.hpp"
+
+namespace insitu::comm {
+namespace {
+
+Runtime::Options mn_options(int workers) {
+  Runtime::Options options;
+  options.sched.backend = SchedBackend::kMn;
+  options.sched.workers = workers;
+  return options;
+}
+
+/// A pipeline-shaped workload touching every blocking primitive: compute
+/// skew, p2p ring traffic, reductions, a barrier, and a gather.
+void mixed_workload(Communicator& comm, std::vector<double>* rank_times,
+                    std::atomic<int>* failures) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  comm.advance_compute(0.001 * (rank % 7));
+
+  // Ring: send to the right, receive from the left.
+  const std::vector<double> payload(8, static_cast<double>(rank));
+  comm.send(
+      (rank + 1) % size, 17,
+      std::as_bytes(std::span<const double>(payload)));
+  const std::vector<std::byte> got = comm.recv((rank + size - 1) % size, 17);
+  double first = 0.0;
+  std::memcpy(&first, got.data(), sizeof first);
+  if (first != static_cast<double>((rank + size - 1) % size)) ++(*failures);
+
+  const long sum =
+      comm.allreduce_value(static_cast<long>(rank), ReduceOp::kSum);
+  if (sum != static_cast<long>(size) * (size - 1) / 2) ++(*failures);
+
+  comm.barrier();
+  const std::vector<double> mine{static_cast<double>(rank)};
+  (void)comm.gatherv(std::span<const double>(mine), 0);
+
+  if (rank_times != nullptr) {
+    (*rank_times)[static_cast<std::size_t>(rank)] = comm.clock().now();
+  }
+}
+
+TEST(SchedTest, ManyRanksFewWorkersCompletes) {
+  const int ranks = 64;
+  std::vector<double> times(static_cast<std::size_t>(ranks), 0.0);
+  std::atomic<int> failures{0};
+  const RunReport report =
+      Runtime::run(ranks, mn_options(/*workers=*/2), [&](Communicator& comm) {
+        mixed_workload(comm, &times, &failures);
+      });
+  EXPECT_FALSE(report.failed);
+  EXPECT_EQ(failures.load(), 0);
+  for (const double t : times) EXPECT_GT(t, 0.0);
+}
+
+TEST(SchedTest, MatchesThreadBackendBitExactly) {
+  for (const int ranks : {4, 16, 64}) {
+    std::vector<double> threads_times(static_cast<std::size_t>(ranks), 0.0);
+    std::vector<double> mn_times(static_cast<std::size_t>(ranks), 0.0);
+    std::atomic<int> failures{0};
+
+    Runtime::Options threads_options;
+    threads_options.sched.backend = SchedBackend::kThreads;
+    Runtime::run(ranks, threads_options, [&](Communicator& comm) {
+      mixed_workload(comm, &threads_times, &failures);
+    });
+    Runtime::run(ranks, mn_options(2), [&](Communicator& comm) {
+      mixed_workload(comm, &mn_times, &failures);
+    });
+
+    EXPECT_EQ(failures.load(), 0);
+    // Bit-identical, not approximately equal: scheduling must not leak
+    // into virtual time.
+    EXPECT_EQ(threads_times, mn_times) << "at " << ranks << " ranks";
+  }
+}
+
+TEST(SchedTest, SeedReplayIsDeterministic) {
+  const int ranks = 32;
+  std::vector<std::vector<double>> replays;
+  for (int replay = 0; replay < 2; ++replay) {
+    std::vector<double> times(static_cast<std::size_t>(ranks), 0.0);
+    std::atomic<int> failures{0};
+    Runtime::Options options = mn_options(3);
+    options.seed = 99;
+    Runtime::run(ranks, options, [&](Communicator& comm) {
+      // Rng-dependent compute makes any cross-rank rng mixup visible.
+      comm.advance_compute(0.0001 * comm.rng().next_double());
+      mixed_workload(comm, &times, &failures);
+    });
+    EXPECT_EQ(failures.load(), 0);
+    replays.push_back(times);
+  }
+  EXPECT_EQ(replays[0], replays[1]);
+}
+
+TEST(SchedTest, CollectivesCompleteAtThousandRanks) {
+  const int ranks = 1024;
+  std::atomic<int> failures{0};
+  const RunReport report =
+      Runtime::run(ranks, mn_options(4), [&](Communicator& comm) {
+        const long sum = comm.allreduce_value(
+            static_cast<long>(comm.rank()), ReduceOp::kSum);
+        if (sum != static_cast<long>(ranks) * (ranks - 1) / 2) ++failures;
+        comm.barrier();
+        int v = comm.rank() == 0 ? 31337 : -1;
+        comm.broadcast_value(v, 0);
+        if (v != 31337) ++failures;
+      });
+  EXPECT_FALSE(report.failed);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// The TSan job's dedicated stressor: many fibers ping-ponging across few
+// carriers maximizes migrations and park/wake races. Kept smaller than
+// the functional tests so instrumented runs stay fast.
+TEST(SchedTest, TsanStressManyRanksFewWorkers) {
+  const int ranks = 48;
+  std::atomic<int> failures{0};
+  for (int round = 0; round < 3; ++round) {
+    Runtime::Options options = mn_options(2);
+    options.seed = 7 + static_cast<std::uint64_t>(round);
+    const RunReport report =
+        Runtime::run(ranks, options, [&](Communicator& comm) {
+          mixed_workload(comm, nullptr, &failures);
+        });
+    EXPECT_FALSE(report.failed);
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SchedTest, SpansSurviveWorkerMigration) {
+  const int ranks = 16;
+  Runtime::Options options = mn_options(2);
+  options.observe.trace = true;
+  std::atomic<int> failures{0};
+  const RunReport report =
+      Runtime::run(ranks, options, [&](Communicator& comm) {
+        mixed_workload(comm, nullptr, &failures);
+      });
+  EXPECT_FALSE(report.failed);
+  EXPECT_EQ(report.trace.nranks, ranks);
+  // Every rank recorded comm spans, attributed to itself, with sane
+  // nesting depths — even though its continuation migrated carriers.
+  std::vector<int> spans_per_rank(static_cast<std::size_t>(ranks), 0);
+  for (const obs::TraceEvent& e : report.trace.events) {
+    ASSERT_GE(e.rank, 0);
+    ASSERT_LT(e.rank, ranks);
+    EXPECT_GE(e.depth, 0);
+    ++spans_per_rank[static_cast<std::size_t>(e.rank)];
+  }
+  for (const int n : spans_per_rank) EXPECT_GT(n, 0);
+}
+
+TEST(SchedTest, MemoryChargesFollowTheRank) {
+  const int ranks = 8;
+  const RunReport report =
+      Runtime::run(ranks, mn_options(2), [&](Communicator& comm) {
+        // Rank r holds (r+1) KiB live across a blocking point.
+        const std::size_t bytes =
+            static_cast<std::size_t>(comm.rank() + 1) * 1024;
+        pal::TrackedBytes tracked(bytes);
+        comm.barrier();
+      });
+  for (const RankStats& r : report.ranks) {
+    EXPECT_GE(r.mem_high_water,
+              static_cast<std::size_t>(r.rank + 1) * 1024)
+        << "rank " << r.rank;
+    EXPECT_EQ(r.mem_final, 0u) << "rank " << r.rank;
+  }
+}
+
+TEST(SchedTest, FiberStacksAreRecycled) {
+  Runtime::run(32, mn_options(2), [](Communicator& comm) { comm.barrier(); });
+  // After a run every retired stack sits in the process-wide free list.
+  EXPECT_GT(exec::FiberScheduler::pooled_stack_bytes(), 0u);
+  const std::size_t before = exec::FiberScheduler::pooled_stack_bytes();
+  Runtime::run(32, mn_options(2), [](Communicator& comm) { comm.barrier(); });
+  // The second run reuses the first run's stacks instead of growing the
+  // pool.
+  EXPECT_EQ(exec::FiberScheduler::pooled_stack_bytes(), before);
+}
+
+TEST(SchedTest, BackendNamesRoundTrip) {
+  EXPECT_EQ(parse_sched_backend("threads"), SchedBackend::kThreads);
+  EXPECT_EQ(parse_sched_backend("mn"), SchedBackend::kMn);
+  EXPECT_FALSE(parse_sched_backend("").has_value());
+  EXPECT_FALSE(parse_sched_backend("fibers").has_value());
+  EXPECT_STREQ(to_string(SchedBackend::kThreads), "threads");
+  EXPECT_STREQ(to_string(SchedBackend::kMn), "mn");
+}
+
+TEST(SchedTest, ParseRanksListAcceptsValidLists) {
+  std::string error;
+  EXPECT_EQ(bench::parse_ranks_list("8", &error),
+            std::vector<int>({8}));
+  EXPECT_EQ(bench::parse_ranks_list("4,8,16", &error),
+            std::vector<int>({4, 8, 16}));
+  EXPECT_EQ(bench::parse_ranks_list("10240", &error),
+            std::vector<int>({10240}));
+}
+
+TEST(SchedTest, ParseRanksListRejectsBadInput) {
+  for (const char* bad :
+       {"", "0", "-1", "4,-8", "4,0", "8x", "x8", " 8", "+8", "4,,8", "4,",
+        "2147483648", "999999999999999999999", "3.5"}) {
+    std::string error;
+    EXPECT_FALSE(bench::parse_ranks_list(bad, &error).has_value())
+        << "accepted '" << bad << "'";
+    EXPECT_FALSE(error.empty()) << "no message for '" << bad << "'";
+  }
+}
+
+}  // namespace
+}  // namespace insitu::comm
