@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
           if (comm.rank() == 0) {
             std::fprintf(stderr, "bad analysis config: %s\n",
                          analyses.status().to_string().c_str());
-            exit_code = 1;
+            exit_code = 2;  // usage error, like every other bad flag
           }
           return;
         }

@@ -20,10 +20,81 @@ StatusOr<data::Association> parse_association(const std::string& text) {
   return Status::InvalidArgument("unknown association '" + text + "'");
 }
 
+/// Every section and key configure_analyses interprets. Validation walks
+/// this table, so adding an option here is adding it everywhere.
+struct SectionSpec {
+  const char* section;
+  std::vector<const char*> keys;
+};
+
+const std::vector<SectionSpec>& known_sections() {
+  static const std::vector<SectionSpec>* specs = new std::vector<SectionSpec>{
+      {"histogram", {"enabled", "array", "association", "bins"}},
+      {"autocorrelation", {"enabled", "array", "window", "k"}},
+      {"statistics", {"enabled", "array", "association"}},
+      {"catalyst",
+       {"enabled", "array", "axis", "value", "width", "height", "colormap",
+        "min", "max", "compress", "every", "output"}},
+      {"cinema",
+       {"enabled", "array", "iso_fraction", "phi", "theta", "width", "height",
+        "every", "output"}},
+      {"extract",
+       {"enabled", "array", "kind", "axis", "value", "every", "output"}},
+      {"libsim", {"enabled", "every", "session", "output"}},
+  };
+  return *specs;
+}
+
+std::string join_names(const std::vector<const char*>& names) {
+  std::string out;
+  for (const char* name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+Status validate_config(const pal::Config& config,
+                       const ConfigurableOptions& options) {
+  for (const auto& [key, value] : config.entries()) {
+    const std::size_t dot = key.find('.');
+    if (dot == std::string::npos) continue;  // bare CLI key: not ours
+    const std::string section = key.substr(0, dot);
+    const std::string suffix = key.substr(dot + 1);
+    if (std::find(options.ignore_sections.begin(),
+                  options.ignore_sections.end(),
+                  section) != options.ignore_sections.end()) {
+      continue;
+    }
+    const SectionSpec* spec = nullptr;
+    std::vector<const char*> section_names;
+    for (const SectionSpec& s : known_sections()) {
+      section_names.push_back(s.section);
+      if (section == s.section) spec = &s;
+    }
+    if (spec == nullptr) {
+      return Status::InvalidArgument(
+          "unknown analysis section '[" + section + "]' (key '" + key +
+          "'); valid sections: " + join_names(section_names));
+    }
+    const bool known =
+        std::any_of(spec->keys.begin(), spec->keys.end(),
+                    [&suffix](const char* k) { return suffix == k; });
+    if (!known) {
+      return Status::InvalidArgument(
+          "unknown key '" + key + "' in section '[" + section +
+          "]'; valid keys: " + join_names(spec->keys));
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 StatusOr<std::vector<core::AnalysisAdaptorPtr>> configure_analyses(
-    const pal::Config& config) {
+    const pal::Config& config, const ConfigurableOptions& options) {
+  INSITU_RETURN_IF_ERROR(validate_config(config, options));
+
   std::vector<core::AnalysisAdaptorPtr> analyses;
 
   if (config.get_bool_or("histogram.enabled", false)) {

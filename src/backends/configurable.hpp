@@ -16,6 +16,16 @@
 //   [libsim]           enabled=true every=5 session=<inline session text
 //                      with ';' as line separator> output=
 
+// Validation is strict: an unknown section or an unknown key inside a
+// known section is an InvalidArgument error (drivers exit 2), so a typo
+// like `[histgram]` or `bins=` under the wrong section fails loudly
+// instead of silently running without the intended analysis. Only
+// section-qualified keys ("section.key") are validated — bare CLI keys
+// (ranks=, trace=, ...) pass through untouched, and callers embedding an
+// analysis config in a larger file list their own sections in
+// ConfigurableOptions::ignore_sections.
+
+#include <string>
 #include <vector>
 
 #include "core/analysis_adaptor.hpp"
@@ -23,8 +33,19 @@
 
 namespace insitu::backends {
 
+struct ConfigurableOptions {
+  /// Sections exempt from strict validation (still not interpreted), e.g.
+  /// the service's own [session] section.
+  std::vector<std::string> ignore_sections;
+};
+
 /// Build the analysis adaptors requested by `config`.
 StatusOr<std::vector<core::AnalysisAdaptorPtr>> configure_analyses(
-    const pal::Config& config);
+    const pal::Config& config, const ConfigurableOptions& options);
+
+inline StatusOr<std::vector<core::AnalysisAdaptorPtr>> configure_analyses(
+    const pal::Config& config) {
+  return configure_analyses(config, ConfigurableOptions{});
+}
 
 }  // namespace insitu::backends

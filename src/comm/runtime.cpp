@@ -51,11 +51,15 @@ RunReport Runtime::run(int nranks,
   report.ranks.resize(static_cast<std::size_t>(nranks));
   report.seed = options.seed;
 
-  // Buffer-pool counters are process-global (pal cannot see obs, so the
-  // pool cannot publish its own metrics); snapshot them here and publish
-  // this run's delta as pool.* series after the join. Same story for the
+  // Buffer-pool counters live in pal (which cannot see obs, so the pool
+  // cannot publish its own metrics); snapshot them here and publish this
+  // run's delta as pool.* series after the join. A tenant partition
+  // replaces the process pool for the whole job. Same story for the
   // kernel-dispatch counters: the kernels layer sits below obs.
-  const pal::BufferPoolStats pool_start = pal::buffer_pool().stats();
+  pal::BufferPool& run_pool = options.tenant.pool != nullptr
+                                  ? *options.tenant.pool
+                                  : pal::buffer_pool();
+  const pal::BufferPoolStats pool_start = run_pool.stats();
   const kernels::StatsSnapshot kernels_start = kernels::stats_snapshot();
 
   std::shared_ptr<detail::Group> world = detail::make_group(nranks);
@@ -74,6 +78,9 @@ RunReport Runtime::run(int nranks,
   // backends this keeps the accounting identical. deque, not vector:
   // MemoryTracker holds atomics and cannot move.
   std::deque<pal::MemoryTracker> trackers(static_cast<std::size_t>(nranks));
+  if (options.tenant.tracker != nullptr) {
+    for (auto& tracker : trackers) tracker.set_parent(options.tenant.tracker);
+  }
 
   auto rank_main = [&](int rank) {
     pal::set_thread_log_label("rank " + std::to_string(rank));
@@ -135,6 +142,7 @@ RunReport Runtime::run(int nranks,
     for (int r = 0; r < nranks; ++r) {
       threads.emplace_back([&, r] {
         pal::ScopedMemoryTracker adopt(&trackers[static_cast<std::size_t>(r)]);
+        pal::ScopedBufferPool adopt_pool(options.tenant.pool);  // null: no-op
         rank_main(r);
       });
     }
@@ -152,6 +160,8 @@ RunReport Runtime::run(int nranks,
       obs::RankContext saved_ctx;     // carrier's context while running
       pal::MemoryTracker* tracker = nullptr;
       pal::MemoryTracker* saved_tracker = nullptr;
+      pal::BufferPool* pool = nullptr;        // tenant partition (optional)
+      pal::BufferPool* saved_pool = nullptr;  // carrier's pool while running
       std::string label;
     };
     std::deque<FiberTls> tls(static_cast<std::size_t>(nranks));
@@ -163,6 +173,7 @@ RunReport Runtime::run(int nranks,
     for (int r = 0; r < nranks; ++r) {
       FiberTls& state = tls[static_cast<std::size_t>(r)];
       state.tracker = &trackers[static_cast<std::size_t>(r)];
+      state.pool = options.tenant.pool;
       state.label = "rank " + std::to_string(r);
       exec::FiberScheduler::Hooks hooks;
       hooks.on_resume = [&state] {
@@ -170,12 +181,18 @@ RunReport Runtime::run(int nranks,
         obs::context() = state.ctx;
         state.saved_tracker =
             pal::exchange_adopted_memory_tracker(state.tracker);
+        if (state.pool != nullptr) {
+          state.saved_pool = pal::exchange_adopted_buffer_pool(state.pool);
+        }
         pal::set_thread_log_label(state.label);
       };
       hooks.on_suspend = [&state] {
         state.ctx = obs::context();
         obs::context() = state.saved_ctx;
         pal::exchange_adopted_memory_tracker(state.saved_tracker);
+        if (state.pool != nullptr) {
+          pal::exchange_adopted_buffer_pool(state.saved_pool);
+        }
       };
       sched.spawn([&, r] { rank_main(r); }, std::move(hooks));
     }
@@ -186,7 +203,7 @@ RunReport Runtime::run(int nranks,
     obs::merge_into(report.metrics, snapshot);
   }
   if (options.observe.metrics) {
-    const pal::BufferPoolStats d = pal::buffer_pool().stats_since(pool_start);
+    const pal::BufferPoolStats d = run_pool.stats_since(pool_start);
     if (d.hits + d.misses + d.releases > 0) {
       obs::MetricsSnapshot pool;
       const auto add = [&pool](const char* key, obs::MetricKind kind,
@@ -205,7 +222,7 @@ RunReport Runtime::run(int nranks,
       add("pool.evictions", obs::MetricKind::kCounter,
           static_cast<double>(d.evictions));
       add("pool.free_bytes", obs::MetricKind::kGauge,
-          static_cast<double>(pal::buffer_pool().free_bytes()));
+          static_cast<double>(run_pool.free_bytes()));
       add("pool.hit_rate", obs::MetricKind::kGauge, d.hit_rate());
       add("pool.hits", obs::MetricKind::kCounter,
           static_cast<double>(d.hits));
@@ -253,6 +270,18 @@ RunReport Runtime::run(int nranks,
                 });
       obs::merge_into(report.metrics, kern);
     }
+  }
+  if (!options.tenant.label.empty() && !report.metrics.empty()) {
+    // Stamp the tenant onto every series this job produced, then restore
+    // the sorted-by-key invariant the merge/report layers rely on.
+    for (obs::MetricSample& sample : report.metrics) {
+      sample.key =
+          obs::metric_key_with_label(sample.key, "tenant", options.tenant.label);
+    }
+    std::sort(report.metrics.begin(), report.metrics.end(),
+              [](const obs::MetricSample& a, const obs::MetricSample& b) {
+                return a.key < b.key;
+              });
   }
   if (options.observe.trace) {
     report.trace.nranks = nranks;

@@ -24,6 +24,8 @@
 #include "comm/sched.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pal/buffer_pool.hpp"
+#include "pal/memory_tracker.hpp"
 
 namespace insitu::comm {
 
@@ -81,6 +83,21 @@ class Runtime {
       /// mn only: per-fiber stack bytes; 0 means the 256 KiB default.
       std::size_t stack_bytes = 0;
     } sched;
+    /// Multi-tenant attribution (src/service). All fields optional; none
+    /// of them changes what the job computes — virtual times stay
+    /// bit-identical with or without a tenant attached.
+    struct Tenant {
+      /// Stamped as `tenant=<label>` on every merged metric key when
+      /// non-empty.
+      std::string label;
+      /// Rank trackers roll their traffic up into this tracker, giving
+      /// the owner a live, pooling-invariant footprint for the session.
+      pal::MemoryTracker* tracker = nullptr;
+      /// Buffer-pool partition for this job: every rank's pooled
+      /// allocations go here instead of the process default, and pool.*
+      /// metrics report this partition's delta.
+      pal::BufferPool* pool = nullptr;
+    } tenant;
   };
 
   /// Run `body` on `nranks` SPMD ranks and block until all complete.

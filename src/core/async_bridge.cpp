@@ -55,8 +55,10 @@ Status AsyncBridge::initialize() {
   worker_clock_.observe(comm_->clock().now());
 
   // Captured on the rank thread: the worker charges this rank's memory
-  // tracker and records spans on the rank's worker track.
+  // tracker, allocates through the rank's (possibly tenant-partitioned)
+  // buffer pool, and records spans on the rank's worker track.
   rank_tracker_ = &pal::rank_memory_tracker();
+  rank_pool_ = &pal::buffer_pool();
   worker_ctx_ = obs::context();
   if (obs::tracer() != nullptr) {
     worker_trace_ = std::make_unique<obs::TraceRecorder>(
@@ -102,6 +104,7 @@ void AsyncBridge::start_job(long step) {
       [this, slot = p.result, mesh = std::move(p.snapshot.mesh), time, step,
        enq]() mutable {
         pal::ScopedMemoryTracker adopt(rank_tracker_);
+        pal::ScopedBufferPool adopt_pool(rank_pool_);
         obs::ScopedRankContext ctx(worker_ctx_);
         // Step-keyed stream: a job's randomness does not depend on how
         // many jobs ran before it, so drop policies cannot perturb the
@@ -248,6 +251,7 @@ Status AsyncBridge::finalize() {
   auto fin = std::make_shared<ResultSlot>();
   (void)pool_->submit([this, fin, drain_start] {
     pal::ScopedMemoryTracker adopt(rank_tracker_);
+    pal::ScopedBufferPool adopt_pool(rank_pool_);
     obs::ScopedRankContext ctx(worker_ctx_);
     worker_clock_.observe(drain_start);
     JobResult out;

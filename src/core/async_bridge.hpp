@@ -41,6 +41,7 @@
 #include "exec/task_pool.hpp"
 #include "obs/context.hpp"
 #include "obs/trace.hpp"
+#include "pal/buffer_pool.hpp"
 #include "pal/memory_tracker.hpp"
 #include "pal/rng.hpp"
 
@@ -136,6 +137,7 @@ class AsyncBridge {
   std::unique_ptr<exec::TaskPool> pool_;  // one worker per rank
   std::map<long, Pending> pending_;
   pal::MemoryTracker* rank_tracker_ = nullptr;
+  pal::BufferPool* rank_pool_ = nullptr;  // rank's adopted pool (tenant partition)
   std::unique_ptr<obs::TraceRecorder> worker_trace_;
   obs::RankContext worker_ctx_;
 

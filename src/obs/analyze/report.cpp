@@ -266,6 +266,82 @@ std::string render_kernel_table(const MetricsTable& metrics) {
   return table.to_string();
 }
 
+std::string render_tenant_table(const MetricsTable& metrics) {
+  // One row per (run, tenant). Keys look like
+  // "service.admission{outcome=admitted,tenant=t0}" or
+  // "bridge.execute.seconds{tenant=t0}".
+  struct TenantRow {
+    std::string run, tenant;
+    double admitted = 0.0, queued = 0.0, degraded = 0.0, rejected = 0.0;
+    double completed = 0.0, failed = 0.0;
+    double steps = 0.0, p99_step = 0.0;
+    double high_water = 0.0;
+  };
+  std::vector<TenantRow> rows;
+  auto row_for = [&rows](const std::string& run,
+                         const std::string& tenant) -> TenantRow& {
+    for (TenantRow& row : rows) {
+      if (row.run == run && row.tenant == tenant) return row;
+    }
+    rows.push_back(TenantRow{run, tenant});
+    return rows.back();
+  };
+  auto label_value = [](const std::string& labels,
+                        const std::string& key) -> std::string {
+    const std::size_t at = labels.find(key + "=");
+    if (at == std::string::npos) return "";
+    const std::size_t from = at + key.size() + 1;
+    return labels.substr(from, labels.find_first_of(",}", from) - from);
+  };
+  for (const MetricsRow& row : metrics.rows) {
+    const std::size_t brace = row.metric.find('{');
+    if (brace == std::string::npos) continue;
+    const std::string field = row.metric.substr(0, brace);
+    const std::string labels = row.metric.substr(brace);
+    const std::string tenant = label_value(labels, "tenant");
+    if (tenant.empty()) continue;
+    TenantRow& cell = row_for(row.run, tenant);
+    if (field == "service.admission") {
+      const std::string outcome = label_value(labels, "outcome");
+      if (outcome == "admitted") cell.admitted = row.value;
+      else if (outcome == "queued") cell.queued = row.value;
+      else if (outcome == "degraded") cell.degraded = row.value;
+      else if (outcome == "rejected") cell.rejected = row.value;
+    } else if (field == "service.sessions") {
+      const std::string state = label_value(labels, "state");
+      if (state == "completed") cell.completed = row.value;
+      else if (state == "failed") cell.failed = row.value;
+    } else if (field == "bridge.execute.seconds") {
+      cell.steps = static_cast<double>(row.count);
+      cell.p99_step = row.p99;
+    } else if (field == "service.tenant.mem_high_water_bytes") {
+      cell.high_water = row.value;
+    }
+  }
+  if (rows.empty()) return "";
+
+  constexpr double kMiB = 1024.0 * 1024.0;
+  TablePrinter table("tenants");
+  table.set_header({"run", "tenant", "admitted", "queued", "degraded",
+                    "rejected", "completed", "failed", "steps",
+                    "p99 step ms", "HW MiB"});
+  for (const TenantRow& row : rows) {
+    table.add_row({row.run, row.tenant, TablePrinter::num(row.admitted, 0),
+                   TablePrinter::num(row.queued, 0),
+                   TablePrinter::num(row.degraded, 0),
+                   TablePrinter::num(row.rejected, 0),
+                   TablePrinter::num(row.completed, 0),
+                   TablePrinter::num(row.failed, 0),
+                   TablePrinter::num(row.steps, 0),
+                   TablePrinter::num(row.p99_step * 1000.0, 3),
+                   TablePrinter::num(row.high_water / kMiB, 3)});
+  }
+  table.add_note("per-tenant admission outcomes and session results from "
+                 "`tenant=`-labeled series; p99 step is the virtual "
+                 "bridge.execute.seconds quantile (docs/SERVICE.md)");
+  return table.to_string();
+}
+
 std::string render_report(std::span<const AnalyzedRun> runs,
                           const ExportMeta* meta,
                           const ReportOptions& options) {

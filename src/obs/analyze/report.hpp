@@ -67,6 +67,14 @@ std::string render_pool_table(const MetricsTable& metrics);
 /// callers can append it unconditionally.
 std::string render_kernel_table(const MetricsTable& metrics);
 
+/// Per-tenant summary distilled from `tenant=`-labeled rows (the
+/// multi-tenant service stamps the label on every session metric):
+/// admission outcomes, session terminal states, executed steps, p99 step
+/// latency, and the tenant memory high-water gauge. One line per
+/// (run, tenant). Returns the empty string when the dump carries no
+/// tenant-labeled metrics, so callers can append it unconditionally.
+std::string render_tenant_table(const MetricsTable& metrics);
+
 /// Full report: metadata header, breakdown table, then per-run sections.
 std::string render_report(std::span<const AnalyzedRun> runs,
                           const ExportMeta* meta = nullptr,

@@ -52,6 +52,35 @@ std::string metric_key(std::string_view name, const Labels& labels) {
   return key;
 }
 
+std::string metric_key_with_label(std::string_view key, std::string_view label,
+                                  std::string_view value) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string_view::npos) {
+    return metric_key(key, {{std::string(label), std::string(value)}});
+  }
+  // Parse the existing canonical "{k=v,...}" suffix back into labels,
+  // add ours (existing wins on collision), and re-serialize so the
+  // result is canonical again.
+  Labels labels;
+  std::string_view body = key.substr(brace + 1);
+  if (!body.empty() && body.back() == '}') body.remove_suffix(1);
+  while (!body.empty()) {
+    const std::size_t comma = std::min(body.find(','), body.size());
+    const std::string_view pair = body.substr(0, comma);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      labels.emplace_back(std::string(pair.substr(0, eq)),
+                          std::string(pair.substr(eq + 1)));
+    }
+    body.remove_prefix(comma == body.size() ? comma : comma + 1);
+  }
+  for (const auto& [k, v] : labels) {
+    if (k == label) return std::string(key);  // caller's label loses
+  }
+  labels.emplace_back(std::string(label), std::string(value));
+  return metric_key(key.substr(0, brace), labels);
+}
+
 void Histogram::record(double value) {
   // First sample initializes min/max; "count 0 -> 1" transition is the
   // publication point, so racing first samples both run the CAS loops.

@@ -37,6 +37,14 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 /// canonical (sorted) order regardless of insertion order.
 std::string metric_key(std::string_view name, const Labels& labels);
 
+/// Insert one label into an already-serialized key, keeping the result
+/// canonical (`pool.hits` -> `pool.hits{tenant=t0}`, `x{b=1}` ->
+/// `x{a=0,b=1}`). If the key already carries `label`, the existing value
+/// wins and the key is returned unchanged. The multi-tenant service uses
+/// this to stamp `tenant=` onto every series a session produced.
+std::string metric_key_with_label(std::string_view key, std::string_view label,
+                                  std::string_view value);
+
 /// Monotonically increasing integer (bytes moved, messages sent, ...).
 class Counter {
  public:

@@ -22,6 +22,19 @@ namespace insitu::pal {
 
 /// Tracks bytes currently allocated and the high-water mark for one rank.
 /// allocate/release/readers are safe to call from multiple threads.
+///
+/// Trackers can be chained: a rank tracker with a parent (set_parent)
+/// forwards every allocate/release upward, so a tenant-level tracker sees
+/// the rolled-up footprint of all of its session's ranks while each rank
+/// keeps its own private accounting. Pool-parked bytes never reach any
+/// rank tracker (they live in the pool's private tracker, the PR 4
+/// arrangement), so the roll-up is pooling-invariant: a tenant's usage
+/// reads the same whether its buffers are recycled or freed.
+///
+/// A tracker may also carry a soft byte limit (set_limit): crossing it
+/// never aborts or throws, it only latches a sticky over_limit() flag and
+/// counts overage_events(). The multi-tenant service reads the flag to
+/// degrade (not kill) sessions whose tenant exceeds its quota.
 class MemoryTracker {
  public:
   void allocate(std::size_t bytes) {
@@ -34,6 +47,12 @@ class MemoryTracker {
     while (now > hw && !high_water_.compare_exchange_weak(
                            hw, now, std::memory_order_relaxed)) {
     }
+    const std::size_t limit = limit_.load(std::memory_order_relaxed);
+    if (limit != 0 && now > limit) {
+      over_limit_.store(true, std::memory_order_relaxed);
+      overage_events_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (parent_ != nullptr) parent_->allocate(bytes);
   }
 
   void release(std::size_t bytes) {
@@ -44,6 +63,7 @@ class MemoryTracker {
                                            bytes > cur ? 0 : cur - bytes,
                                            std::memory_order_relaxed)) {
     }
+    if (parent_ != nullptr) parent_->release(bytes);
   }
 
   std::size_t current_bytes() const {
@@ -64,9 +84,39 @@ class MemoryTracker {
   void set_baseline(std::size_t bytes) { baseline_ = bytes; }
   std::size_t baseline_bytes() const { return baseline_; }
 
+  /// Roll this tracker's traffic up into `parent` as well (one level is
+  /// enough in practice: rank trackers -> tenant tracker). Set before the
+  /// tracker sees traffic; not synchronized against concurrent
+  /// allocate/release.
+  void set_parent(MemoryTracker* parent) { parent_ = parent; }
+  MemoryTracker* parent() const { return parent_; }
+
+  /// Soft byte quota: 0 means unlimited. Crossing the limit latches
+  /// over_limit() and bumps overage_events(); allocation always proceeds.
+  void set_limit(std::size_t bytes) {
+    limit_.store(bytes, std::memory_order_relaxed);
+  }
+  std::size_t limit_bytes() const {
+    return limit_.load(std::memory_order_relaxed);
+  }
+  bool over_limit() const {
+    return over_limit_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overage_events() const {
+    return overage_events_.load(std::memory_order_relaxed);
+  }
+  void clear_over_limit() {
+    over_limit_.store(false, std::memory_order_relaxed);
+    overage_events_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::size_t> current_{0};
   std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::size_t> limit_{0};
+  std::atomic<bool> over_limit_{false};
+  std::atomic<std::uint64_t> overage_events_{0};
+  MemoryTracker* parent_ = nullptr;
   std::size_t baseline_ = 0;
 };
 
@@ -99,40 +149,60 @@ class ScopedMemoryTracker {
 };
 
 /// RAII registration of a block of bytes against the calling rank.
+///
+/// The charged tracker is pinned at construction: releases always return
+/// to the tracker that took the allocate, even when the object is
+/// destroyed (or moved-into) on a thread with a *different* adopted
+/// tracker — e.g. a pooled buffer charged by tenant A's rank and retired
+/// by an exec worker or another tenant's thread. Before the pin, such
+/// cross-adoption destruction leaked bytes into A's current count forever
+/// (and under-counted the destroyer), which broke per-tenant quota
+/// accounting the moment trackers became adopted instead of thread-owned.
 class TrackedBytes {
  public:
   TrackedBytes() = default;
-  explicit TrackedBytes(std::size_t bytes) : bytes_(bytes) {
-    rank_memory_tracker().allocate(bytes_);
+  explicit TrackedBytes(std::size_t bytes)
+      : bytes_(bytes), tracker_(&rank_memory_tracker()) {
+    tracker_->allocate(bytes_);
   }
-  ~TrackedBytes() { rank_memory_tracker().release(bytes_); }
+  ~TrackedBytes() {
+    if (tracker_ != nullptr) tracker_->release(bytes_);
+  }
 
   TrackedBytes(const TrackedBytes&) = delete;
   TrackedBytes& operator=(const TrackedBytes&) = delete;
 
-  TrackedBytes(TrackedBytes&& other) noexcept : bytes_(other.bytes_) {
+  TrackedBytes(TrackedBytes&& other) noexcept
+      : bytes_(other.bytes_), tracker_(other.tracker_) {
     other.bytes_ = 0;
+    other.tracker_ = nullptr;
   }
   TrackedBytes& operator=(TrackedBytes&& other) noexcept {
     if (this != &other) {
-      rank_memory_tracker().release(bytes_);
+      if (tracker_ != nullptr) tracker_->release(bytes_);
       bytes_ = other.bytes_;
+      tracker_ = other.tracker_;
       other.bytes_ = 0;
+      other.tracker_ = nullptr;
     }
     return *this;
   }
 
-  /// Change the tracked size (e.g. on vector resize).
+  /// Change the tracked size (e.g. on vector resize). Stays on the pinned
+  /// tracker; a default-constructed instance pins the caller's tracker on
+  /// first resize.
   void resize(std::size_t bytes) {
-    rank_memory_tracker().release(bytes_);
+    if (tracker_ == nullptr) tracker_ = &rank_memory_tracker();
+    tracker_->release(bytes_);
     bytes_ = bytes;
-    rank_memory_tracker().allocate(bytes_);
+    tracker_->allocate(bytes_);
   }
 
   std::size_t bytes() const { return bytes_; }
 
  private:
   std::size_t bytes_ = 0;
+  MemoryTracker* tracker_ = nullptr;
 };
 
 /// Process-wide resident-set high-water mark from the OS (VmHWM), in bytes.

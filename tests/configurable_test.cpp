@@ -1,0 +1,116 @@
+#include "backends/configurable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pal/config.hpp"
+
+namespace insitu::backends {
+namespace {
+
+pal::Config make_config(
+    std::initializer_list<std::pair<const char*, const char*>> entries) {
+  pal::Config config;
+  for (const auto& [key, value] : entries) config.set(key, value);
+  return config;
+}
+
+TEST(ConfigureAnalyses, EmptyConfigBuildsNothing) {
+  auto analyses = configure_analyses(pal::Config{});
+  ASSERT_TRUE(analyses.ok());
+  EXPECT_TRUE(analyses->empty());
+}
+
+TEST(ConfigureAnalyses, BuildsEnabledSections) {
+  auto analyses = configure_analyses(make_config({{"histogram.enabled", "true"},
+                                                  {"histogram.bins", "32"},
+                                                  {"statistics.enabled",
+                                                   "true"}}));
+  ASSERT_TRUE(analyses.ok());
+  EXPECT_EQ(analyses->size(), 2u);
+}
+
+TEST(ConfigureAnalyses, RejectsUnknownSection) {
+  // The canonical typo: [histgram] must fail loudly, not silently run
+  // without the histogram.
+  auto analyses =
+      configure_analyses(make_config({{"histgram.enabled", "true"}}));
+  ASSERT_FALSE(analyses.ok());
+  EXPECT_EQ(analyses.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(analyses.status().to_string().find("histgram"), std::string::npos);
+  // The error lists the valid sections so the fix is obvious.
+  EXPECT_NE(analyses.status().to_string().find("histogram"),
+            std::string::npos);
+}
+
+TEST(ConfigureAnalyses, RejectsUnknownKeyInKnownSection) {
+  auto analyses = configure_analyses(make_config(
+      {{"histogram.enabled", "true"}, {"histogram.binz", "32"}}));
+  ASSERT_FALSE(analyses.ok());
+  EXPECT_EQ(analyses.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(analyses.status().to_string().find("histogram.binz"),
+            std::string::npos);
+  EXPECT_NE(analyses.status().to_string().find("bins"), std::string::npos);
+}
+
+TEST(ConfigureAnalyses, RejectsUnknownAssociation) {
+  auto analyses = configure_analyses(make_config(
+      {{"histogram.enabled", "true"}, {"histogram.association", "vertex"}}));
+  ASSERT_FALSE(analyses.ok());
+  EXPECT_EQ(analyses.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigureAnalyses, RejectsNonPositiveBins) {
+  auto analyses = configure_analyses(
+      make_config({{"histogram.enabled", "true"}, {"histogram.bins", "0"}}));
+  ASSERT_FALSE(analyses.ok());
+  EXPECT_EQ(analyses.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigureAnalyses, BareKeysAreNotValidated) {
+  // CLI-style bare keys (ranks=, trace=, ...) have no section and pass
+  // through untouched.
+  auto analyses = configure_analyses(
+      make_config({{"ranks", "8"}, {"trace", "true"}, {"unknownbare", "x"}}));
+  ASSERT_TRUE(analyses.ok());
+  EXPECT_TRUE(analyses->empty());
+}
+
+TEST(ConfigureAnalyses, IgnoreSectionsExemptsCallerSections) {
+  ConfigurableOptions options;
+  options.ignore_sections = {"session"};
+  auto analyses = configure_analyses(
+      make_config({{"session.ranks", "4"},
+                   {"session.not_even_a_real_key", "x"},
+                   {"statistics.enabled", "true"}}),
+      options);
+  ASSERT_TRUE(analyses.ok());
+  EXPECT_EQ(analyses->size(), 1u);
+
+  // Without the exemption the same config is an unknown-section error.
+  auto strict = configure_analyses(make_config({{"session.ranks", "4"}}));
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigureAnalyses, ValidationRunsBeforeConstruction) {
+  // A config that both enables a valid analysis and typos another key
+  // must fail as a whole — partial configuration is worse than none.
+  auto analyses = configure_analyses(make_config(
+      {{"statistics.enabled", "true"}, {"autocorrelation.windw", "10"}}));
+  ASSERT_FALSE(analyses.ok());
+  EXPECT_EQ(analyses.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigureAnalyses, DisabledSectionStillValidated) {
+  // enabled=false does not excuse unknown keys: the section is parsed
+  // strictly whether or not it contributes an analysis.
+  auto analyses = configure_analyses(make_config(
+      {{"histogram.enabled", "false"}, {"histogram.bogus", "1"}}));
+  ASSERT_FALSE(analyses.ok());
+  EXPECT_EQ(analyses.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace insitu::backends

@@ -33,6 +33,35 @@ TEST(MetricKey, LabelOrderIsCanonical) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(MetricKeyWithLabel, InsertsIntoBareAndLabeledKeys) {
+  EXPECT_EQ(metric_key_with_label("pool.hits", "tenant", "t0"),
+            "pool.hits{tenant=t0}");
+  EXPECT_EQ(metric_key_with_label("x{b=1}", "a", "0"), "x{a=0,b=1}");
+  EXPECT_EQ(metric_key_with_label("x{a=1}", "b", "2"), "x{a=1,b=2}");
+  // Insertion keeps the canonical sorted form even mid-set.
+  EXPECT_EQ(metric_key_with_label("x{a=1,c=3}", "b", "2"), "x{a=1,b=2,c=3}");
+}
+
+TEST(MetricKeyWithLabel, ExistingLabelWins) {
+  // A series that already names its tenant keeps it — re-stamping must
+  // not clobber or duplicate.
+  EXPECT_EQ(metric_key_with_label("x{tenant=t0}", "tenant", "t9"),
+            "x{tenant=t0}");
+  EXPECT_EQ(metric_key_with_label("x{a=1,tenant=t0}", "tenant", "t9"),
+            "x{a=1,tenant=t0}");
+}
+
+TEST(MetricKeyWithLabel, MatchesMetricKeySerialization) {
+  EXPECT_EQ(metric_key_with_label("bridge.execute.seconds", "tenant", "t1"),
+            metric_key("bridge.execute.seconds", {{"tenant", "t1"}}));
+  EXPECT_EQ(
+      metric_key_with_label(
+          metric_key("backend.execute.seconds", {{"backend", "histogram"}}),
+          "tenant", "t1"),
+      metric_key("backend.execute.seconds",
+                 {{"backend", "histogram"}, {"tenant", "t1"}}));
+}
+
 TEST(MetricsRegistry, SameKeyReturnsSameInstrument) {
   MetricsRegistry reg;
   Counter& a = reg.counter("x", {{"k", "v"}});

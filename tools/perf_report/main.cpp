@@ -281,6 +281,7 @@ int main(int argc, char** argv) {
       std::fputs(render_metrics_table(*metrics).c_str(), stdout);
       std::fputs(render_pool_table(*metrics).c_str(), stdout);
       std::fputs(render_kernel_table(*metrics).c_str(), stdout);
+      std::fputs(render_tenant_table(*metrics).c_str(), stdout);
       break;
     }
   }
@@ -291,6 +292,7 @@ int main(int argc, char** argv) {
     std::fputs(render_metrics_table(*metrics).c_str(), stdout);
     std::fputs(render_pool_table(*metrics).c_str(), stdout);
     std::fputs(render_kernel_table(*metrics).c_str(), stdout);
+    std::fputs(render_tenant_table(*metrics).c_str(), stdout);
   }
 
   if (cfg.has("write-baseline")) {
