@@ -13,18 +13,27 @@
 //
 //   service_throughput [sessions=32] [tenants=4] [runners=8] [steps=6]
 //                      [grid=12] [session_ranks=2] [policy=queue]
-//                      [sched=threads|mn] [--metrics F] [--baseline F]
-//                      [--trace F]
+//                      [sched=threads|mn] [live=stream.jsonl]
+//                      [--metrics F] [--baseline F] [--trace F]
+//
+// `live=<path>` runs an extra phase with a TelemetryHub attached to the
+// service: frames stream to <path> (tail with `perf_report --follow`), a
+// health rule watches the quota-overage counter, and a seeded runtime
+// breach must fire >= 1 obs.health.alert, leave a parseable flight dump
+// at <path>.flight, and degrade the breaching tenant's next session.
 //
 // Exit codes: 0 ok, 1 gate failure (lost session, identity mismatch,
-// missing admission metric), 2 usage error.
+// missing admission metric, missing alert/dump), 2 usage error.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/live/telemetry_hub.hpp"
 #include "service/session_manager.hpp"
 
 namespace insitu::bench {
@@ -189,6 +198,139 @@ int run(int argc, const char* const* argv) {
   if (!saw_rejection) {
     std::fprintf(stderr, "quota gate: no %s metric\n", rejected_key.c_str());
     return 1;
+  }
+
+  // ---- live telemetry phase ----
+  // A second, smaller service run with a TelemetryHub attached. The
+  // breach session passes admission (the estimate ignores analysis
+  // config) but its autocorrelation windows allocate several MiB of
+  // tracked history against a 1 MiB quota, so the runtime overage is
+  // deterministic: service.quota.overage_runs fires the health rule,
+  // the service dumps the flight recorder, and the rule's
+  // action=degrade demotes the tenant's next session.
+  const std::string live_path = args.get_string_or("live", "");
+  if (!live_path.empty()) {
+    const std::string dump_path = live_path + ".flight";
+    pal::Config health;
+    health.set("health.interval_ms",
+               std::to_string(args.get_int_or("live_interval_ms", 5)));
+    health.set("health.stream", live_path);
+    health.set("health.dump", dump_path);
+    health.set("health.rule.overage",
+               "service.quota.overage_runs > 0 action=degrade");
+    obs::live::TelemetryOptions live_options;
+    if (const Status parsed =
+            obs::live::parse_telemetry_config(health, live_options);
+        !parsed.ok()) {
+      std::fprintf(stderr, "live: %s\n", parsed.to_string().c_str());
+      return 2;
+    }
+    obs::live::TelemetryHub hub(live_options);
+    if (const Status started = hub.start(); !started.ok()) {
+      std::fprintf(stderr, "live: %s\n", started.to_string().c_str());
+      return 1;
+    }
+
+    comm::RunReport live_report;
+    live_report.seed = 7;
+    {
+      service::ServiceOptions live_service = options;
+      live_service.runners = 2;
+      service::SessionManager live_manager(live_service);
+      live_manager.attach_telemetry(&hub);
+
+      service::SessionSpec breach = make_spec(0, 1, ranks, grid, 2);
+      breach.tenant = "hog";
+      breach.name = "hog/breach";
+      breach.quota_bytes = std::size_t{1} << 20;  // 1 MiB
+      breach.analyses.set("autocorrelation.enabled", "true");
+      breach.analyses.set("autocorrelation.window", "64");
+      breach.analyses.set("autocorrelation.k", "1");
+      const auto breach_id = live_manager.submit(breach);
+      if (!breach_id.ok()) {
+        std::fprintf(stderr, "live: breach submit failed: %s\n",
+                     breach_id.status().to_string().c_str());
+        return 1;
+      }
+      auto breach_status = live_manager.wait(*breach_id);
+      if (!breach_status.ok() ||
+          breach_status->state != service::SessionState::kCompleted) {
+        std::fprintf(stderr, "live: breach session did not complete\n");
+        return 1;
+      }
+      // The overage counter is updated before wait() returns; a
+      // synchronous tick makes the rule firing deterministic (the
+      // per-(rule,key) edge latch keeps a double tick harmless).
+      hub.tick_now();
+      if (hub.alerts_fired() < 1) {
+        std::fprintf(stderr, "live: quota breach fired no health alert\n");
+        return 1;
+      }
+      const std::vector<std::string> degraded =
+          live_manager.degrade_requested_tenants();
+      if (std::find(degraded.begin(), degraded.end(), "hog") ==
+          degraded.end()) {
+        std::fprintf(stderr,
+                     "live: action=degrade left no standing request\n");
+        return 1;
+      }
+      service::SessionSpec after = make_spec(0, 1, ranks, grid, 2);
+      after.tenant = "hog";
+      after.name = "hog/after-breach";
+      const auto after_id = live_manager.submit(after);
+      if (!after_id.ok()) {
+        std::fprintf(stderr, "live: post-breach submit failed\n");
+        return 1;
+      }
+      auto after_status = live_manager.wait(*after_id);
+      if (!after_status.ok() || !after_status->degraded) {
+        std::fprintf(stderr,
+                     "live: post-breach session was not degraded\n");
+        return 1;
+      }
+      live_manager.wait_all();
+      live_report.metrics = live_manager.metrics();
+    }  // manager dtor joins runners: the quota-breach dump is on disk
+    hub.stop();  // final frame
+
+    if (hub.flight_dumps() < 1) {
+      std::fprintf(stderr, "live: no flight-recorder dump was written\n");
+      return 1;
+    }
+    std::ifstream dump(dump_path);
+    std::string dump_head;
+    std::getline(dump, dump_head);
+    if (dump_head.rfind("# insitu-flight/1", 0) != 0) {
+      std::fprintf(stderr, "live: dump %s missing insitu-flight/1 header\n",
+                   dump_path.c_str());
+      return 1;
+    }
+    std::ifstream stream(live_path);
+    std::string line;
+    std::string last;
+    std::size_t frames = 0;
+    while (std::getline(stream, line)) {
+      if (!line.empty()) {
+        ++frames;
+        last = line;
+      }
+    }
+    if (frames < 1 || last.find("\"final\":true") == std::string::npos) {
+      std::fprintf(stderr, "live: stream %s has no final frame\n",
+                   live_path.c_str());
+      return 1;
+    }
+    // Hub self-accounting + alert counters ride along in the recorded
+    // metrics so --metrics dumps (and CI greps) see obs.health.alert.
+    obs::merge_into(live_report.metrics, hub.hub_metrics());
+    obs.record("live/breach", live_report);
+    std::printf(
+        "live: %zu frame(s) -> %s, %llu alert(s), %llu dump(s) -> %s, "
+        "hub busy %.6fs\n",
+        frames, live_path.c_str(),
+        static_cast<unsigned long long>(hub.alerts_fired()),
+        static_cast<unsigned long long>(hub.flight_dumps()),
+        dump_path.c_str(), hub.busy_seconds());
   }
 
   // ---- report ----

@@ -41,8 +41,24 @@ const std::vector<SectionSpec>& known_sections() {
       {"extract",
        {"enabled", "array", "kind", "axis", "value", "every", "output"}},
       {"libsim", {"enabled", "every", "session", "output"}},
+      // Live-telemetry health rules (src/obs/live, docs/OBSERVABILITY.md).
+      // `rule.*` is a wildcard: any `rule.<name>` key is accepted here and
+      // parsed strictly by obs::live::parse_health_rules.
+      {"health",
+       {"interval_ms", "stream", "dump", "flight_events", "rule.*"}},
   };
   return *specs;
+}
+
+/// Key-table match: exact, or `prefix.*` wildcard covering `prefix.<x>`.
+bool key_matches(const char* pattern, const std::string& key) {
+  const std::string_view p(pattern);
+  if (p.size() >= 2 && p.substr(p.size() - 2) == ".*") {
+    const std::string_view prefix = p.substr(0, p.size() - 1);  // "rule."
+    return key.size() > prefix.size() &&
+           std::string_view(key).substr(0, prefix.size()) == prefix;
+  }
+  return key == p;
 }
 
 std::string join_names(const std::vector<const char*>& names) {
@@ -79,7 +95,7 @@ Status validate_config(const pal::Config& config,
     }
     const bool known =
         std::any_of(spec->keys.begin(), spec->keys.end(),
-                    [&suffix](const char* k) { return suffix == k; });
+                    [&suffix](const char* k) { return key_matches(k, suffix); });
     if (!known) {
       return Status::InvalidArgument(
           "unknown key '" + key + "' in section '[" + section +

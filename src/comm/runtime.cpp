@@ -11,6 +11,7 @@
 #include "exec/fiber.hpp"
 #include "kernels/kernels.hpp"
 #include "obs/context.hpp"
+#include "obs/live/telemetry_hub.hpp"
 #include "pal/buffer_pool.hpp"
 #include "pal/log.hpp"
 #include "pal/memory_tracker.hpp"
@@ -94,15 +95,31 @@ RunReport Runtime::run(int nranks,
     if (options.observe.trace) {
       recorder = std::make_unique<obs::TraceRecorder>(rank);
     }
+    // Live telemetry: hand the hub lock-free read access to this rank's
+    // registry plus a flight-recorder ring fed by TraceScope. Both live
+    // on this frame, so the source is unregistered before rank_main
+    // returns (the hub then retains a ring snapshot for post-run dumps).
+    obs::live::TelemetryHub* hub = options.observe.telemetry;
+    std::unique_ptr<obs::live::FlightRecorder> flight;
+    if (hub != nullptr) {
+      flight = std::make_unique<obs::live::FlightRecorder>(
+          rank, hub->options().flight_events);
+    }
     obs::RankContext obs_ctx;
     obs_ctx.rank = rank;
     obs_ctx.metrics = options.observe.metrics ? &metrics : nullptr;
     obs_ctx.trace = recorder.get();
+    obs_ctx.flight = flight.get();
     obs_ctx.virtual_now_fn = [](const void* c) {
       return static_cast<const VirtualClock*>(c)->now();
     };
     obs_ctx.virtual_clock = &clock;
     obs::ScopedRankContext scoped_ctx(obs_ctx);
+    int hub_source = 0;
+    if (hub != nullptr) {
+      hub_source = hub->register_source(rank, options.tenant.label, &metrics,
+                                        flight.get());
+    }
 
     if (options.model_startup) {
       // Job launch + library init scales with job size (per-rank share of
@@ -134,6 +151,7 @@ RunReport Runtime::run(int nranks,
     if (recorder != nullptr) {
       rank_events[static_cast<std::size_t>(rank)] = recorder->take_events();
     }
+    if (hub != nullptr) hub->unregister_source(hub_source);
   };
 
   if (options.sched.backend == SchedBackend::kThreads) {

@@ -27,6 +27,10 @@
 #include "pal/buffer_pool.hpp"
 #include "pal/memory_tracker.hpp"
 
+namespace insitu::obs::live {
+class TelemetryHub;
+}
+
 namespace insitu::comm {
 
 /// Statistics reported by each rank at the end of a run.
@@ -72,6 +76,12 @@ class Runtime {
     struct Observe {
       bool metrics = true;
       bool trace = false;
+      /// Live streaming telemetry (src/obs/live). When set, every rank
+      /// registers its registry + a flight-recorder ring with the hub
+      /// for the duration of its body; the hub snapshots them in flight.
+      /// Never perturbs virtual clocks (bench/ablation_telemetry gates
+      /// bit-identity with the hub on and off).
+      obs::live::TelemetryHub* telemetry = nullptr;
     } observe;
     /// Scheduler backend and its tuning knobs. The backend default is the
     /// process default (INSITU_SCHED, or whatever the CLI layer set via

@@ -105,6 +105,22 @@ bool is_baseline_json(const Json& root) {
 StatusOr<Baseline> read_baseline(std::string_view text) {
   INSITU_ASSIGN_OR_RETURN(Json root, parse_json(text));
   if (!is_baseline_json(root)) {
+    // Distinguish "wrong schema VERSION" from "not a baseline at all":
+    // a versioned mismatch is a FailedPrecondition the CLI maps to a
+    // dedicated exit code with both versions named, so stale baselines
+    // fail loudly instead of rendering an empty report.
+    if (root.is_object()) {
+      if (const Json* schema = root.find("schema");
+          schema != nullptr && schema->kind == Json::Kind::kString &&
+          schema->string.rfind("insitu-bench-baseline/", 0) == 0 &&
+          schema->string != kBaselineSchema) {
+        return Status::FailedPrecondition(
+            "baseline schema version mismatch: file has \"" +
+            schema->string + "\", this tool reads \"" +
+            std::string(kBaselineSchema) +
+            "\" — regenerate the baseline with the matching tool version");
+      }
+    }
     return Status::InvalidArgument(
         "not a baseline file (expected schema \"" +
         std::string(kBaselineSchema) + "\")");

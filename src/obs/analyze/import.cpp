@@ -11,6 +11,16 @@ namespace insitu::obs::analyze {
 
 namespace {
 
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
 /// Same fixed formatting as the exporters (metrics_io.cpp), so parsed
 /// values re-serialize byte-identically.
 std::string format_num(double value) {
@@ -98,6 +108,15 @@ StatusOr<ImportedTrace> import_chrome_trace(std::string_view text) {
   }
   ImportedTrace out;
   if (const Json* meta = root.find("metadata"); meta != nullptr) {
+    if (const Json* schema = meta->find("schema");
+        schema != nullptr && schema->kind == Json::Kind::kString &&
+        schema->string.rfind("insitu-trace/", 0) == 0 &&
+        schema->string != kTraceSchema) {
+      return Status::FailedPrecondition(
+          "trace schema version mismatch: dump has \"" + schema->string +
+          "\", this tool reads \"" + std::string(kTraceSchema) +
+          "\" — re-export the trace with the matching tool version");
+    }
     out.meta = meta_from_json(*meta);
     out.has_meta = true;
   }
@@ -276,6 +295,19 @@ StatusOr<MetricsTable> import_metrics_csv(std::string_view text) {
     pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
     if (line.empty()) continue;
     if (line.front() == '#') {
+      // `# insitu-metrics/N ...`: a wrong N is a versioned-schema
+      // mismatch (exit 2 in perf_report), not a silent empty table.
+      const std::string_view body = trim_view(line.substr(1));
+      if (body.rfind("insitu-metrics/", 0) == 0 &&
+          body.substr(0, std::string_view(kMetricsSchema).size()) !=
+              kMetricsSchema) {
+        const std::size_t end = body.find(' ');
+        return Status::FailedPrecondition(
+            "metrics schema version mismatch: dump has \"" +
+            std::string(body.substr(0, end)) + "\", this tool reads \"" +
+            std::string(kMetricsSchema) +
+            "\" — re-export the dump with the matching tool version");
+      }
       out.meta = parse_csv_meta(line);
       out.has_meta = true;
       continue;
@@ -324,6 +356,15 @@ StatusOr<MetricsTable> import_metrics_json(std::string_view text) {
   MetricsTable out;
   const Json* series = &root;
   if (root.is_object()) {
+    if (const Json* schema = root.find("schema");
+        schema != nullptr && schema->kind == Json::Kind::kString &&
+        schema->string.rfind("insitu-metrics/", 0) == 0 &&
+        schema->string != kMetricsSchema) {
+      return Status::FailedPrecondition(
+          "metrics schema version mismatch: dump has \"" + schema->string +
+          "\", this tool reads \"" + std::string(kMetricsSchema) +
+          "\" — re-export the dump with the matching tool version");
+    }
     if (const Json* meta = root.find("meta"); meta != nullptr) {
       out.meta = meta_from_json(*meta);
       out.has_meta = true;

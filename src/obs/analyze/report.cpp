@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "pal/table.hpp"
 
 namespace insitu::obs::analyze {
@@ -227,19 +228,20 @@ std::string render_kernel_table(const MetricsTable& metrics) {
     rows.push_back(KernelRow{run, kernel, variant, 0, 0, 0});
     return rows.back();
   };
-  auto label_value = [](const std::string& labels,
-                        const std::string& key) -> std::string {
-    const std::size_t at = labels.find(key + "=");
-    if (at == std::string::npos) return "";
-    const std::size_t from = at + key.size() + 1;
-    return labels.substr(from, labels.find_first_of(",}", from) - from);
+  auto label_value = [](const obs::Labels& labels,
+                        std::string_view key) -> std::string {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return v;
+    }
+    return "";
   };
   for (const MetricsRow& row : metrics.rows) {
     if (row.metric.rfind("kernels.", 0) != 0) continue;
-    const std::size_t brace = row.metric.find('{');
-    if (brace == std::string::npos) continue;
-    const std::string field = row.metric.substr(0, brace);
-    const std::string labels = row.metric.substr(brace);
+    std::string field;
+    obs::Labels labels;
+    if (!obs::parse_metric_key(row.metric, field, labels) || labels.empty()) {
+      continue;
+    }
     const std::string kernel = label_value(labels, "kernel");
     const std::string variant = label_value(labels, "variant");
     if (kernel.empty() || variant.empty()) continue;
@@ -286,18 +288,19 @@ std::string render_tenant_table(const MetricsTable& metrics) {
     rows.push_back(TenantRow{run, tenant});
     return rows.back();
   };
-  auto label_value = [](const std::string& labels,
-                        const std::string& key) -> std::string {
-    const std::size_t at = labels.find(key + "=");
-    if (at == std::string::npos) return "";
-    const std::size_t from = at + key.size() + 1;
-    return labels.substr(from, labels.find_first_of(",}", from) - from);
+  auto label_value = [](const obs::Labels& labels,
+                        std::string_view key) -> std::string {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return v;
+    }
+    return "";
   };
   for (const MetricsRow& row : metrics.rows) {
-    const std::size_t brace = row.metric.find('{');
-    if (brace == std::string::npos) continue;
-    const std::string field = row.metric.substr(0, brace);
-    const std::string labels = row.metric.substr(brace);
+    std::string field;
+    obs::Labels labels;
+    if (!obs::parse_metric_key(row.metric, field, labels) || labels.empty()) {
+      continue;
+    }
     const std::string tenant = label_value(labels, "tenant");
     if (tenant.empty()) continue;
     TenantRow& cell = row_for(row.run, tenant);

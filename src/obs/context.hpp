@@ -17,10 +17,18 @@ namespace insitu::obs {
 class MetricsRegistry;
 class TraceRecorder;
 
+namespace live {
+class FlightRecorder;
+}
+
 struct RankContext {
   int rank = 0;
   MetricsRegistry* metrics = nullptr;  // null -> process fallback registry
   TraceRecorder* trace = nullptr;      // null -> tracing disabled
+  /// Optional flight-recorder ring fed by TraceScope even when full
+  /// tracing is off (installed by the Runtime when a TelemetryHub is
+  /// attached). Migrates with the rest of the context on fiber resume.
+  live::FlightRecorder* flight = nullptr;
   /// Open TraceScope count on this thread; each span records the value at
   /// its construction as its nesting depth, making parent/child structure
   /// exact (and deterministic) for offline analysis.

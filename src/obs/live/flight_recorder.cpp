@@ -1,0 +1,117 @@
+#include "obs/live/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace insitu::obs::live {
+
+FlightRecorder::FlightRecorder(int rank, std::size_t capacity)
+    : rank_(rank),
+      capacity_(std::max<std::size_t>(capacity, 1)),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.resize(capacity_);
+}
+
+std::int64_t FlightRecorder::wall_now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void FlightRecorder::push(std::string_view name, Category category, int depth,
+                          std::int64_t wall_begin_ns, std::int64_t wall_dur_ns,
+                          double virt_begin_s, double virt_dur_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlightEvent& slot = ring_[seq_ % capacity_];
+  const std::size_t n =
+      std::min(name.size(), FlightEvent::kNameCapacity - 1);
+  std::memcpy(slot.name, name.data(), n);
+  slot.name[n] = '\0';
+  slot.category = category;
+  slot.depth = depth;
+  slot.wall_begin_ns = wall_begin_ns;
+  slot.wall_dur_ns = wall_dur_ns;
+  slot.virt_begin_s = virt_begin_s;
+  slot.virt_dur_s = virt_dur_s;
+  slot.seq = seq_;
+  ++seq_;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightEvent> out;
+  const std::uint64_t retained =
+      std::min<std::uint64_t>(seq_, capacity_);
+  out.reserve(retained);
+  for (std::uint64_t i = seq_ - retained; i < seq_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+std::string format_flight_dump(std::string_view reason,
+                               const std::vector<FlightSnapshot>& rings,
+                               const MetricsSnapshot& metrics) {
+  std::ostringstream out;
+  out << "# insitu-flight/1 reason=" << reason << " rings=" << rings.size()
+      << " metrics=" << metrics.size() << '\n';
+  char buf[256];
+  for (const FlightSnapshot& ring : rings) {
+    const std::uint64_t dropped =
+        ring.total_recorded - std::min<std::uint64_t>(ring.total_recorded,
+                                                      ring.events.size());
+    out << "== rank " << ring.rank;
+    if (!ring.tenant.empty()) out << " tenant=" << ring.tenant;
+    out << " events=" << ring.events.size() << " dropped=" << dropped
+        << " ==\n";
+    for (const FlightEvent& e : ring.events) {
+      std::snprintf(buf, sizeof(buf),
+                    "seq=%llu cat=%s depth=%d virt=%.9f+%.9fs "
+                    "wall=%lld+%lldns name=%s\n",
+                    static_cast<unsigned long long>(e.seq),
+                    to_string(e.category), e.depth, e.virt_begin_s,
+                    e.virt_dur_s,
+                    static_cast<long long>(e.wall_begin_ns),
+                    static_cast<long long>(e.wall_dur_ns), e.name);
+      out << buf;
+    }
+  }
+  out << "== metrics ==\n";
+  for (const MetricSample& s : metrics) {
+    out << s.key << ' ' << to_string(s.kind);
+    if (s.kind == MetricKind::kHistogram) {
+      std::snprintf(buf, sizeof(buf),
+                    " count=%llu sum=%.9g min=%.9g max=%.9g p50=%.9g "
+                    "p99=%.9g\n",
+                    static_cast<unsigned long long>(s.count), s.sum, s.min,
+                    s.max, histogram_quantile(s, 0.50),
+                    histogram_quantile(s, 0.99));
+    } else {
+      std::snprintf(buf, sizeof(buf), " value=%.9g\n", s.value);
+    }
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace insitu::obs::live
+
+namespace insitu::obs::detail {
+
+std::int64_t flight_wall_now_ns(const live::FlightRecorder* flight) {
+  return flight == nullptr ? 0 : flight->wall_now_ns();
+}
+
+void flight_record(live::FlightRecorder* flight, const TraceEvent& event) {
+  flight->push(event.name, event.category, event.depth, event.wall_begin_ns,
+               event.wall_dur_ns, event.virt_begin_s, event.virt_dur_s);
+}
+
+}  // namespace insitu::obs::detail

@@ -1,0 +1,90 @@
+#pragma once
+
+// Per-rank flight recorder: a fixed-size ring of the most recent span
+// events, kept even when full tracing is off. The TelemetryHub snapshots
+// rings on demand — quota breach, session cancel, fatal signal — so a
+// silently misbehaving run still leaves an actionable "last N spans per
+// rank" trace (docs/OBSERVABILITY.md, flight-recorder dump format).
+//
+// Writes come from the owning rank's TraceScope destructor; snapshots
+// come from the hub thread. A plain mutex keeps both sides race-free:
+// span completion is coarse (per bridge/analysis phase, not per element),
+// so an uncontended lock per push is well inside the telemetry overhead
+// budget that bench/ablation_telemetry gates.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace insitu::obs::live {
+
+/// One recorded span, fixed-size so ring slots never allocate.
+struct FlightEvent {
+  static constexpr std::size_t kNameCapacity = 48;
+
+  char name[kNameCapacity] = {};  // NUL-terminated, truncated if longer
+  Category category = Category::kOther;
+  int depth = 0;
+  std::int64_t wall_begin_ns = 0;
+  std::int64_t wall_dur_ns = 0;
+  double virt_begin_s = 0.0;
+  double virt_dur_s = 0.0;
+  std::uint64_t seq = 0;  // monotonically increasing per recorder
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(int rank, std::size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  int rank() const { return rank_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Nanoseconds since this recorder's construction (its wall epoch).
+  std::int64_t wall_now_ns() const;
+
+  void push(std::string_view name, Category category, int depth,
+            std::int64_t wall_begin_ns, std::int64_t wall_dur_ns,
+            double virt_begin_s, double virt_dur_s);
+
+  /// Retained events, oldest first.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Total pushes ever (snapshot().size() caps at capacity; the
+  /// difference is the number of dropped-oldest events).
+  std::uint64_t total_recorded() const;
+
+ private:
+  const int rank_;
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<FlightEvent> ring_;  // ring_[seq_ % capacity_] is next slot
+  std::uint64_t seq_ = 0;
+};
+
+/// Snapshot of one (possibly already finished) rank's ring, the unit the
+/// hub retains for post-run dumps.
+struct FlightSnapshot {
+  int rank = 0;
+  std::string tenant;
+  std::uint64_t total_recorded = 0;
+  std::vector<FlightEvent> events;
+};
+
+/// Render snapshots + a metrics snapshot as the parseable text dump
+/// format (header line `# insitu-flight/1 reason=...`, one `== rank R ==`
+/// block per ring, one `key kind ...` line per metric).
+std::string format_flight_dump(std::string_view reason,
+                               const std::vector<FlightSnapshot>& rings,
+                               const MetricsSnapshot& metrics);
+
+}  // namespace insitu::obs::live

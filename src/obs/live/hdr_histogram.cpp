@@ -1,0 +1,129 @@
+#include "obs/live/hdr_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace insitu::obs::live {
+
+namespace {
+
+/// Octave upper bound, same grid as obs::Histogram buckets.
+double octave_upper(int octave) {
+  return std::ldexp(1.0, octave + kHistogramMinExp);
+}
+
+double octave_lower(int octave) {
+  return octave == 0 ? 0.0 : octave_upper(octave - 1);
+}
+
+/// Flat sub-bucket index for a value; 0 absorbs non-positive samples.
+int hdr_index(double value) {
+  if (!(value > 0.0)) return 0;
+  const int exp = static_cast<int>(std::ceil(std::log2(value)));
+  const int octave = std::clamp(exp - kHistogramMinExp, 0,
+                                kHistogramBuckets - 1);
+  const double lo = octave_lower(octave);
+  const double hi = octave_upper(octave);
+  int sub = 0;
+  if (hi > lo) {
+    sub = static_cast<int>((value - lo) / (hi - lo) *
+                           static_cast<double>(kSubBuckets));
+    sub = std::clamp(sub, 0, kSubBuckets - 1);
+  }
+  return octave * kSubBuckets + sub;
+}
+
+double sub_lower(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const double lo = octave_lower(octave);
+  const double hi = octave_upper(octave);
+  return lo + (hi - lo) * static_cast<double>(sub) /
+                  static_cast<double>(kSubBuckets);
+}
+
+double sub_upper(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const double lo = octave_lower(octave);
+  const double hi = octave_upper(octave);
+  return lo + (hi - lo) * static_cast<double>(sub + 1) /
+                  static_cast<double>(kSubBuckets);
+}
+
+}  // namespace
+
+void HdrHistogram::record(double value) { record_n(value, 1); }
+
+void HdrHistogram::record_n(double value, std::uint64_t n) {
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+  buckets_[static_cast<std::size_t>(hdr_index(value))] += n;
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kHdrBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+}
+
+HdrHistogram HdrHistogram::from_sample(const MetricSample& sample) {
+  HdrHistogram out;
+  if (sample.count == 0) return out;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    const std::uint64_t n = sample.buckets[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    const double lo = octave_lower(i);
+    const double hi = octave_upper(i);
+    const double mid = lo == 0.0 ? hi * 0.5 : std::sqrt(lo * hi);
+    out.buckets_[static_cast<std::size_t>(hdr_index(mid))] += n;
+  }
+  // Exact moments survive the conversion even though bucket placement is
+  // midpoint-approximated.
+  out.count_ = sample.count;
+  out.sum_ = sample.sum;
+  out.min_ = sample.min;
+  out.max_ = sample.max;
+  return out;
+}
+
+double HdrHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kHdrBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const double lo = sub_lower(i);
+      const double hi = sub_upper(i);
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return std::clamp(lo + (hi - lo) * frac, min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+}  // namespace insitu::obs::live

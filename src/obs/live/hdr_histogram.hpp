@@ -1,0 +1,63 @@
+#pragma once
+
+// Log-linear ("HDR-style") histogram for live latency aggregation.
+//
+// obs::Histogram keeps one bucket per power of two, which is cheap enough
+// for always-on rank instrumentation but too coarse for a live status
+// table (a p99 that can only move in 2x steps is not actionable). The
+// TelemetryHub aggregates rank histograms into this structure instead:
+// every power-of-two octave is subdivided into kSubBuckets linear
+// sub-buckets, giving a bounded ~12% relative quantile error across the
+// same dynamic range while staying mergeable (bucket-wise addition, the
+// property the hub relies on to combine per-rank and per-tenant series).
+//
+// from_sample() converts a coarse MetricSample by crediting each pow-2
+// bucket's count to the sub-bucket holding the bucket's geometric
+// midpoint — quantiles of the result are resolution-limited by the
+// source, but merge/quantile behave uniformly either way.
+
+#include <array>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace insitu::obs::live {
+
+/// Linear sub-buckets per power-of-two octave.
+inline constexpr int kSubBuckets = 8;
+inline constexpr int kHdrBuckets = kHistogramBuckets * kSubBuckets;
+
+class HdrHistogram {
+ public:
+  void record(double value);
+  void record_n(double value, std::uint64_t n);
+
+  /// Add `other` bucket-wise; count/sum add, min/max widen.
+  void merge(const HdrHistogram& other);
+
+  /// Coarse pow-2 sample -> HDR (geometric-midpoint crediting).
+  static HdrHistogram from_sample(const MetricSample& sample);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Value estimate at quantile q in [0, 1]; linear interpolation inside
+  /// the hit sub-bucket, clamped to [min, max]. 0.0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;  // valid only when count_ > 0
+  double max_ = 0.0;
+  std::array<std::uint64_t, kHdrBuckets> buckets_{};
+};
+
+}  // namespace insitu::obs::live

@@ -33,6 +33,29 @@ void atomic_update_max(std::atomic<double>& slot, double value) {
 
 }  // namespace
 
+namespace {
+
+/// A label value needs quoting whenever it contains a character the
+/// `{k=v,...}` grammar assigns meaning to (or quote/escape chars).
+bool value_needs_quoting(std::string_view value) {
+  return value.find_first_of(",={}\"\\") != std::string_view::npos;
+}
+
+void append_label_value(std::string& key, std::string_view value) {
+  if (!value_needs_quoting(value)) {
+    key += value;
+    return;
+  }
+  key += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') key += '\\';
+    key += c;
+  }
+  key += '"';
+}
+
+}  // namespace
+
 std::string metric_key(std::string_view name, const Labels& labels) {
   std::string key(name);
   if (labels.empty()) return key;
@@ -46,10 +69,60 @@ std::string metric_key(std::string_view name, const Labels& labels) {
     if (i > 0) key += ',';
     key += sorted[i].first;
     key += '=';
-    key += sorted[i].second;
+    append_label_value(key, sorted[i].second);
   }
   key += '}';
   return key;
+}
+
+bool parse_metric_key(std::string_view key, std::string& name,
+                      Labels& labels) {
+  labels.clear();
+  const std::size_t brace = key.find('{');
+  name.assign(key.substr(0, brace == std::string_view::npos ? key.size()
+                                                            : brace));
+  if (brace == std::string_view::npos) return true;
+  std::string_view body = key.substr(brace + 1);
+  if (body.empty() || body.back() != '}') return false;
+  body.remove_suffix(1);
+  while (!body.empty()) {
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) return false;
+    std::string k(body.substr(0, eq));
+    body.remove_prefix(eq + 1);
+    std::string v;
+    if (!body.empty() && body.front() == '"') {
+      // Quoted value: scan to the closing quote honoring backslash
+      // escapes, then expect a comma or end-of-body.
+      body.remove_prefix(1);
+      bool closed = false;
+      while (!body.empty()) {
+        const char c = body.front();
+        body.remove_prefix(1);
+        if (c == '\\') {
+          if (body.empty()) return false;
+          v += body.front();
+          body.remove_prefix(1);
+        } else if (c == '"') {
+          closed = true;
+          break;
+        } else {
+          v += c;
+        }
+      }
+      if (!closed) return false;
+      if (!body.empty()) {
+        if (body.front() != ',') return false;
+        body.remove_prefix(1);
+      }
+    } else {
+      const std::size_t comma = std::min(body.find(','), body.size());
+      v.assign(body.substr(0, comma));
+      body.remove_prefix(comma == body.size() ? comma : comma + 1);
+    }
+    labels.emplace_back(std::move(k), std::move(v));
+  }
+  return true;
 }
 
 std::string metric_key_with_label(std::string_view key, std::string_view label,
@@ -61,24 +134,17 @@ std::string metric_key_with_label(std::string_view key, std::string_view label,
   // Parse the existing canonical "{k=v,...}" suffix back into labels,
   // add ours (existing wins on collision), and re-serialize so the
   // result is canonical again.
+  std::string name;
   Labels labels;
-  std::string_view body = key.substr(brace + 1);
-  if (!body.empty() && body.back() == '}') body.remove_suffix(1);
-  while (!body.empty()) {
-    const std::size_t comma = std::min(body.find(','), body.size());
-    const std::string_view pair = body.substr(0, comma);
-    const std::size_t eq = pair.find('=');
-    if (eq != std::string_view::npos) {
-      labels.emplace_back(std::string(pair.substr(0, eq)),
-                          std::string(pair.substr(eq + 1)));
-    }
-    body.remove_prefix(comma == body.size() ? comma : comma + 1);
+  if (!parse_metric_key(key, name, labels)) {
+    // Malformed suffix: leave the key untouched rather than guess.
+    return std::string(key);
   }
   for (const auto& [k, v] : labels) {
     if (k == label) return std::string(key);  // caller's label loses
   }
   labels.emplace_back(std::string(label), std::string(value));
-  return metric_key(key.substr(0, brace), labels);
+  return metric_key(name, labels);
 }
 
 void Histogram::record(double value) {

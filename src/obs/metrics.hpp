@@ -34,8 +34,17 @@ namespace insitu::obs {
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Serialized series identity: `name` or `name{k=v,k2=v2}` with labels in
-/// canonical (sorted) order regardless of insertion order.
+/// canonical (sorted) order regardless of insertion order. Label values
+/// containing metachars (`,` `=` `{` `}` `"` `\`) are double-quoted with
+/// backslash escapes — `name{k="a,b"}` — so keys always re-parse.
 std::string metric_key(std::string_view name, const Labels& labels);
+
+/// Inverse of metric_key(): split `name{k=v,...}` into the bare name and
+/// its label pairs (quoted values are unescaped). Plain keys yield empty
+/// labels. Returns false on malformed label syntax (the name is still
+/// filled with the text before `{`).
+bool parse_metric_key(std::string_view key, std::string& name,
+                      Labels& labels);
 
 /// Insert one label into an already-serialized key, keeping the result
 /// canonical (`pool.hits` -> `pool.hits{tenant=t0}`, `x{b=1}` ->

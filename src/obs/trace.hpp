@@ -120,8 +120,17 @@ class TraceRecorder {
   std::vector<TraceEvent> events_;
 };
 
+namespace detail {
+/// Out-of-line flight-ring hooks (defined in live/flight_recorder.cpp) so
+/// this header does not depend on the live module.
+std::int64_t flight_wall_now_ns(const live::FlightRecorder* flight);
+void flight_record(live::FlightRecorder* flight, const TraceEvent& event);
+}  // namespace detail
+
 /// RAII span guard. Construction snapshots wall + virtual begin times,
-/// destruction records the completed event into the rank's recorder.
+/// destruction records the completed event into the rank's recorder
+/// and/or the rank's flight-recorder ring. With neither installed the
+/// scope is a no-op costing two thread-local reads.
 class TraceScope {
  public:
   TraceScope(Category category, const char* name)
@@ -130,18 +139,24 @@ class TraceScope {
   TraceScope(Category category, std::string name) {
     RankContext& ctx = context();
     recorder_ = ctx.trace;
-    if (recorder_ == nullptr) return;
+    flight_ = ctx.flight;
+    if (recorder_ == nullptr && flight_ == nullptr) return;
     event_.name = std::move(name);
     event_.category = category;
     event_.depth = ctx.span_depth++;
-    event_.wall_begin_ns = recorder_->wall_now_ns();
+    // With both sinks active the recorder's epoch wins, so trace and
+    // flight timestamps stay mutually comparable.
+    event_.wall_begin_ns = recorder_ != nullptr
+                               ? recorder_->wall_now_ns()
+                               : detail::flight_wall_now_ns(flight_);
     event_.virt_begin_s = ctx.virtual_now();
   }
 
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
-  /// Attach a numeric annotation (no-op when tracing is disabled).
+  /// Attach a numeric annotation (no-op when tracing is disabled;
+  /// flight events are fixed-size and carry no args).
   TraceScope& arg(const char* key, double value) {
     if (recorder_ != nullptr) event_.args.push_back({key, value});
     return *this;
@@ -150,15 +165,20 @@ class TraceScope {
   bool active() const { return recorder_ != nullptr; }
 
   ~TraceScope() {
-    if (recorder_ == nullptr) return;
+    if (recorder_ == nullptr && flight_ == nullptr) return;
     --context().span_depth;
-    event_.wall_dur_ns = recorder_->wall_now_ns() - event_.wall_begin_ns;
+    const std::int64_t wall_now = recorder_ != nullptr
+                                      ? recorder_->wall_now_ns()
+                                      : detail::flight_wall_now_ns(flight_);
+    event_.wall_dur_ns = wall_now - event_.wall_begin_ns;
     event_.virt_dur_s = context().virtual_now() - event_.virt_begin_s;
-    recorder_->record(std::move(event_));
+    if (flight_ != nullptr) detail::flight_record(flight_, event_);
+    if (recorder_ != nullptr) recorder_->record(std::move(event_));
   }
 
  private:
   TraceRecorder* recorder_ = nullptr;
+  live::FlightRecorder* flight_ = nullptr;
   TraceEvent event_;
 };
 

@@ -101,8 +101,13 @@ StatusOr<SessionResult> run_session_pipeline(const SessionSpec& spec,
                                              const SessionRunContext& context) {
   backends::ConfigurableOptions configurable;
   configurable.ignore_sections = {"session"};
-  INSITU_ASSIGN_OR_RETURN(
-      auto analyses, backends::configure_analyses(spec.analyses, configurable));
+  {
+    // Validate the analysis config before the run starts so a bad spec
+    // is a clean error here, not a mid-run failure on every rank.
+    INSITU_ASSIGN_OR_RETURN(
+        auto probe, backends::configure_analyses(spec.analyses, configurable));
+    (void)probe;
+  }
 
   comm::Runtime::Options options;
   options.machine = comm::machine_by_name(spec.machine);
@@ -110,6 +115,7 @@ StatusOr<SessionResult> run_session_pipeline(const SessionSpec& spec,
   options.sched.backend = context.sched;
   options.sched.workers = context.sched_workers;
   options.observe.trace = context.trace;
+  options.observe.telemetry = context.telemetry;
   options.tenant.label = context.tenant_label;
   options.tenant.tracker = context.tenant_tracker;
   options.tenant.pool = context.pool;
@@ -138,8 +144,18 @@ StatusOr<SessionResult> run_session_pipeline(const SessionSpec& spec,
         sim.initialize();
         miniapp::OscillatorDataAdaptor adaptor(sim);
 
+        // Each rank builds its own analysis instances. Stateful adaptors
+        // (autocorrelation history, rendering state) keep per-rank data
+        // charged to the rank's memory tracker, so one shared instance
+        // would both race across ranks and outlive the trackers its
+        // buffers are pinned to.
+        auto analyses =
+            backends::configure_analyses(spec.analyses, configurable);
+        if (!analyses.ok()) {
+          throw std::runtime_error(analyses.status().to_string());
+        }
         core::InSituBridge bridge(&comm);
-        for (const auto& analysis : analyses) bridge.add_analysis(analysis);
+        for (const auto& analysis : *analyses) bridge.add_analysis(analysis);
         if (!bridge.initialize().ok()) {
           throw std::runtime_error("bridge initialize failed");
         }

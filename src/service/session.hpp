@@ -85,6 +85,8 @@ struct SessionRunContext {
   int sched_workers = 2;
   /// Buffer every span (bench baselines); off inside the service.
   bool trace = false;
+  /// Live telemetry hub to register the session's ranks with (optional).
+  obs::live::TelemetryHub* telemetry = nullptr;
 };
 
 /// Run the session's pipeline to completion (blocking) and report.

@@ -60,6 +60,46 @@ SessionManager::~SessionManager() {
     shutdown_ = true;
   }
   runner_pool_->shutdown();
+  // Detach from the hub last: service_metrics_ must stay registered
+  // until no hub tick can read it.
+  if (hub_ != nullptr) {
+    hub_->set_alert_sink(nullptr);
+    hub_->unregister_source(hub_source_);
+  }
+}
+
+void SessionManager::attach_telemetry(obs::live::TelemetryHub* hub) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (hub_ != nullptr) {
+    hub_->set_alert_sink(nullptr);
+    hub_->unregister_source(hub_source_);
+    hub_source_ = 0;
+  }
+  hub_ = hub;
+  if (hub_ == nullptr) return;
+  // The service registry becomes an (unlabeled) hub source so [health]
+  // rules can watch service.admission / service.quota.* series; its
+  // admission counters already carry tenant= labels.
+  hub_source_ = hub_->register_source(/*rank=*/-1, /*tenant=*/"",
+                                      &service_metrics_);
+  // The sink runs on the hub's ticking thread with the hub lock held;
+  // it only touches degrade_mutex_-guarded state (see header).
+  hub_->set_alert_sink([this](const obs::live::HealthAlert& alert) {
+    std::lock_guard<std::mutex> dlock(degrade_mutex_);
+    if (alert.action == obs::live::HealthAction::kDegrade &&
+        !alert.tenant.empty()) {
+      degrade_requested_.insert(alert.tenant);
+    } else if (alert.action == obs::live::HealthAction::kDump) {
+      std::string reason = "health rule " + alert.rule;
+      if (!alert.tenant.empty()) reason += " tenant=" + alert.tenant;
+      pending_dumps_.push_back(std::move(reason));
+    }
+  });
+}
+
+std::vector<std::string> SessionManager::degrade_requested_tenants() const {
+  std::lock_guard<std::mutex> lock(degrade_mutex_);
+  return {degrade_requested_.begin(), degrade_requested_.end()};
 }
 
 SessionManager::TenantState& SessionManager::tenant_locked(
@@ -170,6 +210,19 @@ StatusOr<SessionId> SessionManager::submit(const SessionSpec& spec) {
         break;
     }
   }
+  if (!session->degraded) {
+    // A standing health-rule degrade request (action=degrade) demotes
+    // the tenant's new sessions regardless of the admission policy.
+    bool degrade_requested = false;
+    {
+      std::lock_guard<std::mutex> dlock(degrade_mutex_);
+      degrade_requested = degrade_requested_.count(spec.tenant) > 0;
+    }
+    if (degrade_requested) {
+      session->degraded = true;
+      outcome = "degraded";
+    }
+  }
 
   sessions_.emplace(id, std::move(session));
   queue_.push_back(id);
@@ -246,43 +299,70 @@ void SessionManager::run_session(SessionId id) {
     context.pool = session.degraded ? &tenant.degraded_pool : &tenant.pool;
     context.sched = options_.sched;
     context.sched_workers = options_.sched_workers;
+    context.telemetry = hub_;
   }
 
   auto result = run_session_pipeline(spec, context);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  Session& session = *sessions_.at(id);
-  TenantState& tenant = *tenants_.at(spec.tenant);
-  --tenant.running;
-  --active_runners_;
-  if (result.ok()) {
-    session.state = SessionState::kCompleted;
-    session.result = std::move(*result);
-    obs::merge_into(finished_metrics_, session.result.report.metrics);
-  } else {
-    session.state = SessionState::kFailed;
-    session.message = result.status().to_string();
-  }
-  service_metrics_
-      .counter("service.sessions",
-               {{"state", to_string(session.state)}, {"tenant", spec.tenant}})
-      .add(1);
-  if (tenant.tracker.over_limit()) {
-    // A runtime overage is never fatal (the limit is soft); it is
-    // recorded so the operator — and the admission policy via queued
-    // over-commit checks — can react.
+  obs::live::TelemetryHub* hub = nullptr;
+  bool overage = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Session& session = *sessions_.at(id);
+    TenantState& tenant = *tenants_.at(spec.tenant);
+    --tenant.running;
+    --active_runners_;
+    if (result.ok()) {
+      session.state = SessionState::kCompleted;
+      session.result = std::move(*result);
+      obs::merge_into(finished_metrics_, session.result.report.metrics);
+    } else {
+      session.state = SessionState::kFailed;
+      session.message = result.status().to_string();
+    }
     service_metrics_
-        .counter("service.quota.overage_runs", {{"tenant", spec.tenant}})
+        .counter("service.sessions",
+                 {{"state", to_string(session.state)}, {"tenant", spec.tenant}})
         .add(1);
-    if (!session.message.empty()) session.message += "; ";
-    session.message += "tenant exceeded its memory quota during the run";
-    tenant.tracker.clear_over_limit();
+    if (tenant.tracker.over_limit()) {
+      // A runtime overage is never fatal (the limit is soft); it is
+      // recorded so the operator — and the admission policy via queued
+      // over-commit checks — can react.
+      service_metrics_
+          .counter("service.quota.overage_runs", {{"tenant", spec.tenant}})
+          .add(1);
+      if (!session.message.empty()) session.message += "; ";
+      session.message += "tenant exceeded its memory quota during the run";
+      tenant.tracker.clear_over_limit();
+      overage = true;
+    }
+    service_metrics_
+        .gauge("service.tenant.mem_high_water_bytes", {{"tenant", spec.tenant}})
+        .set(static_cast<double>(tenant.tracker.high_water_bytes()));
+    hub = hub_;
+    pump_locked();
+    cv_.notify_all();
   }
-  service_metrics_
-      .gauge("service.tenant.mem_high_water_bytes", {{"tenant", spec.tenant}})
-      .set(static_cast<double>(tenant.tracker.high_water_bytes()));
-  pump_locked();
-  cv_.notify_all();
+
+  if (hub != nullptr) {
+    // Publish the just-updated service.* counters promptly so watermark
+    // rules fire this tick, not a polling interval later. The synchronous
+    // tick also routes any action=dump alerts through the sink before the
+    // pending-dump drain below. All of this happens outside mutex_.
+    hub->tick_now();
+    if (overage) {
+      (void)hub->dump_flight("quota_breach tenant=" + spec.tenant +
+                             " session=" + std::to_string(id));
+    }
+    std::vector<std::string> dumps;
+    {
+      std::lock_guard<std::mutex> dlock(degrade_mutex_);
+      dumps.swap(pending_dumps_);
+    }
+    for (const std::string& reason : dumps) {
+      (void)hub->dump_flight(reason);
+    }
+  }
 }
 
 SessionStatus SessionManager::status_locked(const Session& session) const {
@@ -343,26 +423,38 @@ StatusOr<TenantStatus> SessionManager::tenant(const std::string& name) const {
 }
 
 Status SessionManager::cancel(SessionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    return Status::NotFound("no session " + std::to_string(id));
+  obs::live::TelemetryHub* hub = nullptr;
+  std::string tenant_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session " + std::to_string(id));
+    }
+    Session& session = *it->second;
+    if (session.state != SessionState::kQueued) {
+      return Status::FailedPrecondition(
+          "session " + std::to_string(id) + " is " +
+          to_string(session.state) +
+          "; only queued sessions can be cancelled");
+    }
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    session.state = SessionState::kCancelled;
+    tenant_name = session.spec.tenant;
+    --tenants_.at(tenant_name)->queued;
+    service_metrics_
+        .counter("service.sessions",
+                 {{"state", "cancelled"}, {"tenant", tenant_name}})
+        .add(1);
+    hub = hub_;
+    cv_.notify_all();
   }
-  Session& session = *it->second;
-  if (session.state != SessionState::kQueued) {
-    return Status::FailedPrecondition(
-        "session " + std::to_string(id) + " is " +
-        to_string(session.state) +
-        "; only queued sessions can be cancelled");
+  if (hub != nullptr) {
+    // A cancel is an operator-visible anomaly: leave a flight dump with
+    // whatever span/metric state the service has accumulated.
+    (void)hub->dump_flight("session_cancel tenant=" + tenant_name +
+                           " session=" + std::to_string(id));
   }
-  queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
-  session.state = SessionState::kCancelled;
-  --tenants_.at(session.spec.tenant)->queued;
-  service_metrics_
-      .counter("service.sessions",
-               {{"state", "cancelled"}, {"tenant", session.spec.tenant}})
-      .add(1);
-  cv_.notify_all();
   return Status::Ok();
 }
 

@@ -43,12 +43,14 @@
 #include <memory>
 #include <mutex>
 #include <condition_variable>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "comm/overlap.hpp"
 #include "comm/sched.hpp"
 #include "exec/task_pool.hpp"
+#include "obs/live/telemetry_hub.hpp"
 #include "obs/metrics.hpp"
 #include "service/scheduler.hpp"
 #include "service/session.hpp"
@@ -159,6 +161,21 @@ class SessionManager {
   /// with the tenant-labeled metrics of every finished session.
   obs::MetricsSnapshot metrics() const;
 
+  /// Attach a live telemetry hub (src/obs/live): the service registry
+  /// becomes a hub source (so `[health]` rules can watch service.*
+  /// series), every session's ranks register with the hub for their
+  /// run, and the hub's alerts feed back into the service —
+  /// action=degrade marks the tenant so its next submissions run
+  /// degraded, action=dump requests a flight-recorder dump. The service
+  /// additionally dumps on quota breach and session cancel. Pass null to
+  /// detach. The hub must outlive the manager or be detached first.
+  void attach_telemetry(obs::live::TelemetryHub* hub);
+
+  /// Tenants with a standing degrade request from a health rule
+  /// (`action=degrade`). Sticky for the manager's lifetime so a
+  /// misbehaving tenant does not oscillate; exposed for tests/reports.
+  std::vector<std::string> degrade_requested_tenants() const;
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -201,6 +218,17 @@ class SessionManager {
   SessionStatus status_locked(const Session& session) const;
 
   ServiceOptions options_;
+
+  /// Telemetry feedback state. Lives under its own mutex so the hub's
+  /// alert sink (invoked with the hub's lock held) never needs mutex_ —
+  /// the lock order is always mutex_ -> hub lock -> degrade_mutex_,
+  /// never a cycle (docs/OBSERVABILITY.md).
+  mutable std::mutex degrade_mutex_;
+  std::set<std::string> degrade_requested_;
+  std::vector<std::string> pending_dumps_;  // reasons from action=dump
+
+  obs::live::TelemetryHub* hub_ = nullptr;  // set once via attach_telemetry
+  int hub_source_ = 0;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -12,6 +12,7 @@
 #include "bench_common.hpp"
 #include "exec/task_pool.hpp"
 #include "obs/analyze/baseline.hpp"
+#include "obs/analyze/import.hpp"
 #include "obs/analyze/report.hpp"
 
 namespace insitu::obs::analyze {
@@ -307,6 +308,59 @@ TEST(BaselineCheck, FlagsStructuralMismatches) {
   Baseline fewer_steps = base;
   fewer_steps.runs[0].steps = 5;
   EXPECT_FALSE(check_baseline(base, fewer_steps).ok());
+}
+
+// A versioned dump from a different tool generation must fail loudly
+// with FailedPrecondition (perf_report maps it to exit 2), never parse
+// into an empty table or a zeroed baseline.
+TEST(SchemaVersion, BaselineMismatchIsFailedPrecondition) {
+  const std::string text =
+      "{\"schema\": \"insitu-bench-baseline/9\", \"runs\": []}";
+  const StatusOr<Baseline> got = read_baseline(text);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(got.status().to_string().find("insitu-bench-baseline/9"),
+            std::string::npos);
+  EXPECT_NE(got.status().to_string().find(kBaselineSchema),
+            std::string::npos);
+}
+
+TEST(SchemaVersion, MetricsCsvMismatchIsFailedPrecondition) {
+  const std::string text =
+      "# insitu-metrics/9 tool=x threads=1 seed=0\n"
+      "run,metric,kind,value,count,sum,mean,min,max,p50,p90,p99\n";
+  const StatusOr<MetricsTable> got = import_metrics(text);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(got.status().to_string().find("insitu-metrics/9"),
+            std::string::npos);
+}
+
+TEST(SchemaVersion, MetricsJsonMismatchIsFailedPrecondition) {
+  const std::string text =
+      "{\"schema\": \"insitu-metrics/9\", \"series\": []}";
+  const StatusOr<MetricsTable> got = import_metrics(text);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaVersion, TraceMismatchIsFailedPrecondition) {
+  const std::string text =
+      "{\"metadata\": {\"schema\": \"insitu-trace/9\"},"
+      " \"traceEvents\": []}";
+  const StatusOr<ImportedTrace> got = import_chrome_trace(text);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaVersion, MatchingVersionsStillParse) {
+  EXPECT_TRUE(import_metrics("{\"schema\": \"insitu-metrics/1\","
+                             " \"series\": []}")
+                  .ok());
+  EXPECT_TRUE(import_chrome_trace("{\"metadata\": {\"schema\":"
+                                  " \"insitu-trace/1\"},"
+                                  " \"traceEvents\": []}")
+                  .ok());
 }
 
 TEST(BaselineCheck, FromAnalysisMatchesStepBreakdown) {

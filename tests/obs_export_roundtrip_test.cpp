@@ -122,6 +122,41 @@ TEST(MetricsRoundTrip, JsonExportMatchesCsvRows) {
   }
 }
 
+TEST(MetricsRoundTrip, QuotedLabelValuesSurviveCsv) {
+  // Regression: a label value containing the `{k=v,...}` grammar's own
+  // delimiters used to split the CSV row (and the key) apart. The key
+  // serializer now quotes such values, and both the CSV layer and
+  // parse_metric_key round-trip them.
+  MetricsRegistry reg;
+  reg.counter("io.bytes_written",
+              {{"path", "a,b"}, {"note", "say \"hi\"={x}"}})
+      .add(42);
+  const std::vector<MetricsRun> runs = {{"run/p1", reg.snapshot()}};
+
+  std::ostringstream out;
+  write_metrics_csv(out, runs);
+  const StatusOr<MetricsTable> table = import_metrics(out.str());
+  ASSERT_TRUE(table.ok()) << table.status().to_string();
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0].metric,
+            metric_key("io.bytes_written",
+                       {{"path", "a,b"}, {"note", "say \"hi\"={x}"}}));
+
+  // The imported key parses back to the original label values.
+  std::string name;
+  Labels labels;
+  ASSERT_TRUE(parse_metric_key(table->rows[0].metric, name, labels));
+  EXPECT_EQ(name, "io.bytes_written");
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].first, "note");
+  EXPECT_EQ(labels[0].second, "say \"hi\"={x}");
+  EXPECT_EQ(labels[1].first, "path");
+  EXPECT_EQ(labels[1].second, "a,b");
+
+  // And the CSV re-serializes byte-identically.
+  EXPECT_EQ(metrics_table_to_csv(*table), out.str());
+}
+
 TEST(MetricsRoundTrip, BareJsonArrayStillParses) {
   const std::vector<MetricsRun> runs = sample_metrics_runs();
   std::ostringstream json;

@@ -51,6 +51,49 @@ TEST(MetricKeyWithLabel, ExistingLabelWins) {
             "x{a=1,tenant=t0}");
 }
 
+TEST(MetricKey, QuotesValuesThatUseGrammarDelimiters) {
+  EXPECT_EQ(metric_key("m", {{"k", "a,b"}}), "m{k=\"a,b\"}");
+  EXPECT_EQ(metric_key("m", {{"k", "x=y"}}), "m{k=\"x=y\"}");
+  EXPECT_EQ(metric_key("m", {{"k", "he said \"hi\""}}),
+            "m{k=\"he said \\\"hi\\\"\"}");
+  EXPECT_EQ(metric_key("m", {{"k", "back\\slash"}}),
+            "m{k=\"back\\\\slash\"}");
+  // Plain values stay unquoted so existing keys are unchanged.
+  EXPECT_EQ(metric_key("m", {{"k", "plain-value_1"}}), "m{k=plain-value_1}");
+}
+
+TEST(ParseMetricKey, RoundTripsQuotedAndPlainValues) {
+  const Labels original = {{"note", "say \"hi\"={x}"},
+                           {"path", "a,b"},
+                           {"plain", "v"}};
+  const std::string key = metric_key("io.bytes", original);
+  std::string name;
+  Labels labels;
+  ASSERT_TRUE(parse_metric_key(key, name, labels));
+  EXPECT_EQ(name, "io.bytes");
+  EXPECT_EQ(labels, original);
+  // Re-serializing the parse is a fixed point.
+  EXPECT_EQ(metric_key(name, labels), key);
+}
+
+TEST(ParseMetricKey, RejectsMalformedSuffixes) {
+  std::string name;
+  Labels labels;
+  EXPECT_TRUE(parse_metric_key("bare.name", name, labels));
+  EXPECT_TRUE(labels.empty());
+  EXPECT_FALSE(parse_metric_key("m{unterminated", name, labels));
+  EXPECT_FALSE(parse_metric_key("m{novalue}", name, labels));
+  EXPECT_FALSE(parse_metric_key("m{k=\"open}", name, labels));
+}
+
+TEST(MetricKeyWithLabel, PreservesQuotedValuesInOtherLabels) {
+  // Stamping a tenant onto a key whose existing label needed quoting
+  // must not corrupt that label.
+  const std::string key = metric_key("io.bytes", {{"path", "a,b"}});
+  EXPECT_EQ(metric_key_with_label(key, "tenant", "t0"),
+            metric_key("io.bytes", {{"path", "a,b"}, {"tenant", "t0"}}));
+}
+
 TEST(MetricKeyWithLabel, MatchesMetricKeySerialization) {
   EXPECT_EQ(metric_key_with_label("bridge.execute.seconds", "tenant", "t1"),
             metric_key("bridge.execute.seconds", {{"tenant", "t1"}}));

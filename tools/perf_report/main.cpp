@@ -13,16 +13,22 @@
 // auto-detected. --check exits 2 on per-phase virtual-time regressions
 // beyond tolerance (default +10%) unless --report-only is given.
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/analyze/baseline.hpp"
 #include "obs/analyze/import.hpp"
+#include "obs/analyze/json.hpp"
 #include "obs/analyze/report.hpp"
+#include "obs/metrics.hpp"
 #include "pal/config.hpp"
 #include "pal/table.hpp"
 
@@ -46,6 +52,13 @@ void usage() {
       "                           regression beyond tolerance\n"
       "  --tolerance <fraction>   allowed relative growth (default 0.10)\n"
       "  --report-only            with --check: always exit 0\n"
+      "  --follow                 input is a live telemetry stream "
+      "(JSONL);\n"
+      "                           tail it, rendering each frame until the\n"
+      "                           final frame arrives (exit 0)\n"
+      "  --follow-timeout <sec>   give up following after this long\n"
+      "                           (default 30; exit 1 if no frame was "
+      "seen)\n"
       "  --top <N>                span rows per run (default: all)\n"
       "  --wall                   add wall-clock columns (nondeterministic)\n"
       "  --no-spans               skip the per-span aggregation tables\n"
@@ -70,7 +83,9 @@ StatusOr<InputKind> classify(const std::string& path) {
   if (text.find("\"traceEvents\"") != std::string::npos) {
     return InputKind::kTrace;
   }
-  if (text.find(kBaselineSchema) != std::string::npos) {
+  // Match the schema family, not the exact version, so a stale baseline
+  // still routes to read_baseline and its version-mismatch diagnostic.
+  if (text.find("\"insitu-bench-baseline/") != std::string::npos) {
     return InputKind::kBaseline;
   }
   return InputKind::kMetrics;  // metrics JSON
@@ -222,7 +237,143 @@ int run_check(const Baseline& base, const Baseline& current,
 
 int fail(const Status& status) {
   std::fprintf(stderr, "perf_report: %s\n", status.message().c_str());
-  return kExitError;
+  // Schema-version mismatches (stale baseline vs current tool, or the
+  // reverse) use the gating exit code so CI fails the check rather than
+  // silently rendering an empty report.
+  return status.code() == StatusCode::kFailedPrecondition ? kExitRegression
+                                                          : kExitError;
+}
+
+/// One live-telemetry frame (insitu-live/1) rendered as a per-tenant /
+/// per-phase status table plus alert lines (docs/OBSERVABILITY.md).
+void render_live_frame(const Json& frame, bool tty) {
+  if (tty) std::fputs("\x1b[H\x1b[2J", stdout);  // refresh in place
+  const auto index = static_cast<long long>(frame.number_or("frame", 0));
+  const Json* final_flag = frame.find("final");
+  const bool final_frame =
+      final_flag != nullptr && final_flag->kind == Json::Kind::kBool &&
+      final_flag->boolean;
+  pal::TablePrinter table("live telemetry: frame " + std::to_string(index) +
+                          (final_frame ? " (final)" : ""));
+  table.set_header({"tenant", "phase", "metric", "kind", "value", "count",
+                    "p50", "p99", "max"});
+  if (const Json* series = frame.find("series");
+      series != nullptr && series->is_array()) {
+    for (const Json& s : series->array) {
+      const std::string key = s.string_or("key", "");
+      std::string name = key;
+      obs::Labels labels;
+      obs::parse_metric_key(key, name, labels);
+      std::string tenant;
+      obs::Labels rest;
+      for (const auto& [k, v] : labels) {
+        if (k == "tenant") {
+          tenant = v;
+        } else {
+          rest.emplace_back(k, v);
+        }
+      }
+      const std::string phase = name.substr(0, name.find('.'));
+      const std::string kind = s.string_or("kind", "");
+      const std::string shown = obs::metric_key(name, rest);
+      if (kind == "histogram") {
+        table.add_row(
+            {tenant, phase, shown, kind, "",
+             std::to_string(
+                 static_cast<long long>(s.number_or("count", 0))),
+             pal::TablePrinter::num(s.number_or("p50", 0.0), 6),
+             pal::TablePrinter::num(s.number_or("p99", 0.0), 6),
+             pal::TablePrinter::num(s.number_or("max", 0.0), 6)});
+      } else {
+        table.add_row({tenant, phase, shown, kind,
+                       pal::TablePrinter::num(s.number_or("value", 0.0), 6),
+                       "", "", "", ""});
+      }
+    }
+  }
+  if (const Json* overhead = frame.find("overhead"); overhead != nullptr) {
+    table.add_note(
+        "hub overhead: busy=" +
+        pal::TablePrinter::num(overhead->number_or("busy_seconds", 0.0), 6) +
+        "s frames=" +
+        std::to_string(
+            static_cast<long long>(overhead->number_or("frames", 0))) +
+        " sources=" +
+        std::to_string(
+            static_cast<long long>(overhead->number_or("sources", 0))));
+  }
+  table.print();
+  if (const Json* alerts = frame.find("alerts");
+      alerts != nullptr && alerts->is_array()) {
+    for (const Json& a : alerts->array) {
+      std::printf("ALERT rule=%s tenant=%s key=%s %s=%s threshold=%s "
+                  "action=%s\n",
+                  a.string_or("rule", "").c_str(),
+                  a.string_or("tenant", "").c_str(),
+                  a.string_or("key", "").c_str(),
+                  a.string_or("stat", "").c_str(),
+                  pal::TablePrinter::num(a.number_or("observed", 0.0), 6)
+                      .c_str(),
+                  pal::TablePrinter::num(a.number_or("threshold", 0.0), 6)
+                      .c_str(),
+                  a.string_or("action", "").c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+/// Tail a live telemetry stream: re-render on every new frame, exit 0
+/// once the writer marks a frame final. A stream that never finishes is
+/// bounded by --follow-timeout: exit 0 if at least one frame rendered
+/// (the run is simply still going), exit 1 if nothing ever arrived.
+int run_follow(const std::string& path, double timeout_s) {
+  const bool tty = ::isatty(::fileno(stdout)) != 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  long long last_frame = -1;
+  while (true) {
+    std::string text;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+      }
+    }
+    // Only complete lines are frames; the writer appends + flushes one
+    // JSONL object per tick, so everything before the last '\n' parses.
+    if (const std::size_t end = text.rfind('\n');
+        end != std::string::npos) {
+      const std::string_view complete(text.data(), end);
+      const std::size_t begin = complete.rfind('\n');
+      const std::string_view line =
+          begin == std::string_view::npos ? complete
+                                          : complete.substr(begin + 1);
+      if (auto parsed = parse_json(line); parsed.ok() &&
+          parsed->is_object()) {
+        const auto frame =
+            static_cast<long long>(parsed->number_or("frame", -1));
+        if (frame != last_frame) {
+          last_frame = frame;
+          render_live_frame(*parsed, tty);
+        }
+        const Json* final_flag = parsed->find("final");
+        if (final_flag != nullptr &&
+            final_flag->kind == Json::Kind::kBool && final_flag->boolean) {
+          return 0;
+        }
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr,
+                   "perf_report: --follow timed out after %.0fs without a "
+                   "final frame: %s\n",
+                   timeout_s, path.c_str());
+      return last_frame >= 0 ? 0 : kExitError;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
 }
 
 }  // namespace
@@ -234,6 +385,10 @@ int main(int argc, char** argv) {
     return cfg.has("help") ? 0 : kExitUsage;
   }
   const std::string input_path = cfg.positional()[0];
+
+  if (cfg.get_bool_or("follow", false)) {
+    return run_follow(input_path, cfg.get_double_or("follow-timeout", 30.0));
+  }
 
   CheckOptions check_options;
   check_options.tolerance = cfg.get_double_or("tolerance", 0.10);
