@@ -358,6 +358,99 @@ void BM_KernelVexp(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelVexp)->ArgsProduct({{0, 1, 2}, {1 << 14}});
 
+void BM_KernelQuantizeEncode(benchmark::State& state) {
+  use_variant(state);
+  const std::vector<double> x = kernel_input(state.range(1));
+  std::vector<std::uint16_t> q(x.size());
+  for (auto _ : state) {
+    kernels::quantize_encode(x.data(), static_cast<std::int64_t>(x.size()),
+                             -1.0, 65535.0 / 2.0, q.data());
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_KernelQuantizeEncode)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelQuantizeDecode(benchmark::State& state) {
+  use_variant(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::uint16_t> q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = static_cast<std::uint16_t>(i * 2654435761u >> 16);
+  }
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    kernels::quantize_decode(q.data(), static_cast<std::int64_t>(n), -1.0,
+                             2.0 / 65535.0, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelQuantizeDecode)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelDeltaEncode(benchmark::State& state) {
+  use_variant(state);
+  const std::vector<double> x = kernel_input(state.range(1));
+  std::vector<double> prev(x.rbegin(), x.rend());
+  std::vector<std::uint64_t> w(x.size());
+  for (auto _ : state) {
+    kernels::delta_encode(x.data(), prev.data(),
+                          static_cast<std::int64_t>(x.size()), w.data());
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_KernelDeltaEncode)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelDeltaDecode(benchmark::State& state) {
+  use_variant(state);
+  const std::vector<double> prev = kernel_input(state.range(1));
+  std::vector<std::uint64_t> w(prev.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = i % 7 == 0 ? 0x3ff0000000000000ull + i : 0;  // RLE-like mix
+  }
+  std::vector<double> out(prev.size());
+  for (auto _ : state) {
+    kernels::delta_decode(w.data(), prev.data(),
+                          static_cast<std::int64_t>(prev.size()), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(prev.size()));
+}
+BENCHMARK(BM_KernelDeltaDecode)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelSubsampleGather(benchmark::State& state) {
+  use_variant(state);
+  const std::vector<double> x = kernel_input(state.range(1));
+  const std::int64_t tuples = static_cast<std::int64_t>(x.size()) / 3;
+  std::vector<double> kept(static_cast<std::size_t>((tuples + 3) / 4) * 3);
+  for (auto _ : state) {
+    const std::int64_t n =
+        kernels::subsample_gather(x.data(), tuples, 3, 4, kept.data());
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(kept.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tuples);
+}
+BENCHMARK(BM_KernelSubsampleGather)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
+void BM_KernelSubsampleExpand(benchmark::State& state) {
+  use_variant(state);
+  const std::int64_t tuples = state.range(1) / 3;
+  const std::vector<double> kept =
+      kernel_input(((tuples + 3) / 4) * 3);
+  std::vector<double> out(static_cast<std::size_t>(tuples) * 3);
+  for (auto _ : state) {
+    kernels::subsample_expand(kept.data(), tuples, 3, 4, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tuples);
+}
+BENCHMARK(BM_KernelSubsampleExpand)->ArgsProduct({{0, 1, 2}, {kKernelN}});
+
 void BM_AllreduceRendezvous(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   for (auto _ : state) {

@@ -133,7 +133,25 @@ Status bp_write_file(const std::string& path,
 StatusOr<data::MultiBlockPtr> bp_read_file(const std::string& path) {
   INSITU_ASSIGN_OR_RETURN(std::vector<std::byte> bytes,
                           io::read_file_bytes(path));
+  if (io::ReductionPipeline::is_reduced_stream(bytes)) {
+    // Files are standalone: decode with a fresh pipeline (no prev-step
+    // retention crosses file boundaries).
+    io::ReductionPipeline pipeline({}, "bp");
+    return pipeline.decode(bytes);
+  }
   return bp_deserialize(bytes);
+}
+
+Status bp_write_file_reduced(const std::string& path,
+                             const data::MultiBlockDataSet& mesh,
+                             io::ReductionPipeline& pipeline,
+                             io::ReductionLevel level) {
+  // Delta needs the previous step at read time; files are read
+  // standalone, so it degrades to the raw level.
+  if (level == io::ReductionLevel::kDelta) level = io::ReductionLevel::kNone;
+  std::vector<std::byte> bytes;
+  (void)pipeline.encode(mesh, level, bytes);
+  return io::write_file_bytes(path, bytes);
 }
 
 }  // namespace insitu::backends

@@ -9,6 +9,7 @@
 #include "backends/cinema.hpp"
 #include "backends/extracts.hpp"
 #include "backends/libsim.hpp"
+#include "io/reduction.hpp"
 
 namespace insitu::backends {
 
@@ -46,6 +47,12 @@ const std::vector<SectionSpec>& known_sections() {
       // parsed strictly by obs::live::parse_health_rules.
       {"health",
        {"interval_ms", "stream", "dump", "flight_events", "rule.*"}},
+      // In transit data reduction (src/io/reduction, docs/PERFORMANCE.md).
+      // `var.*` holds per-variable level overrides; values are validated
+      // by io::parse_reduction_options.
+      {"reduction",
+       {"level", "adaptive", "raise_depth", "lower_depth", "hysteresis_steps",
+        "subsample_stride", "var.*"}},
   };
   return *specs;
 }
@@ -110,6 +117,11 @@ Status validate_config(const pal::Config& config,
 StatusOr<std::vector<core::AnalysisAdaptorPtr>> configure_analyses(
     const pal::Config& config, const ConfigurableOptions& options) {
   INSITU_RETURN_IF_ERROR(validate_config(config, options));
+
+  // [reduction] configures the transports, not an analysis, but its
+  // values are validated here so a bad level or threshold fails as loudly
+  // as a bad analysis key (drivers exit 2).
+  INSITU_RETURN_IF_ERROR(io::parse_reduction_options(config).status());
 
   std::vector<core::AnalysisAdaptorPtr> analyses;
 

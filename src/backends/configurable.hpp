@@ -15,6 +15,12 @@
 //                      compress=true every=1 output=
 //   [libsim]           enabled=true every=5 session=<inline session text
 //                      with ';' as line separator> output=
+//   [reduction]        level=none adaptive=false raise_depth=3
+//                      lower_depth=2 hysteresis_steps=2 subsample_stride=2
+//                      var.<name>=<level>   (in transit data reduction;
+//                      consumed by the staging transports, values
+//                      validated by io::parse_reduction_options — see
+//                      docs/PERFORMANCE.md "In transit data reduction")
 
 // Validation is strict: an unknown section or an unknown key inside a
 // known section is an InvalidArgument error (drivers exit 2), so a typo

@@ -20,13 +20,14 @@ Status FlexPathWriter::initialize(comm::Communicator& comm) {
   world_->send_values(partner_, kTagContact,
                       std::span<const std::int32_t>(&hello, 1));
   (void)world_->recv_values<std::int32_t>(partner_, kTagContact);
-  credits_ = options_.queue_depth;
+  model_.emplace(comm::BackpressurePolicy::kBlock, options_.queue_depth);
   timings_.initialize = comm.clock().now() - start;
   return Status::Ok();
 }
 
 StatusOr<bool> FlexPathWriter::execute(core::DataAdaptor& data) {
   comm::Communicator& comm = *data.communicator();
+  const bool reduce = options_.reduction.engaged();
 
   // Materialize + serialize the step (the transport is not zero-copy, but
   // the serialization buffer is pooled and reused across steps).
@@ -35,8 +36,25 @@ StatusOr<bool> FlexPathWriter::execute(core::DataAdaptor& data) {
   {
     obs::TraceScope span(obs::Category::kBackend, "flexpath.serialize");
     INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr mesh, data.full_mesh());
-    bp_serialize_into(*mesh, payload);
-    comm.advance_compute(comm.machine().memcpy_time(payload.size()));
+    if (reduce) {
+      // Level for this step: the controller's (one-step lag — it reacts
+      // to the queue state observed after the previous submit) or the
+      // configured fixed level.
+      const io::ReductionLevel level = options_.reduction.adaptive
+                                           ? controller_.level()
+                                           : options_.reduction.level;
+      const io::ReductionPipeline::EncodeStats st =
+          pipeline_.encode(*mesh, level, payload);
+      // One pass reads the raw payload; reduced levels pay a second
+      // coding pass over the same bytes.
+      comm.advance_compute(comm.machine().memcpy_time(st.bytes_in));
+      if (level != io::ReductionLevel::kNone) {
+        comm.advance_compute(comm.machine().memcpy_time(st.bytes_in));
+      }
+    } else {
+      bp_serialize_into(*mesh, payload);
+      comm.advance_compute(comm.machine().memcpy_time(payload.size()));
+    }
 
     // adios::advance — metadata sync with the reader.
     const double advance_start = comm.clock().now();
@@ -45,19 +63,42 @@ StatusOr<bool> FlexPathWriter::execute(core::DataAdaptor& data) {
     timings_.advance.add(comm.clock().now() - advance_start);
   }
 
-  // adios::analysis — transmit, blocking when the reader is behind.
+  // adios::analysis — transmit, blocking when the reader is behind. The
+  // queue model replays the credit protocol: a submit on a full queue
+  // forces one credit recv, whose observe() lands the clock at the
+  // endpoint's drain time — the same message sequence (and virtual
+  // timeline) as a plain credit ledger.
   obs::TraceScope span(obs::Category::kBackend, "flexpath.transmit");
   span.arg("bytes", static_cast<double>(payload.size()));
   const double analysis_start = comm.clock().now();
-  if (credits_ == 0) {
+  comm::OverlapQueueModel::Hooks hooks;
+  hooks.finish = [this, &comm](long) {
     (void)world_->recv(partner_, kTagCredit);  // block until reader drains
-    ++credits_;
-  }
-  --credits_;
+    return comm.clock().now();
+  };
+  const comm::OverlapQueueModel::Admission adm =
+      model_->submit(data.time_step(), comm.clock().now(), hooks);
   obs::metrics()
       .counter("comm.bytes_sent", {{"op", "flexpath"}})
       .add(static_cast<std::int64_t>(payload.size()));
   world_->send(partner_, kTagData, payload);
+  if (options_.reduction.adaptive) {
+    // Backpressure signal: staged steps in flight, plus one when this
+    // submit virtually stalled (queue full AND the drain arrived late) —
+    // pure virtual-time arithmetic, identical run-to-run.
+    const io::ReductionLevel before = controller_.level();
+    controller_.observe(model_->outstanding() +
+                        (adm.stall_seconds > 0.0 ? 1 : 0));
+    if (controller_.level() > before) {
+      obs::metrics()
+          .counter("io.reduction.raises", {{"backend", "flexpath"}})
+          .add(1);
+    } else if (controller_.level() < before) {
+      obs::metrics()
+          .counter("io.reduction.lowers", {{"backend", "flexpath"}})
+          .add(1);
+    }
+  }
   timings_.analysis.add(comm.clock().now() - analysis_start);
   return true;
 }
@@ -68,6 +109,8 @@ Status FlexPathWriter::finalize(comm::Communicator& comm) {
   eos.step = -1;  // end-of-stream sentinel
   world_->send(partner_, kTagMeta, eos.serialize());
   payload_buf_.reset();  // return the stream's serialization buffer
+  pipeline_.reset();
+  model_.reset();  // in-flight steps need no drain: credits are per-stream
   return Status::Ok();
 }
 
@@ -105,6 +148,7 @@ Status FlexPathEndpoint::run(comm::Communicator& endpoint_comm,
     data::MultiBlockPtr mesh;
     long step = -1;
     std::size_t total_payload = 0;
+    std::size_t total_decoded = 0;  // raw bytes expanded from reduced streams
     for (std::size_t p = 0; p < partners_.size(); ++p) {
       if (!live[p]) continue;
       const int partner = partners_[p];
@@ -121,8 +165,16 @@ Status FlexPathEndpoint::run(comm::Communicator& endpoint_comm,
       const std::vector<std::byte> payload = world_->recv(partner, kTagData);
       world_->send(partner, kTagCredit, {});  // replenish writer credit
       total_payload += payload.size();
-      INSITU_ASSIGN_OR_RETURN(data::MultiBlockPtr part,
-                              bp_deserialize(payload));
+      data::MultiBlockPtr part;
+      if (io::ReductionPipeline::is_reduced_stream(payload)) {
+        INSITU_ASSIGN_OR_RETURN(part, decode_pipeline_.decode(payload));
+        for (std::size_t b = 0; b < part->num_local_blocks(); ++b) {
+          total_decoded += part->block(b)->point_fields().payload_bytes() +
+                           part->block(b)->cell_fields().payload_bytes();
+        }
+      } else {
+        INSITU_ASSIGN_OR_RETURN(part, bp_deserialize(payload));
+      }
       if (mesh == nullptr) {
         mesh = part;
       } else {
@@ -134,6 +186,12 @@ Status FlexPathEndpoint::run(comm::Communicator& endpoint_comm,
     if (mesh == nullptr) break;  // every stream ended this round
     endpoint_comm.advance_compute(
         endpoint_comm.machine().memcpy_time(total_payload));
+    if (total_decoded > 0) {
+      // Reduced streams pay a decode pass that writes the full raw
+      // payload back out.
+      endpoint_comm.advance_compute(
+          endpoint_comm.machine().memcpy_time(total_decoded));
+    }
     timings_.receive.add(endpoint_comm.clock().now() - recv_start);
 
     const double analysis_start = endpoint_comm.clock().now();
@@ -149,6 +207,7 @@ Status FlexPathEndpoint::run(comm::Communicator& endpoint_comm,
     timings_.analysis.add(endpoint_comm.clock().now() - analysis_start);
     ++timings_.steps;
   }
+  decode_pipeline_.reset();  // drop prev-step retention between streams
   return Status::Ok();
 }
 

@@ -17,10 +17,14 @@
 // serialize + deserialize buffer costs, one source of the ~50% penalty
 // §4.1.4 reports versus inlined analysis.
 
+#include <optional>
+
 #include "backends/adios_bp.hpp"
+#include "comm/overlap.hpp"
 #include "core/analysis_adaptor.hpp"
 #include "core/bridge.hpp"
 #include "core/staged_adaptor.hpp"
+#include "io/reduction.hpp"
 #include "pal/buffer_pool.hpp"
 #include "pal/timer.hpp"
 
@@ -35,6 +39,10 @@ struct FlexPathOptions {
   /// Extra slowdown applied to endpoint analysis compute from sharing the
   /// core with the simulation hyperthread.
   double hyperthread_slowdown = 1.35;
+  /// In transit data reduction applied to the staged payload before
+  /// transport (docs/PERFORMANCE.md). When disengaged (the default) the
+  /// stream is bit-identical to the plain BP framing.
+  io::ReductionOptions reduction;
 };
 
 struct FlexPathWriterTimings {
@@ -51,7 +59,11 @@ class FlexPathWriter final : public core::AnalysisAdaptor {
   /// `partner`: world rank of this writer's endpoint.
   FlexPathWriter(comm::Communicator& world, int partner,
                  FlexPathOptions options = {})
-      : world_(&world), partner_(partner), options_(options) {}
+      : world_(&world),
+        partner_(partner),
+        options_(std::move(options)),
+        pipeline_(options_.reduction, "flexpath"),
+        controller_(options_.reduction) {}
 
   std::string name() const override { return "adios-flexpath-writer"; }
 
@@ -66,7 +78,15 @@ class FlexPathWriter final : public core::AnalysisAdaptor {
   int partner_;
   FlexPathOptions options_;
   FlexPathWriterTimings timings_;
-  int credits_ = 0;
+  /// Credit-based backpressure, modeled as a kBlock staging queue of
+  /// `queue_depth` in-flight steps. A submit on a full queue forces one
+  /// credit recv (identical message sequence to a plain credit ledger);
+  /// its virtual-time admission doubles as the backpressure signal the
+  /// adaptive reduction controller consumes — deterministic, unlike
+  /// probing the credit mailbox.
+  std::optional<comm::OverlapQueueModel> model_;
+  io::ReductionPipeline pipeline_;
+  io::ReductionController controller_;
   /// Step payloads serialize into this pooled buffer, reused every step
   /// (send copies, so the buffer is free again as soon as send returns).
   pal::PooledBuffer payload_buf_;
@@ -114,6 +134,9 @@ class FlexPathEndpoint {
   std::vector<int> partners_;
   FlexPathOptions options_;
   FlexPathEndpointTimings timings_;
+  /// One shared decoder serves the whole fan-in: prev-step retention is
+  /// keyed by global block id, which is unique across writers.
+  io::ReductionPipeline decode_pipeline_{{}, "flexpath"};
 };
 
 }  // namespace insitu::backends

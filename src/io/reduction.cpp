@@ -1,0 +1,643 @@
+#include "io/reduction.hpp"
+
+#include <cstring>
+
+#include "data/image_data.hpp"
+#include "kernels/kernels.hpp"
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "pal/timer.hpp"
+
+namespace insitu::io {
+
+namespace {
+
+constexpr std::uint64_t kReducedMagic = 0x49535244'30303031ull;  // "ISRD0001"
+
+void append_raw(std::vector<std::byte>& out, const void* data,
+                std::size_t bytes) {
+  const auto* p = static_cast<const std::byte*>(data);
+  out.insert(out.end(), p, p + bytes);
+}
+
+template <typename T>
+void append_value(std::vector<std::byte>& out, const T& value) {
+  append_raw(out, &value, sizeof value);
+}
+
+/// Bounds-checked cursor over a possibly misaligned byte span; every
+/// read memcpys, so the stream needs no alignment guarantees.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  Status read(T& value) {
+    if (pos_ + sizeof value > data_.size()) {
+      return Status::OutOfRange("reduction: truncated stream");
+    }
+    std::memcpy(&value, data_.data() + pos_, sizeof value);
+    pos_ += sizeof value;
+    return Status::Ok();
+  }
+
+  StatusOr<std::span<const std::byte>> read_span(std::size_t bytes) {
+    if (pos_ + bytes > data_.size()) {
+      return Status::OutOfRange("reduction: truncated stream");
+    }
+    auto span = data_.subspan(pos_, bytes);
+    pos_ += bytes;
+    return span;
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Zero-run RLE over delta words: records of
+/// [u16 zero_count][u16 literal_count][literal words], repeated until
+/// the value count is consumed. Literal runs never contain zero words,
+/// so the worst case (alternating zero/literal) still beats raw.
+void rle_encode_words(const std::uint64_t* w, std::int64_t n,
+                      std::vector<std::byte>& out) {
+  std::int64_t i = 0;
+  while (i < n) {
+    std::uint32_t zeros = 0;
+    while (i < n && zeros < 65535 && w[i] == 0) {
+      ++zeros;
+      ++i;
+    }
+    const std::int64_t lit_start = i;
+    std::uint32_t lits = 0;
+    while (i < n && lits < 65535 && w[i] != 0) {
+      ++lits;
+      ++i;
+    }
+    append_value(out, static_cast<std::uint16_t>(zeros));
+    append_value(out, static_cast<std::uint16_t>(lits));
+    append_raw(out, w + lit_start, static_cast<std::size_t>(lits) * 8);
+  }
+}
+
+Status rle_decode_words(Reader& reader, std::int64_t n, std::uint64_t* w) {
+  std::int64_t filled = 0;
+  while (filled < n) {
+    std::uint16_t zeros = 0, lits = 0;
+    INSITU_RETURN_IF_ERROR(reader.read(zeros));
+    INSITU_RETURN_IF_ERROR(reader.read(lits));
+    if (filled + zeros + lits > n) {
+      return Status::OutOfRange("reduction: RLE record overruns array");
+    }
+    std::memset(w + filled, 0, static_cast<std::size_t>(zeros) * 8);
+    filled += zeros;
+    INSITU_ASSIGN_OR_RETURN(
+        auto lit_span, reader.read_span(static_cast<std::size_t>(lits) * 8));
+    std::memcpy(w + filled, lit_span.data(), lit_span.size());
+    filled += lits;
+  }
+  return Status::Ok();
+}
+
+std::string prev_key(std::int64_t block_id, data::Association assoc,
+                     const std::string& name) {
+  return std::to_string(block_id) +
+         (assoc == data::Association::kPoint ? "/p/" : "/c/") + name;
+}
+
+}  // namespace
+
+const char* to_string(ReductionLevel level) {
+  switch (level) {
+    case ReductionLevel::kNone: return "none";
+    case ReductionLevel::kDelta: return "delta";
+    case ReductionLevel::kSubsample: return "subsample";
+    case ReductionLevel::kQuantize: return "quantize";
+  }
+  return "unknown";
+}
+
+StatusOr<ReductionLevel> parse_reduction_level(std::string_view name) {
+  if (name == "none") return ReductionLevel::kNone;
+  if (name == "delta") return ReductionLevel::kDelta;
+  if (name == "subsample") return ReductionLevel::kSubsample;
+  if (name == "quantize") return ReductionLevel::kQuantize;
+  return Status::InvalidArgument("unknown reduction level '" +
+                                 std::string(name) +
+                                 "' (none|delta|subsample|quantize)");
+}
+
+StatusOr<ReductionOptions> parse_reduction_options(const pal::Config& config) {
+  ReductionOptions opt;
+  if (config.has("reduction.level")) {
+    INSITU_ASSIGN_OR_RETURN(const std::string name,
+                            config.get_string("reduction.level"));
+    INSITU_ASSIGN_OR_RETURN(opt.level, parse_reduction_level(name));
+  }
+  if (config.has("reduction.adaptive")) {
+    INSITU_ASSIGN_OR_RETURN(opt.adaptive,
+                            config.get_bool("reduction.adaptive"));
+  }
+  const auto read_int = [&config](std::string_view key, int* out) -> Status {
+    if (!config.has(key)) return Status::Ok();
+    INSITU_ASSIGN_OR_RETURN(const std::int64_t v, config.get_int(key));
+    *out = static_cast<int>(v);
+    return Status::Ok();
+  };
+  INSITU_RETURN_IF_ERROR(read_int("reduction.raise_depth", &opt.raise_depth));
+  INSITU_RETURN_IF_ERROR(read_int("reduction.lower_depth", &opt.lower_depth));
+  INSITU_RETURN_IF_ERROR(
+      read_int("reduction.hysteresis_steps", &opt.hysteresis_steps));
+  INSITU_RETURN_IF_ERROR(
+      read_int("reduction.subsample_stride", &opt.subsample_stride));
+  for (const std::string& key : config.keys_in_section("reduction")) {
+    if (key.rfind("var.", 0) != 0) continue;
+    const std::string variable = key.substr(4);
+    if (variable.empty()) {
+      return Status::InvalidArgument(
+          "[reduction] var. override needs a variable name");
+    }
+    INSITU_ASSIGN_OR_RETURN(const std::string value,
+                            config.get_string("reduction." + key));
+    INSITU_ASSIGN_OR_RETURN(const ReductionLevel lvl,
+                            parse_reduction_level(value));
+    opt.per_variable[variable] = lvl;
+  }
+  if (opt.raise_depth < 1) {
+    return Status::InvalidArgument("[reduction] raise_depth must be >= 1");
+  }
+  if (opt.lower_depth < 0) {
+    return Status::InvalidArgument("[reduction] lower_depth must be >= 0");
+  }
+  if (opt.lower_depth >= opt.raise_depth) {
+    return Status::InvalidArgument(
+        "[reduction] lower_depth must be strictly below raise_depth "
+        "(the hysteresis band)");
+  }
+  if (opt.hysteresis_steps < 1) {
+    return Status::InvalidArgument(
+        "[reduction] hysteresis_steps must be >= 1");
+  }
+  if (opt.subsample_stride < 1 || opt.subsample_stride > 1024) {
+    return Status::InvalidArgument(
+        "[reduction] subsample_stride must be in [1, 1024]");
+  }
+  return opt;
+}
+
+ReductionController::ReductionController(const ReductionOptions& options)
+    : base_(static_cast<int>(options.level)),
+      raise_depth_(options.raise_depth),
+      lower_depth_(options.lower_depth),
+      hysteresis_(options.hysteresis_steps),
+      level_(base_) {}
+
+void ReductionController::observe(int depth) {
+  if (depth >= raise_depth_) {
+    calm_ = 0;
+    if (level_ < static_cast<int>(ReductionLevel::kQuantize)) {
+      ++level_;
+      ++raises_;
+    }
+    return;
+  }
+  if (depth <= lower_depth_ && level_ > base_) {
+    if (++calm_ >= hysteresis_) {
+      --level_;
+      ++lowers_;
+      calm_ = 0;
+    }
+    return;
+  }
+  calm_ = 0;
+}
+
+ReductionPipeline::ReductionPipeline(ReductionOptions options,
+                                     std::string backend_label)
+    : options_(std::move(options)), backend_(std::move(backend_label)) {}
+
+bool ReductionPipeline::is_reduced_stream(std::span<const std::byte> bytes) {
+  if (bytes.size() < sizeof kReducedMagic) return false;
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof magic);
+  return magic == kReducedMagic;
+}
+
+void ReductionPipeline::reset() {
+  prev_.clear();
+  scratch_raw_.reset();
+  scratch_words_.reset();
+  scratch_coded_.reset();
+  scratch_zero_.reset();
+}
+
+const std::vector<std::byte>& ReductionPipeline::prev_values(
+    const std::string& key, std::size_t value_bytes) {
+  auto it = prev_.find(key);
+  if (it != prev_.end() && it->second.bytes().size() == value_bytes) {
+    return it->second.bytes();
+  }
+  // First step (or a shape change): delta against zeros, the XOR
+  // identity, so the stream still reconstructs bit-exactly.
+  std::vector<std::byte>& zero = scratch_zero_.bytes();
+  zero.clear();
+  zero.resize(value_bytes);  // value-initialized: all zero bytes
+  return zero;
+}
+
+void ReductionPipeline::retain(const std::string& key, const double* values,
+                               std::int64_t n) {
+  std::vector<std::byte>& slot = prev_[key].bytes();
+  slot.clear();
+  append_raw(slot, values, static_cast<std::size_t>(n) * sizeof(double));
+}
+
+ReductionPipeline::EncodeStats ReductionPipeline::encode(
+    const data::MultiBlockDataSet& mesh, ReductionLevel level,
+    std::vector<std::byte>& out) {
+  pal::Timer wall;
+  EncodeStats stats;
+  append_value(out, kReducedMagic);
+  append_value(out, static_cast<std::uint8_t>(level));
+  append_value(out, mesh.num_global_blocks());
+  std::int64_t image_blocks = 0;
+  for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
+    if (dynamic_cast<const data::ImageData*>(mesh.block(b).get()) != nullptr) {
+      ++image_blocks;
+    }
+  }
+  append_value(out, image_blocks);
+
+  for (std::size_t b = 0; b < mesh.num_local_blocks(); ++b) {
+    const auto* img =
+        dynamic_cast<const data::ImageData*>(mesh.block(b).get());
+    if (img == nullptr) continue;  // only ImageData travels (as in BP)
+    const std::int64_t block_id = mesh.block_id(b);
+    append_value(out, block_id);
+    for (int a = 0; a < 3; ++a) {
+      append_value(out, img->box().offset[static_cast<std::size_t>(a)]);
+    }
+    for (int a = 0; a < 3; ++a) {
+      append_value(out, img->box().cells[static_cast<std::size_t>(a)]);
+    }
+    append_value(out, img->origin());
+    append_value(out, img->spacing());
+    const auto npoint = static_cast<std::int32_t>(img->point_fields().count());
+    const auto ncell = static_cast<std::int32_t>(img->cell_fields().count());
+    append_value(out, npoint + ncell);
+    const auto encode_fields = [&](data::Association assoc) {
+      const data::FieldCollection& fields = img->fields(assoc);
+      for (const std::string& name : fields.names()) {
+        encode_array(block_id, assoc, *fields.get(name), level, out, &stats);
+      }
+    };
+    encode_fields(data::Association::kPoint);
+    encode_fields(data::Association::kCell);
+  }
+
+  obs::metrics()
+      .histogram("io.reduction.encode.seconds", {{"backend", backend_}})
+      .record(wall.seconds());
+  return stats;
+}
+
+void ReductionPipeline::encode_array(std::int64_t block_id,
+                                     data::Association assoc,
+                                     const data::DataArray& array,
+                                     ReductionLevel level,
+                                     std::vector<std::byte>& out,
+                                     EncodeStats* stats) {
+  ReductionLevel eff = level;
+  if (const auto it = options_.per_variable.find(array.name());
+      it != options_.per_variable.end()) {
+    eff = it->second;
+  }
+  const std::int64_t n = array.num_values();
+  // The reduction primitives are double-typed: other array types (ghost
+  // flags, render buffers) and empty arrays always travel raw.
+  if (array.type() != data::DataType::kFloat64 || n == 0) {
+    eff = ReductionLevel::kNone;
+  }
+
+  append_value(out,
+               static_cast<std::uint8_t>(
+                   assoc == data::Association::kPoint ? 0 : 1));
+  append_value(out, static_cast<std::uint8_t>(array.type()));
+  append_value(out, static_cast<std::int32_t>(array.num_components()));
+  append_value(out, array.num_tuples());
+  append_value(out, static_cast<std::int32_t>(array.name().size()));
+  append_raw(out, array.name().data(), array.name().size());
+  append_value(out, static_cast<std::uint8_t>(eff));
+  if (eff == ReductionLevel::kSubsample) {
+    append_value(out, static_cast<std::int32_t>(options_.subsample_stride));
+  }
+  const std::size_t size_pos = out.size();
+  append_value(out, std::int64_t{0});  // coded_bytes, patched below
+
+  if (array.type() != data::DataType::kFloat64 || n == 0) {
+    array.append_bytes(out);
+    const auto coded =
+        static_cast<std::int64_t>(out.size() - size_pos - sizeof(std::int64_t));
+    std::memcpy(out.data() + size_pos, &coded, sizeof coded);
+    stats->bytes_in += static_cast<std::int64_t>(array.size_bytes());
+    stats->bytes_out += coded;
+    publish_array_metrics(array.name(), eff,
+                          static_cast<std::int64_t>(array.size_bytes()),
+                          coded);
+    return;
+  }
+
+  // Stage the raw AoS payload once (layout-independent: append_bytes
+  // gathers strided wraps); every level reads from this view.
+  std::vector<std::byte>& raw = scratch_raw_.bytes();
+  raw.clear();
+  array.append_bytes(raw);
+  const auto* x = reinterpret_cast<const double*>(raw.data());
+  const std::string key = prev_key(block_id, assoc, array.name());
+
+  switch (eff) {
+    case ReductionLevel::kNone: {
+      append_raw(out, raw.data(), raw.size());
+      retain(key, x, n);
+      break;
+    }
+    case ReductionLevel::kDelta: {
+      std::vector<std::byte>& words_buf = scratch_words_.bytes();
+      words_buf.clear();
+      words_buf.resize(static_cast<std::size_t>(n) * 8);
+      auto* words = reinterpret_cast<std::uint64_t*>(words_buf.data());
+      const std::vector<std::byte>& prev_buf =
+          prev_values(key, static_cast<std::size_t>(n) * 8);
+      const auto* prev = reinterpret_cast<const double*>(prev_buf.data());
+      kernels::delta_encode(x, prev, n, words);
+      std::vector<std::byte>& rle = scratch_coded_.bytes();
+      rle.clear();
+      rle_encode_words(words, n, rle);
+      if (rle.size() < words_buf.size()) {
+        append_value(out, std::uint8_t{1});  // RLE-compressed deltas
+        append_raw(out, rle.data(), rle.size());
+      } else {
+        append_value(out, std::uint8_t{0});  // raw delta words
+        append_raw(out, words_buf.data(), words_buf.size());
+      }
+      retain(key, x, n);
+      break;
+    }
+    case ReductionLevel::kSubsample: {
+      const int stride = options_.subsample_stride;
+      const int comps = array.num_components();
+      const std::int64_t tuples = array.num_tuples();
+      const std::int64_t kept_tuples = (tuples + stride - 1) / stride;
+      std::vector<std::byte>& kept_buf = scratch_words_.bytes();
+      kept_buf.clear();
+      kept_buf.resize(static_cast<std::size_t>(kept_tuples) *
+                      static_cast<std::size_t>(comps) * 8);
+      auto* kept = reinterpret_cast<double*>(kept_buf.data());
+      (void)kernels::subsample_gather(x, tuples, comps, stride, kept);
+      append_raw(out, kept_buf.data(), kept_buf.size());
+      // Prev retention stores the *reconstruction*, keeping encoder and
+      // decoder prevs in lockstep for later delta steps.
+      std::vector<std::byte>& recon_buf = scratch_coded_.bytes();
+      recon_buf.clear();
+      recon_buf.resize(static_cast<std::size_t>(n) * 8);
+      auto* recon = reinterpret_cast<double*>(recon_buf.data());
+      kernels::subsample_expand(kept, tuples, comps, stride, recon);
+      retain(key, recon, n);
+      break;
+    }
+    case ReductionLevel::kQuantize: {
+      std::vector<std::byte>& recon_buf = scratch_coded_.bytes();
+      recon_buf.clear();
+      recon_buf.resize(static_cast<std::size_t>(n) * 8);
+      auto* recon = reinterpret_cast<double*>(recon_buf.data());
+      std::uint16_t codes[kQuantizeChunk];
+      for (std::int64_t base = 0; base < n; base += kQuantizeChunk) {
+        const std::int64_t len =
+            n - base < kQuantizeChunk ? n - base : kQuantizeChunk;
+        const kernels::Moments m =
+            kernels::reduce_moments(x + base, len, nullptr);
+        double lo = m.min, hi = m.max;
+        if (!(hi >= lo)) {  // all-NaN chunk: encode as constant zero
+          lo = 0.0;
+          hi = 0.0;
+        }
+        const double step = (hi - lo) / 65535.0;
+        const double inv_step = step > 0.0 ? 1.0 / step : 0.0;
+        append_value(out, lo);
+        append_value(out, step);
+        kernels::quantize_encode(x + base, len, lo, inv_step, codes);
+        append_raw(out, codes, static_cast<std::size_t>(len) * 2);
+        kernels::quantize_decode(codes, len, lo, step, recon + base);
+      }
+      retain(key, recon, n);
+      break;
+    }
+  }
+
+  const auto coded =
+      static_cast<std::int64_t>(out.size() - size_pos - sizeof(std::int64_t));
+  std::memcpy(out.data() + size_pos, &coded, sizeof coded);
+  stats->bytes_in += static_cast<std::int64_t>(raw.size());
+  stats->bytes_out += coded;
+  publish_array_metrics(array.name(), eff,
+                        static_cast<std::int64_t>(raw.size()), coded);
+}
+
+void ReductionPipeline::publish_array_metrics(const std::string& variable,
+                                              ReductionLevel eff,
+                                              std::int64_t bytes_in,
+                                              std::int64_t bytes_out) {
+  const obs::Labels labels = {{"backend", backend_}, {"variable", variable}};
+  obs::metrics()
+      .gauge("io.reduction.level", labels)
+      .set(static_cast<double>(eff));
+  obs::metrics().counter("io.reduction.bytes_in", labels).add(bytes_in);
+  obs::metrics().counter("io.reduction.bytes_out", labels).add(bytes_out);
+}
+
+StatusOr<data::MultiBlockPtr> ReductionPipeline::decode(
+    std::span<const std::byte> bytes) {
+  Reader reader(bytes);
+  std::uint64_t magic = 0;
+  INSITU_RETURN_IF_ERROR(reader.read(magic));
+  if (magic != kReducedMagic) {
+    return Status::InvalidArgument("reduction: bad magic");
+  }
+  std::uint8_t base_level = 0;
+  INSITU_RETURN_IF_ERROR(reader.read(base_level));
+  std::int64_t global_blocks = 0, local_blocks = 0;
+  INSITU_RETURN_IF_ERROR(reader.read(global_blocks));
+  INSITU_RETURN_IF_ERROR(reader.read(local_blocks));
+  auto mesh = std::make_shared<data::MultiBlockDataSet>(global_blocks);
+
+  for (std::int64_t b = 0; b < local_blocks; ++b) {
+    std::int64_t block_id = 0;
+    INSITU_RETURN_IF_ERROR(reader.read(block_id));
+    data::IndexBox box;
+    for (int a = 0; a < 3; ++a) {
+      INSITU_RETURN_IF_ERROR(
+          reader.read(box.offset[static_cast<std::size_t>(a)]));
+    }
+    for (int a = 0; a < 3; ++a) {
+      INSITU_RETURN_IF_ERROR(
+          reader.read(box.cells[static_cast<std::size_t>(a)]));
+    }
+    data::Vec3 origin, spacing;
+    INSITU_RETURN_IF_ERROR(reader.read(origin));
+    INSITU_RETURN_IF_ERROR(reader.read(spacing));
+    auto block = std::make_shared<data::ImageData>(box, origin, spacing);
+
+    std::int32_t num_arrays = 0;
+    INSITU_RETURN_IF_ERROR(reader.read(num_arrays));
+    for (std::int32_t i = 0; i < num_arrays; ++i) {
+      std::uint8_t assoc_raw = 0, type_raw = 0, level_raw = 0;
+      std::int32_t components = 0, name_len = 0, stride = 1;
+      std::int64_t tuples = 0, coded_bytes = 0;
+      INSITU_RETURN_IF_ERROR(reader.read(assoc_raw));
+      INSITU_RETURN_IF_ERROR(reader.read(type_raw));
+      INSITU_RETURN_IF_ERROR(reader.read(components));
+      INSITU_RETURN_IF_ERROR(reader.read(tuples));
+      INSITU_RETURN_IF_ERROR(reader.read(name_len));
+      INSITU_ASSIGN_OR_RETURN(
+          auto name_span,
+          reader.read_span(static_cast<std::size_t>(name_len)));
+      std::string name(reinterpret_cast<const char*>(name_span.data()),
+                       name_span.size());
+      INSITU_RETURN_IF_ERROR(reader.read(level_raw));
+      if (level_raw >= kNumReductionLevels) {
+        return Status::InvalidArgument("reduction: bad level byte");
+      }
+      const auto eff = static_cast<ReductionLevel>(level_raw);
+      if (eff == ReductionLevel::kSubsample) {
+        INSITU_RETURN_IF_ERROR(reader.read(stride));
+        if (stride < 1) {
+          return Status::InvalidArgument("reduction: bad stride");
+        }
+      }
+      INSITU_RETURN_IF_ERROR(reader.read(coded_bytes));
+      if (coded_bytes < 0) {
+        return Status::OutOfRange("reduction: negative coded size");
+      }
+      INSITU_ASSIGN_OR_RETURN(
+          auto coded, reader.read_span(static_cast<std::size_t>(coded_bytes)));
+
+      if (type_raw > static_cast<std::uint8_t>(data::DataType::kUInt8)) {
+        return Status::InvalidArgument("reduction: bad type byte");
+      }
+      const auto type = static_cast<data::DataType>(type_raw);
+      const auto assoc = assoc_raw == 0 ? data::Association::kPoint
+                                        : data::Association::kCell;
+      const std::int64_t n = tuples * components;
+      data::DataArrayPtr array;
+      if (type != data::DataType::kFloat64 ||
+          eff == ReductionLevel::kNone) {
+        const std::size_t expect = static_cast<std::size_t>(n) *
+                                   data::size_of(type);
+        if (coded.size() != expect) {
+          return Status::OutOfRange("reduction: raw payload size mismatch");
+        }
+        // Raw f64 arrays still update prev retention so a later switch
+        // to delta stays in lockstep with the encoder.
+        if (type == data::DataType::kFloat64 && n > 0) {
+          std::vector<std::byte>& aligned = scratch_coded_.bytes();
+          aligned.clear();
+          aligned.resize(expect);
+          std::memcpy(aligned.data(), coded.data(), expect);
+          retain(prev_key(block_id, assoc, name),
+                 reinterpret_cast<const double*>(aligned.data()), n);
+        }
+        INSITU_ASSIGN_OR_RETURN(
+            array, data::DataArray::from_bytes(std::move(name), type, tuples,
+                                               components, coded));
+      } else {
+        std::vector<std::byte>& recon_buf = scratch_coded_.bytes();
+        recon_buf.clear();
+        recon_buf.resize(static_cast<std::size_t>(n) * 8);
+        auto* recon = reinterpret_cast<double*>(recon_buf.data());
+        INSITU_RETURN_IF_ERROR(
+            decode_values(eff, coded, n, tuples, components, stride,
+                          prev_key(block_id, assoc, name), recon));
+        INSITU_ASSIGN_OR_RETURN(
+            array,
+            data::DataArray::from_bytes(
+                std::move(name), type, tuples, components,
+                std::span<const std::byte>(recon_buf.data(),
+                                           recon_buf.size())));
+      }
+      block->fields(assoc).add(array);
+    }
+    mesh->add_block(block_id, block);
+  }
+  return mesh;
+}
+
+Status ReductionPipeline::decode_values(ReductionLevel eff,
+                                        std::span<const std::byte> coded,
+                                        std::int64_t n, std::int64_t tuples,
+                                        int components, int stride,
+                                        const std::string& key,
+                                        double* recon) {
+  switch (eff) {
+    case ReductionLevel::kNone:
+      return Status::Internal("reduction: raw level routed to decoder");
+    case ReductionLevel::kDelta: {
+      Reader reader(coded);
+      std::uint8_t flag = 0;
+      INSITU_RETURN_IF_ERROR(reader.read(flag));
+      std::vector<std::byte>& words_buf = scratch_words_.bytes();
+      words_buf.clear();
+      words_buf.resize(static_cast<std::size_t>(n) * 8);
+      auto* words = reinterpret_cast<std::uint64_t*>(words_buf.data());
+      if (flag == 1) {
+        INSITU_RETURN_IF_ERROR(rle_decode_words(reader, n, words));
+      } else {
+        INSITU_ASSIGN_OR_RETURN(
+            auto word_span,
+            reader.read_span(static_cast<std::size_t>(n) * 8));
+        std::memcpy(words, word_span.data(), word_span.size());
+      }
+      const std::vector<std::byte>& prev_buf =
+          prev_values(key, static_cast<std::size_t>(n) * 8);
+      const auto* prev = reinterpret_cast<const double*>(prev_buf.data());
+      kernels::delta_decode(words, prev, n, recon);
+      break;
+    }
+    case ReductionLevel::kSubsample: {
+      const std::int64_t kept_tuples = (tuples + stride - 1) / stride;
+      const std::size_t expect = static_cast<std::size_t>(kept_tuples) *
+                                 static_cast<std::size_t>(components) * 8;
+      if (coded.size() != expect) {
+        return Status::OutOfRange("reduction: subsample payload mismatch");
+      }
+      std::vector<std::byte>& kept_buf = scratch_words_.bytes();
+      kept_buf.clear();
+      kept_buf.resize(expect);
+      std::memcpy(kept_buf.data(), coded.data(), expect);
+      kernels::subsample_expand(
+          reinterpret_cast<const double*>(kept_buf.data()), tuples,
+          components, stride, recon);
+      break;
+    }
+    case ReductionLevel::kQuantize: {
+      Reader reader(coded);
+      std::uint16_t codes[kQuantizeChunk];
+      for (std::int64_t base = 0; base < n; base += kQuantizeChunk) {
+        const std::int64_t len =
+            n - base < kQuantizeChunk ? n - base : kQuantizeChunk;
+        double lo = 0.0, step = 0.0;
+        INSITU_RETURN_IF_ERROR(reader.read(lo));
+        INSITU_RETURN_IF_ERROR(reader.read(step));
+        INSITU_ASSIGN_OR_RETURN(
+            auto code_span,
+            reader.read_span(static_cast<std::size_t>(len) * 2));
+        std::memcpy(codes, code_span.data(), code_span.size());
+        kernels::quantize_decode(codes, len, lo, step, recon + base);
+      }
+      break;
+    }
+  }
+  retain(key, recon, n);
+  return Status::Ok();
+}
+
+}  // namespace insitu::io

@@ -267,6 +267,72 @@ void b_vcos(const double* x, double* out, std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) out[i] = cos_core<ScalarOps>(x[i]);
 }
 
+void b_quantize_encode(const double* x, std::int64_t n, double lo,
+                       double inv_step, std::uint16_t* out) {
+  // Branchless select chain (same shape as b_histogram_bin's index
+  // computation) so the whole loop is if-convertible.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double t = (x[i] - lo) * inv_step + 0.5;
+    const double oob = t >= 65536.0 ? 65535.0 : 0.0;
+    const double safe = t >= 0.0 && t < 65536.0 ? t : oob;  // NaN -> 0
+    out[i] = static_cast<std::uint16_t>(safe);
+  }
+}
+
+void b_quantize_decode(const std::uint16_t* q, std::int64_t n, double lo,
+                       double step, double* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = lo + static_cast<double>(q[i]) * step;
+  }
+}
+
+void b_delta_encode(const double* x, const double* prev, std::int64_t n,
+                    std::uint64_t* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = double_bits(x[i]) ^ double_bits(prev[i]);
+  }
+}
+
+void b_delta_decode(const std::uint64_t* delta, const double* prev,
+                    std::int64_t n, double* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = double_from_bits(delta[i] ^ double_bits(prev[i]));
+  }
+}
+
+std::int64_t b_subsample_gather(const double* x, std::int64_t n_tuples,
+                                int components, int stride, double* out) {
+  if (stride == 1) {
+    std::memcpy(out, x,
+                static_cast<std::size_t>(n_tuples) *
+                    static_cast<std::size_t>(components) * sizeof(double));
+    return n_tuples;
+  }
+  std::int64_t kept = 0;
+  for (std::int64_t t = 0; t < n_tuples; t += stride, ++kept) {
+    for (int c = 0; c < components; ++c) {
+      out[kept * components + c] = x[t * components + c];
+    }
+  }
+  return kept;
+}
+
+void b_subsample_expand(const double* kept, std::int64_t n_tuples,
+                        int components, int stride, double* out) {
+  if (stride == 1) {
+    std::memcpy(out, kept,
+                static_cast<std::size_t>(n_tuples) *
+                    static_cast<std::size_t>(components) * sizeof(double));
+    return;
+  }
+  for (std::int64_t t = 0; t < n_tuples; ++t) {
+    const std::int64_t k = t / stride;
+    for (int c = 0; c < components; ++c) {
+      out[t * components + c] = kept[k * components + c];
+    }
+  }
+}
+
 }  // namespace
 
 const KernelTable kBatchedTable = {
@@ -275,7 +341,9 @@ const KernelTable kBatchedTable = {
     b_lerp,           b_colormap_apply, b_depth_composite,
     b_raster_span,    b_masked_store_span, b_plane_distance,
     b_magnitude3,     b_oscillator_accumulate, b_vexp,
-    b_vsin,           b_vcos,
+    b_vsin,           b_vcos,           b_quantize_encode,
+    b_quantize_decode, b_delta_encode,  b_delta_decode,
+    b_subsample_gather, b_subsample_expand,
 };
 
 }  // namespace insitu::kernels::detail

@@ -73,4 +73,27 @@ inline void store_u32(std::uint8_t* p, std::uint32_t v) {
   std::memcpy(p, &v, sizeof v);
 }
 
+inline std::uint64_t double_bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+inline double double_from_bits(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+/// One quantizer code; see kernels.hpp for the semantics contract
+/// (round-to-nearest, saturate to [0, 65535], NaN/negative -> 0).
+inline std::uint16_t quantize_one(double v, double lo, double inv_step) {
+  const double t = (v - lo) * inv_step + 0.5;
+  if (t >= 0.0) {
+    if (t < 65536.0) return static_cast<std::uint16_t>(t);
+    return 65535;
+  }
+  return 0;  // negative or NaN
+}
+
 }  // namespace insitu::kernels::detail

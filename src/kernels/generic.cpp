@@ -151,6 +151,55 @@ void g_vcos(const double* x, double* out, std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) out[i] = cos_core<ScalarOps>(x[i]);
 }
 
+void g_quantize_encode(const double* x, std::int64_t n, double lo,
+                       double inv_step, std::uint16_t* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = quantize_one(x[i], lo, inv_step);
+  }
+}
+
+void g_quantize_decode(const std::uint16_t* q, std::int64_t n, double lo,
+                       double step, double* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = lo + static_cast<double>(q[i]) * step;
+  }
+}
+
+void g_delta_encode(const double* x, const double* prev, std::int64_t n,
+                    std::uint64_t* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = double_bits(x[i]) ^ double_bits(prev[i]);
+  }
+}
+
+void g_delta_decode(const std::uint64_t* delta, const double* prev,
+                    std::int64_t n, double* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = double_from_bits(delta[i] ^ double_bits(prev[i]));
+  }
+}
+
+std::int64_t g_subsample_gather(const double* x, std::int64_t n_tuples,
+                                int components, int stride, double* out) {
+  std::int64_t kept = 0;
+  for (std::int64_t t = 0; t < n_tuples; t += stride, ++kept) {
+    for (int c = 0; c < components; ++c) {
+      out[kept * components + c] = x[t * components + c];
+    }
+  }
+  return kept;
+}
+
+void g_subsample_expand(const double* kept, std::int64_t n_tuples,
+                        int components, int stride, double* out) {
+  for (std::int64_t t = 0; t < n_tuples; ++t) {
+    const std::int64_t k = t / stride;
+    for (int c = 0; c < components; ++c) {
+      out[t * components + c] = kept[k * components + c];
+    }
+  }
+}
+
 }  // namespace
 
 const KernelTable kGenericTable = {
@@ -159,7 +208,9 @@ const KernelTable kGenericTable = {
     g_lerp,           g_colormap_apply, g_depth_composite,
     g_raster_span,    g_masked_store_span, g_plane_distance,
     g_magnitude3,     g_oscillator_accumulate, g_vexp,
-    g_vsin,           g_vcos,
+    g_vsin,           g_vcos,           g_quantize_encode,
+    g_quantize_decode, g_delta_encode,  g_delta_decode,
+    g_subsample_gather, g_subsample_expand,
 };
 
 }  // namespace insitu::kernels::detail

@@ -132,6 +132,12 @@ const char* kernel_name(KernelId id) {
     case KernelId::kVexp: return "vexp";
     case KernelId::kVsin: return "vsin";
     case KernelId::kVcos: return "vcos";
+    case KernelId::kQuantizeEncode: return "quantize_encode";
+    case KernelId::kQuantizeDecode: return "quantize_decode";
+    case KernelId::kDeltaEncode: return "delta_encode";
+    case KernelId::kDeltaDecode: return "delta_decode";
+    case KernelId::kSubsampleGather: return "subsample_gather";
+    case KernelId::kSubsampleExpand: return "subsample_expand";
     case KernelId::kCount: break;
   }
   return "?";
@@ -277,6 +283,54 @@ void vcos(const double* x, double* out, std::int64_t n) {
   const Variant v = active_variant();
   bump(KernelId::kVcos, v, n, n * 16);
   table_for(v)->vcos(x, out, n);
+}
+
+void quantize_encode(const double* x, std::int64_t n, double lo,
+                     double inv_step, std::uint16_t* out) {
+  const Variant v = active_variant();
+  bump(KernelId::kQuantizeEncode, v, n, n * 10);
+  table_for(v)->quantize_encode(x, n, lo, inv_step, out);
+}
+
+void quantize_decode(const std::uint16_t* q, std::int64_t n, double lo,
+                     double step, double* out) {
+  const Variant v = active_variant();
+  bump(KernelId::kQuantizeDecode, v, n, n * 10);
+  table_for(v)->quantize_decode(q, n, lo, step, out);
+}
+
+void delta_encode(const double* x, const double* prev, std::int64_t n,
+                  std::uint64_t* out) {
+  const Variant v = active_variant();
+  bump(KernelId::kDeltaEncode, v, n, n * 24);
+  table_for(v)->delta_encode(x, prev, n, out);
+}
+
+void delta_decode(const std::uint64_t* delta, const double* prev,
+                  std::int64_t n, double* out) {
+  const Variant v = active_variant();
+  bump(KernelId::kDeltaDecode, v, n, n * 24);
+  table_for(v)->delta_decode(delta, prev, n, out);
+}
+
+std::int64_t subsample_gather(const double* x, std::int64_t n_tuples,
+                              int components, int stride, double* out) {
+  const Variant v = active_variant();
+  const std::int64_t kept =
+      stride > 0 ? (n_tuples + stride - 1) / stride : n_tuples;
+  bump(KernelId::kSubsampleGather, v, n_tuples * components,
+       (n_tuples + kept) * components * 8);
+  return table_for(v)->subsample_gather(x, n_tuples, components, stride, out);
+}
+
+void subsample_expand(const double* kept, std::int64_t n_tuples,
+                      int components, int stride, double* out) {
+  const Variant v = active_variant();
+  const std::int64_t nk =
+      stride > 0 ? (n_tuples + stride - 1) / stride : n_tuples;
+  bump(KernelId::kSubsampleExpand, v, n_tuples * components,
+       (n_tuples + nk) * components * 8);
+  table_for(v)->subsample_expand(kept, n_tuples, components, stride, out);
 }
 
 }  // namespace insitu::kernels

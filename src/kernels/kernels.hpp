@@ -95,6 +95,12 @@ enum class KernelId : int {
   kVexp,
   kVsin,
   kVcos,
+  kQuantizeEncode,
+  kQuantizeDecode,
+  kDeltaEncode,
+  kDeltaDecode,
+  kSubsampleGather,
+  kSubsampleExpand,
   kCount,
 };
 
@@ -260,5 +266,54 @@ inline constexpr double kVcosMaxUlp = 4.0;
 void vexp(const double* x, double* out, std::int64_t n);
 void vsin(const double* x, double* out, std::int64_t n);
 void vcos(const double* x, double* out, std::int64_t n);
+
+// ---- data-reduction primitives (io::ReductionPipeline) ----
+//
+// The in transit reduction stage (docs/PERFORMANCE.md "In transit data
+// reduction") is built from these. All of them are per-element
+// independent and bit-identical across variants: the quantizer is pure
+// compare/convert arithmetic, delta is integer XOR, subsample is copies.
+
+/// Fixed-rate 16-bit quantizer, encode direction. For each element:
+///   t    = (x[i] - lo) * inv_step + 0.5
+///   code = t in [0, 65536) ? trunc(t) : t >= 65536 ? 65535 : 0
+/// i.e. round-to-nearest with saturation; negative-out-of-range and NaN
+/// map to code 0. With inv_step = 1/step and step = (max-min)/65535 the
+/// reconstruction error is bounded by step/2 for all finite in-range
+/// inputs (io::reduction.hpp documents the block framing that picks
+/// lo/step). Bit-identical across variants.
+void quantize_encode(const double* x, std::int64_t n, double lo,
+                     double inv_step, std::uint16_t* out);
+
+/// Quantizer decode: out[i] = lo + q[i] * step. Bit-identical across
+/// variants.
+void quantize_decode(const std::uint16_t* q, std::int64_t n, double lo,
+                     double step, double* out);
+
+/// Delta-vs-previous-step encode: out[i] = bits(x[i]) XOR bits(prev[i])
+/// (raw IEEE-754 bit patterns). Lossless: delta_decode reconstructs x
+/// bit-exactly for every input including NaN payloads, denormals and
+/// signed zeros. Bit-identical across variants.
+void delta_encode(const double* x, const double* prev, std::int64_t n,
+                  std::uint64_t* out);
+
+/// Inverse of delta_encode: out[i] = from_bits(delta[i] XOR
+/// bits(prev[i])). Bit-identical across variants.
+void delta_decode(const std::uint64_t* delta, const double* prev,
+                  std::int64_t n, double* out);
+
+/// Stride-decimation gather over `n_tuples` tuples of `components`
+/// doubles: keeps tuples 0, stride, 2*stride, … writing them
+/// contiguously to `out`. Returns the kept-tuple count,
+/// (n_tuples + stride - 1) / stride. Bit-identical across variants
+/// (pure copies).
+std::int64_t subsample_gather(const double* x, std::int64_t n_tuples,
+                              int components, int stride, double* out);
+
+/// Inverse expansion: out tuple t = kept tuple t / stride (nearest
+/// previous kept tuple — piecewise-constant reconstruction). Bit-identical
+/// across variants.
+void subsample_expand(const double* kept, std::int64_t n_tuples,
+                      int components, int stride, double* out);
 
 }  // namespace insitu::kernels

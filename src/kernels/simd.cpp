@@ -406,6 +406,95 @@ void s_vcos(const double* x, double* out, std::int64_t n) {
   for (; i < n; ++i) out[i] = cos_core<ScalarOps>(x[i]);
 }
 
+typedef std::uint16_t u16x4 __attribute__((vector_size(8)));
+
+void s_quantize_encode(const double* x, std::int64_t n, double lo,
+                       double inv_step, std::uint16_t* out) {
+  const d4 vlo = bcast4(lo);
+  const d4 vinv = bcast4(inv_step);
+  const d4 vhalf = bcast4(0.5);
+  const d4 vzero = bcast4(0.0);
+  const d4 vrange = bcast4(65536.0);
+  const d4 vtop = bcast4(65535.0);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const d4 t = (load<d4>(x + i) - vlo) * vinv + vhalf;
+    const d4 oob = sel(t >= vrange, vtop, vzero);
+    const d4 safe = sel((t >= vzero) & (t < vrange), t, oob);  // NaN -> 0
+    const i64x4 code = __builtin_convertvector(safe, i64x4);
+    const u16x4 packed = __builtin_convertvector(code, u16x4);
+    store<u16x4>(out + i, packed);
+  }
+  for (; i < n; ++i) out[i] = quantize_one(x[i], lo, inv_step);
+}
+
+void s_quantize_decode(const std::uint16_t* q, std::int64_t n, double lo,
+                       double step, double* out) {
+  const d4 vlo = bcast4(lo);
+  const d4 vstep = bcast4(step);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const d4 v = __builtin_convertvector(load<u16x4>(q + i), d4);
+    store<d4>(out + i, vlo + v * vstep);
+  }
+  for (; i < n; ++i) out[i] = lo + static_cast<double>(q[i]) * step;
+}
+
+void s_delta_encode(const double* x, const double* prev, std::int64_t n,
+                    std::uint64_t* out) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    store<i64x4>(out + i, load<i64x4>(x + i) ^ load<i64x4>(prev + i));
+  }
+  for (; i < n; ++i) out[i] = double_bits(x[i]) ^ double_bits(prev[i]);
+}
+
+void s_delta_decode(const std::uint64_t* delta, const double* prev,
+                    std::int64_t n, double* out) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    store<i64x4>(out + i, load<i64x4>(delta + i) ^ load<i64x4>(prev + i));
+  }
+  for (; i < n; ++i) {
+    out[i] = double_from_bits(delta[i] ^ double_bits(prev[i]));
+  }
+}
+
+std::int64_t s_subsample_gather(const double* x, std::int64_t n_tuples,
+                                int components, int stride, double* out) {
+  // Pure copies; the memcpy fast paths match the scalar reference
+  // bit-for-bit by construction.
+  if (stride == 1) {
+    std::memcpy(out, x,
+                static_cast<std::size_t>(n_tuples) *
+                    static_cast<std::size_t>(components) * sizeof(double));
+    return n_tuples;
+  }
+  const std::size_t tuple_bytes =
+      static_cast<std::size_t>(components) * sizeof(double);
+  std::int64_t kept = 0;
+  for (std::int64_t t = 0; t < n_tuples; t += stride, ++kept) {
+    std::memcpy(out + kept * components, x + t * components, tuple_bytes);
+  }
+  return kept;
+}
+
+void s_subsample_expand(const double* kept, std::int64_t n_tuples,
+                        int components, int stride, double* out) {
+  if (stride == 1) {
+    std::memcpy(out, kept,
+                static_cast<std::size_t>(n_tuples) *
+                    static_cast<std::size_t>(components) * sizeof(double));
+    return;
+  }
+  const std::size_t tuple_bytes =
+      static_cast<std::size_t>(components) * sizeof(double);
+  for (std::int64_t t = 0; t < n_tuples; ++t) {
+    std::memcpy(out + t * components, kept + (t / stride) * components,
+                tuple_bytes);
+  }
+}
+
 }  // namespace
 
 const KernelTable kSimdTable = {
@@ -414,7 +503,9 @@ const KernelTable kSimdTable = {
     s_lerp,           s_colormap_apply, s_depth_composite,
     s_raster_span,    s_masked_store_span, s_plane_distance,
     s_magnitude3,     s_oscillator_accumulate, s_vexp,
-    s_vsin,           s_vcos,
+    s_vsin,           s_vcos,           s_quantize_encode,
+    s_quantize_decode, s_delta_encode,  s_delta_decode,
+    s_subsample_gather, s_subsample_expand,
 };
 
 }  // namespace insitu::kernels::detail

@@ -42,6 +42,17 @@ struct KernelTable {
   void (*vexp)(const double*, double*, std::int64_t);
   void (*vsin)(const double*, double*, std::int64_t);
   void (*vcos)(const double*, double*, std::int64_t);
+  void (*quantize_encode)(const double*, std::int64_t, double, double,
+                          std::uint16_t*);
+  void (*quantize_decode)(const std::uint16_t*, std::int64_t, double, double,
+                          double*);
+  void (*delta_encode)(const double*, const double*, std::int64_t,
+                       std::uint64_t*);
+  void (*delta_decode)(const std::uint64_t*, const double*, std::int64_t,
+                       double*);
+  std::int64_t (*subsample_gather)(const double*, std::int64_t, int, int,
+                                   double*);
+  void (*subsample_expand)(const double*, std::int64_t, int, int, double*);
 };
 
 extern const KernelTable kGenericTable;

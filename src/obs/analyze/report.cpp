@@ -345,6 +345,109 @@ std::string render_tenant_table(const MetricsTable& metrics) {
   return table.to_string();
 }
 
+std::string render_reduction_table(const MetricsTable& metrics) {
+  // One row per (run, backend, variable). Per-variable series carry
+  // both labels ("io.reduction.bytes_in{backend=flexpath,variable=data}");
+  // the encode histogram and the adaptive transition counters are
+  // backend-scoped and folded into every variable row of that backend.
+  struct ReductionRow {
+    std::string run, backend, variable;
+    double level = -1.0;
+    double bytes_in = 0.0, bytes_out = 0.0;
+  };
+  struct BackendStats {
+    std::string run, backend;
+    double encode_p99 = 0.0;
+    double raises = 0.0, lowers = 0.0;
+  };
+  std::vector<ReductionRow> rows;
+  std::vector<BackendStats> backends;
+  auto row_for = [&rows](const std::string& run, const std::string& backend,
+                         const std::string& variable) -> ReductionRow& {
+    for (ReductionRow& row : rows) {
+      if (row.run == run && row.backend == backend &&
+          row.variable == variable) {
+        return row;
+      }
+    }
+    rows.push_back(ReductionRow{run, backend, variable});
+    return rows.back();
+  };
+  auto backend_for = [&backends](const std::string& run,
+                                 const std::string& backend) -> BackendStats& {
+    for (BackendStats& b : backends) {
+      if (b.run == run && b.backend == backend) return b;
+    }
+    backends.push_back(BackendStats{run, backend});
+    return backends.back();
+  };
+  auto label_value = [](const obs::Labels& labels,
+                        std::string_view key) -> std::string {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return v;
+    }
+    return "";
+  };
+  for (const MetricsRow& row : metrics.rows) {
+    std::string field;
+    obs::Labels labels;
+    if (!obs::parse_metric_key(row.metric, field, labels) || labels.empty()) {
+      continue;
+    }
+    if (field.rfind("io.reduction.", 0) != 0) continue;
+    const std::string backend = label_value(labels, "backend");
+    if (backend.empty()) continue;
+    const std::string variable = label_value(labels, "variable");
+    if (field == "io.reduction.level") {
+      row_for(row.run, backend, variable).level = row.value;
+    } else if (field == "io.reduction.bytes_in") {
+      row_for(row.run, backend, variable).bytes_in = row.value;
+    } else if (field == "io.reduction.bytes_out") {
+      row_for(row.run, backend, variable).bytes_out = row.value;
+    } else if (field == "io.reduction.encode.seconds") {
+      backend_for(row.run, backend).encode_p99 = row.p99;
+    } else if (field == "io.reduction.raises") {
+      backend_for(row.run, backend).raises = row.value;
+    } else if (field == "io.reduction.lowers") {
+      backend_for(row.run, backend).lowers = row.value;
+    }
+  }
+  if (rows.empty()) return "";
+
+  // Gauge values mirror io::ReductionLevel; named locally so the trace
+  // analyzer stays independent of the io library.
+  auto level_name = [](double level) -> std::string {
+    switch (static_cast<int>(level)) {
+      case 0: return "none";
+      case 1: return "delta";
+      case 2: return "subsample";
+      case 3: return "quantize";
+      default: return level < 0.0 ? "?" : TablePrinter::num(level, 0);
+    }
+  };
+  constexpr double kMiB = 1024.0 * 1024.0;
+  TablePrinter table("in transit reduction");
+  table.set_header({"run", "backend", "variable", "level", "in MiB",
+                    "out MiB", "ratio", "encode p99 ms", "raises", "lowers"});
+  for (const ReductionRow& row : rows) {
+    const BackendStats& stats = backend_for(row.run, row.backend);
+    table.add_row(
+        {row.run, row.backend, row.variable, level_name(row.level),
+         TablePrinter::num(row.bytes_in / kMiB, 3),
+         TablePrinter::num(row.bytes_out / kMiB, 3),
+         row.bytes_out > 0.0
+             ? TablePrinter::num(row.bytes_in / row.bytes_out, 2) + "x"
+             : "-",
+         TablePrinter::num(stats.encode_p99 * 1000.0, 4),
+         TablePrinter::num(stats.raises, 0),
+         TablePrinter::num(stats.lowers, 0)});
+  }
+  table.add_note("level = last applied per variable (gauge); raises/lowers "
+                 "count adaptive controller transitions per backend "
+                 "(docs/PERFORMANCE.md \"In transit data reduction\")");
+  return table.to_string();
+}
+
 std::string render_report(std::span<const AnalyzedRun> runs,
                           const ExportMeta* meta,
                           const ReportOptions& options) {

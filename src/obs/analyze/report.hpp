@@ -75,6 +75,15 @@ std::string render_kernel_table(const MetricsTable& metrics);
 /// tenant-labeled metrics, so callers can append it unconditionally.
 std::string render_tenant_table(const MetricsTable& metrics);
 
+/// In transit reduction summary distilled from the `io.reduction.*`
+/// series the ReductionPipeline publishes: one line per
+/// (run, backend, variable) with the last-applied level, bytes in/out,
+/// the compression ratio, and the backend's encode-time p99 plus
+/// adaptive raise/lower transition counts. Returns the empty string
+/// when the dump carries no reduction metrics, so callers can append it
+/// unconditionally.
+std::string render_reduction_table(const MetricsTable& metrics);
+
 /// Full report: metadata header, breakdown table, then per-run sections.
 std::string render_report(std::span<const AnalyzedRun> runs,
                           const ExportMeta* meta = nullptr,

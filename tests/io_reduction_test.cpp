@@ -1,0 +1,424 @@
+// In transit data reduction: stream round trips (bit identity for the
+// lossless levels, documented bounds for the lossy ones), prev-step
+// retention across level switches, RLE edge cases, [reduction] option
+// validation, and the adaptive controller's hysteresis.
+
+#include "io/reduction.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "data/image_data.hpp"
+#include "pal/config.hpp"
+
+namespace insitu::io {
+namespace {
+
+using data::DataArray;
+using data::ImageData;
+using data::IndexBox;
+using data::MultiBlockDataSet;
+using data::Vec3;
+
+std::shared_ptr<ImageData> make_block(int rank, std::uint32_t seed,
+                                      bool with_specials = false) {
+  IndexBox box;
+  box.cells = {6, 5, 4};
+  box.offset = {6 * rank, 0, 0};
+  auto img = std::make_shared<ImageData>(box, Vec3{1, 2, 3}, Vec3{0.5, 1, 2});
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uni(-50.0, 50.0);
+  auto pts = DataArray::create<double>("field", img->num_points(), 1);
+  for (std::int64_t i = 0; i < img->num_points(); ++i) {
+    pts->set(i, 0, uni(rng));
+  }
+  if (with_specials) {
+    pts->set(0, 0, std::numeric_limits<double>::quiet_NaN());
+    pts->set(1, 0, -0.0);
+    pts->set(2, 0, std::numeric_limits<double>::denorm_min());
+    pts->set(3, 0, std::numeric_limits<double>::infinity());
+  }
+  img->point_fields().add(pts);
+  auto vel = DataArray::create<double>("velocity", img->num_cells(), 3);
+  for (std::int64_t i = 0; i < img->num_cells(); ++i) {
+    for (int c = 0; c < 3; ++c) vel->set(i, c, uni(rng));
+  }
+  img->cell_fields().add(vel);
+  auto ghost = DataArray::create<std::int32_t>("ghost", img->num_cells(), 1);
+  for (std::int64_t i = 0; i < img->num_cells(); ++i) {
+    ghost->set(i, 0, static_cast<std::int32_t>(i % 2));
+  }
+  img->cell_fields().add(ghost);
+  return img;
+}
+
+std::shared_ptr<MultiBlockDataSet> make_mesh(std::uint32_t seed,
+                                             bool with_specials = false) {
+  auto mesh = std::make_shared<MultiBlockDataSet>(2);
+  mesh->add_block(0, make_block(0, seed, with_specials));
+  mesh->add_block(1, make_block(1, seed + 100, with_specials));
+  return mesh;
+}
+
+/// Bit-exact array comparison via the AoS serialization.
+void expect_bits_equal(const DataArray& a, const DataArray& b,
+                       const char* what) {
+  ASSERT_EQ(a.num_tuples(), b.num_tuples()) << what;
+  ASSERT_EQ(a.num_components(), b.num_components()) << what;
+  ASSERT_EQ(a.type(), b.type()) << what;
+  const std::vector<std::byte> ba = a.to_bytes();
+  const std::vector<std::byte> bb = b.to_bytes();
+  ASSERT_EQ(ba.size(), bb.size()) << what;
+  EXPECT_EQ(0, std::memcmp(ba.data(), bb.data(), ba.size())) << what;
+}
+
+void expect_mesh_bits_equal(const MultiBlockDataSet& a,
+                            const MultiBlockDataSet& b) {
+  ASSERT_EQ(a.num_local_blocks(), b.num_local_blocks());
+  for (std::size_t i = 0; i < a.num_local_blocks(); ++i) {
+    EXPECT_EQ(a.block_id(i), b.block_id(i));
+    const auto* ia = dynamic_cast<const ImageData*>(a.block(i).get());
+    const auto* ib = dynamic_cast<const ImageData*>(b.block(i).get());
+    ASSERT_NE(nullptr, ia);
+    ASSERT_NE(nullptr, ib);
+    EXPECT_EQ(ia->box().offset, ib->box().offset);
+    EXPECT_EQ(ia->box().cells, ib->box().cells);
+    for (const auto assoc :
+         {data::Association::kPoint, data::Association::kCell}) {
+      const auto names = ia->fields(assoc).names();
+      ASSERT_EQ(names, ib->fields(assoc).names());
+      for (const std::string& name : names) {
+        expect_bits_equal(*ia->fields(assoc).get(name),
+                          *ib->fields(assoc).get(name), name.c_str());
+      }
+    }
+  }
+}
+
+TEST(ReductionStream, NoneLevelRoundTripsBitExactly) {
+  ReductionPipeline enc, dec;
+  auto mesh = make_mesh(1, /*with_specials=*/true);
+  std::vector<std::byte> bytes;
+  const auto st = enc.encode(*mesh, ReductionLevel::kNone, bytes);
+  EXPECT_TRUE(ReductionPipeline::is_reduced_stream(bytes));
+  EXPECT_GT(st.bytes_in, 0);
+  EXPECT_EQ(st.bytes_in, st.bytes_out);  // none codes raw bytes 1:1
+  auto back = dec.decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(2, (*back)->num_global_blocks());
+  expect_mesh_bits_equal(*mesh, **back);
+}
+
+TEST(ReductionStream, DeltaIsBitLosslessAcrossSteps) {
+  ReductionPipeline enc, dec;
+  std::mt19937 rng(7);
+  auto mesh = make_mesh(2, /*with_specials=*/true);
+  for (int step = 0; step < 5; ++step) {
+    std::vector<std::byte> bytes;
+    const auto st = enc.encode(*mesh, ReductionLevel::kDelta, bytes);
+    auto back = dec.decode(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().message();
+    expect_mesh_bits_equal(*mesh, **back);
+    if (step > 0) {
+      // Only a few values changed since the last step: the zero-run RLE
+      // must beat raw by a wide margin.
+      EXPECT_LT(st.bytes_out, st.bytes_in / 4) << "step " << step;
+    }
+    // Perturb a handful of values (keeping the NaN in place) for the
+    // next delta.
+    auto* img = dynamic_cast<ImageData*>(mesh->block(0).get());
+    auto field = img->point_fields().get("field");
+    for (int k = 0; k < 5; ++k) {
+      field->set(static_cast<std::int64_t>(rng() % 100) + 4, 0,
+                 static_cast<double>(rng()) / 1e6);
+    }
+  }
+}
+
+TEST(ReductionStream, DeltaHandlesLongZeroRuns) {
+  // > 65535 unchanged words forces multi-record RLE runs.
+  auto mesh = std::make_shared<MultiBlockDataSet>(1);
+  IndexBox box;
+  box.cells = {50, 50, 30};  // 78336 points
+  auto img = std::make_shared<ImageData>(box, Vec3{}, Vec3{1, 1, 1});
+  auto pts = DataArray::create<double>("big", img->num_points(), 1);
+  for (std::int64_t i = 0; i < img->num_points(); ++i) {
+    pts->set(i, 0, 0.25 * static_cast<double>(i));
+  }
+  img->point_fields().add(pts);
+  mesh->add_block(0, img);
+
+  ReductionPipeline enc, dec;
+  std::vector<std::byte> first, second;
+  enc.encode(*mesh, ReductionLevel::kDelta, first);
+  ASSERT_TRUE(dec.decode(first).ok());
+  pts->set(img->num_points() - 1, 0, 99.0);  // one change at the far end
+  const auto st = enc.encode(*mesh, ReductionLevel::kDelta, second);
+  EXPECT_LT(st.bytes_out, 200);  // ~78k zero words collapse to records
+  auto back = dec.decode(second);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  expect_mesh_bits_equal(*mesh, **back);
+}
+
+TEST(ReductionStream, SubsampleReconstructsPiecewiseConstant) {
+  ReductionOptions opt;
+  opt.subsample_stride = 3;
+  ReductionPipeline enc(opt), dec;
+  auto mesh = make_mesh(3);
+  std::vector<std::byte> bytes;
+  const auto st = enc.encode(*mesh, ReductionLevel::kSubsample, bytes);
+  EXPECT_LT(st.bytes_out, st.bytes_in / 2);  // ~1/3 of tuples travel
+  auto back = dec.decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  for (std::size_t b = 0; b < mesh->num_local_blocks(); ++b) {
+    const auto* orig = dynamic_cast<const ImageData*>(mesh->block(b).get());
+    const auto* got =
+        dynamic_cast<const ImageData*>((*back)->block(b).get());
+    const auto of = orig->point_fields().get("field");
+    const auto gf = got->point_fields().get("field");
+    for (std::int64_t i = 0; i < of->num_tuples(); ++i) {
+      EXPECT_EQ(of->get((i / 3) * 3, 0), gf->get(i, 0)) << "tuple " << i;
+    }
+    // Non-f64 arrays travel raw even at lossy levels.
+    expect_bits_equal(*orig->cell_fields().get("ghost"),
+                      *got->cell_fields().get("ghost"), "ghost");
+  }
+}
+
+TEST(ReductionStream, QuantizeHonorsPerChunkErrorBound) {
+  ReductionPipeline enc, dec;
+  auto mesh = make_mesh(4);
+  std::vector<std::byte> bytes;
+  const auto st = enc.encode(*mesh, ReductionLevel::kQuantize, bytes);
+  // 2 bytes + chunk-header amortization per value vs 8 raw (the f64
+  // arrays dominate this mesh).
+  EXPECT_LT(st.bytes_out, st.bytes_in / 2);
+  auto back = dec.decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  for (std::size_t b = 0; b < mesh->num_local_blocks(); ++b) {
+    const auto* orig = dynamic_cast<const ImageData*>(mesh->block(b).get());
+    const auto* got =
+        dynamic_cast<const ImageData*>((*back)->block(b).get());
+    for (const char* name : {"field", "velocity"}) {
+      const auto of = orig->fields(name[0] == 'f' ? data::Association::kPoint
+                                                  : data::Association::kCell)
+                          .get(name);
+      const auto gf = got->fields(name[0] == 'f' ? data::Association::kPoint
+                                                 : data::Association::kCell)
+                          .get(name);
+      const std::int64_t n = of->num_values();
+      for (std::int64_t base = 0; base < n; base += kQuantizeChunk) {
+        const std::int64_t len = std::min(kQuantizeChunk, n - base);
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -lo;
+        for (std::int64_t i = 0; i < len; ++i) {
+          const double v = of->get((base + i) / of->num_components(),
+                                   static_cast<int>((base + i) %
+                                                    of->num_components()));
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        const double bound = 0.5000001 * (hi - lo) / 65535.0 + 1e-12;
+        for (std::int64_t i = 0; i < len; ++i) {
+          const auto t = (base + i) / of->num_components();
+          const auto c = static_cast<int>((base + i) % of->num_components());
+          EXPECT_LE(std::abs(of->get(t, c) - gf->get(t, c)), bound)
+              << name << " value " << base + i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ReductionStream, LevelSwitchKeepsPrevRetentionInLockstep) {
+  // A mid-run switch through every level must keep encoder and decoder
+  // prevs identical, so the lossless levels stay bit-exact afterwards.
+  ReductionPipeline enc, dec;
+  std::mt19937 rng(11);
+  auto mesh = make_mesh(5);
+  const ReductionLevel schedule[] = {
+      ReductionLevel::kNone,      ReductionLevel::kDelta,
+      ReductionLevel::kQuantize,  ReductionLevel::kDelta,
+      ReductionLevel::kSubsample, ReductionLevel::kDelta,
+      ReductionLevel::kNone,      ReductionLevel::kDelta,
+  };
+  for (const ReductionLevel level : schedule) {
+    // Perturb so deltas are non-trivial.
+    auto* img = dynamic_cast<ImageData*>(mesh->block(1).get());
+    auto vel = img->cell_fields().get("velocity");
+    vel->set(static_cast<std::int64_t>(rng() % vel->num_tuples()), 1,
+             static_cast<double>(rng()) * 1e-7);
+    std::vector<std::byte> bytes;
+    enc.encode(*mesh, level, bytes);
+    auto back = dec.decode(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().message();
+    if (level == ReductionLevel::kNone || level == ReductionLevel::kDelta) {
+      expect_mesh_bits_equal(*mesh, **back);
+    }
+  }
+}
+
+TEST(ReductionStream, PerVariableOverrideWins) {
+  ReductionOptions opt;
+  opt.per_variable["field"] = ReductionLevel::kNone;
+  ReductionPipeline enc(opt), dec;
+  auto mesh = make_mesh(6);
+  std::vector<std::byte> bytes;
+  enc.encode(*mesh, ReductionLevel::kQuantize, bytes);
+  auto back = dec.decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  for (std::size_t b = 0; b < mesh->num_local_blocks(); ++b) {
+    const auto* orig = dynamic_cast<const ImageData*>(mesh->block(b).get());
+    const auto* got =
+        dynamic_cast<const ImageData*>((*back)->block(b).get());
+    // The exempted variable is bit-exact; the others were quantized.
+    expect_bits_equal(*orig->point_fields().get("field"),
+                      *got->point_fields().get("field"), "field");
+  }
+}
+
+TEST(ReductionStream, RejectsTruncatedAndForeignBytes) {
+  ReductionPipeline enc, dec;
+  auto mesh = make_mesh(7);
+  std::vector<std::byte> bytes;
+  enc.encode(*mesh, ReductionLevel::kNone, bytes);
+  for (const std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                                std::size_t{17}, std::size_t{3}}) {
+    ReductionPipeline fresh;
+    EXPECT_FALSE(
+        fresh.decode(std::span<const std::byte>(bytes.data(), cut)).ok())
+        << "cut=" << cut;
+  }
+  const std::byte junk[4] = {};
+  EXPECT_FALSE(ReductionPipeline::is_reduced_stream(junk));
+  EXPECT_FALSE(dec.decode(std::vector<std::byte>(64)).ok());
+}
+
+TEST(ReductionOptionsTest, ParseAndValidate) {
+  auto config = pal::Config::from_text(
+      "[reduction]\nlevel=subsample\nadaptive=true\nraise_depth=4\n"
+      "lower_depth=1\nhysteresis_steps=3\nsubsample_stride=5\n"
+      "var.ghost=none\nvar.pressure=quantize\n");
+  ASSERT_TRUE(config.ok());
+  auto opt = parse_reduction_options(*config);
+  ASSERT_TRUE(opt.ok()) << opt.status().message();
+  EXPECT_EQ(ReductionLevel::kSubsample, opt->level);
+  EXPECT_TRUE(opt->adaptive);
+  EXPECT_EQ(4, opt->raise_depth);
+  EXPECT_EQ(1, opt->lower_depth);
+  EXPECT_EQ(3, opt->hysteresis_steps);
+  EXPECT_EQ(5, opt->subsample_stride);
+  ASSERT_EQ(2u, opt->per_variable.size());
+  EXPECT_EQ(ReductionLevel::kNone, opt->per_variable.at("ghost"));
+  EXPECT_EQ(ReductionLevel::kQuantize, opt->per_variable.at("pressure"));
+  EXPECT_TRUE(opt->engaged());
+
+  EXPECT_FALSE(parse_reduction_options(
+                   *pal::Config::from_text("[reduction]\nlevel=zfp\n"))
+                   .ok());
+  EXPECT_FALSE(parse_reduction_options(*pal::Config::from_text(
+                                           "[reduction]\nraise_depth=2\n"
+                                           "lower_depth=2\n"))
+                   .ok())
+      << "lower_depth must sit strictly below raise_depth";
+  EXPECT_FALSE(parse_reduction_options(
+                   *pal::Config::from_text("[reduction]\nraise_depth=0\n"))
+                   .ok());
+  EXPECT_FALSE(parse_reduction_options(*pal::Config::from_text(
+                                           "[reduction]\nhysteresis_steps=0\n"))
+                   .ok());
+  EXPECT_FALSE(parse_reduction_options(*pal::Config::from_text(
+                                           "[reduction]\nsubsample_stride=0\n"))
+                   .ok());
+  EXPECT_FALSE(parse_reduction_options(
+                   *pal::Config::from_text("[reduction]\nvar.x=best\n"))
+                   .ok());
+
+  const ReductionOptions defaults;
+  EXPECT_FALSE(defaults.engaged());
+}
+
+TEST(ReductionControllerTest, RaisesImmediatelyLowersHysteretically) {
+  ReductionOptions opt;
+  opt.adaptive = true;  // defaults: raise_depth=3 lower_depth=2 hysteresis=2
+  ReductionController ctl(opt);
+  EXPECT_EQ(ReductionLevel::kNone, ctl.level());
+
+  ctl.observe(3);
+  EXPECT_EQ(ReductionLevel::kDelta, ctl.level());
+  ctl.observe(3);
+  ctl.observe(5);
+  EXPECT_EQ(ReductionLevel::kQuantize, ctl.level());
+  ctl.observe(4);  // saturates at the top level
+  EXPECT_EQ(ReductionLevel::kQuantize, ctl.level());
+  EXPECT_EQ(3, ctl.raises());
+
+  ctl.observe(1);  // one calm step: not enough
+  EXPECT_EQ(ReductionLevel::kQuantize, ctl.level());
+  ctl.observe(2);  // second consecutive calm step lowers one notch
+  EXPECT_EQ(ReductionLevel::kSubsample, ctl.level());
+  ctl.observe(0);
+  ctl.observe(0);
+  EXPECT_EQ(ReductionLevel::kDelta, ctl.level());
+  ctl.observe(0);
+  ctl.observe(0);
+  EXPECT_EQ(ReductionLevel::kNone, ctl.level());
+  ctl.observe(0);
+  ctl.observe(0);  // never below the configured base
+  EXPECT_EQ(ReductionLevel::kNone, ctl.level());
+  EXPECT_EQ(3, ctl.lowers());
+}
+
+TEST(ReductionControllerTest, MiddleBandHoldsWithoutOscillating) {
+  ReductionOptions opt;
+  opt.adaptive = true;
+  opt.raise_depth = 4;
+  opt.lower_depth = 1;
+  opt.hysteresis_steps = 2;
+  ReductionController ctl(opt);
+  ctl.observe(4);
+  ASSERT_EQ(ReductionLevel::kDelta, ctl.level());
+  // Depths inside (lower, raise) hold the level and reset the calm
+  // streak, so alternating calm/middle never lowers.
+  for (int i = 0; i < 20; ++i) {
+    ctl.observe(i % 2 == 0 ? 1 : 2);
+    EXPECT_EQ(ReductionLevel::kDelta, ctl.level()) << "i=" << i;
+  }
+  EXPECT_EQ(1, ctl.raises());
+  EXPECT_EQ(0, ctl.lowers());
+  // Sustained calm does lower.
+  ctl.observe(1);
+  ctl.observe(1);
+  EXPECT_EQ(ReductionLevel::kNone, ctl.level());
+}
+
+TEST(ReductionControllerTest, BaseLevelIsTheFloor) {
+  ReductionOptions opt;
+  opt.adaptive = true;
+  opt.level = ReductionLevel::kDelta;
+  ReductionController ctl(opt);
+  EXPECT_EQ(ReductionLevel::kDelta, ctl.level());
+  ctl.observe(3);
+  EXPECT_EQ(ReductionLevel::kSubsample, ctl.level());
+  for (int i = 0; i < 10; ++i) ctl.observe(0);
+  EXPECT_EQ(ReductionLevel::kDelta, ctl.level());  // not below base
+}
+
+TEST(ReductionStream, EmptyMeshRoundTrips) {
+  ReductionPipeline enc, dec;
+  MultiBlockDataSet mesh(4);  // no local blocks on this rank
+  std::vector<std::byte> bytes;
+  const auto st = enc.encode(mesh, ReductionLevel::kQuantize, bytes);
+  EXPECT_EQ(0, st.bytes_in);
+  auto back = dec.decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(4, (*back)->num_global_blocks());
+  EXPECT_EQ(0u, (*back)->num_local_blocks());
+}
+
+}  // namespace
+}  // namespace insitu::io

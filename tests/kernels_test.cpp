@@ -518,5 +518,154 @@ TEST(KernelsTranscendental, VsinVcosUlpBoundAndCrossVariantBits) {
   }
 }
 
+TEST(KernelsReduction, QuantizeBitIdenticalAndErrorBounded) {
+  for (const std::int64_t n : kSizes) {
+    const std::vector<double> x = make_values(n, 61, /*specials=*/false);
+    // Chunk-local affine coding: one (lo, step) per call here, as the
+    // pipeline does per 256-value chunk.
+    double lo = 0.0, hi = 0.0;
+    for (const double v : x) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double step = (hi - lo) / 65535.0;
+    const double inv_step = step > 0.0 ? 1.0 / step : 0.0;
+    std::vector<std::uint16_t> ref_q(static_cast<std::size_t>(n) + 1, 0xabcd);
+    std::vector<double> ref_d(static_cast<std::size_t>(n) + 1, -7.0);
+    {
+      ScopedVariant scope(Variant::kGeneric);
+      quantize_encode(x.data(), n, lo, inv_step, ref_q.data());
+      quantize_decode(ref_q.data(), n, lo, step, ref_d.data());
+    }
+    // Documented error bound: step/2 for finite in-range values (a hair
+    // of slack for the inv_step rounding).
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_LE(std::abs(ref_d[static_cast<std::size_t>(i)] -
+                         x[static_cast<std::size_t>(i)]),
+                0.5000001 * step + 1e-12)
+          << "n=" << n << " i=" << i;
+    }
+    for (const Variant v : kAllVariants) {
+      ScopedVariant scope(v);
+      std::vector<std::uint16_t> q(static_cast<std::size_t>(n) + 1, 0xabcd);
+      std::vector<double> d(static_cast<std::size_t>(n) + 1, -7.0);
+      quantize_encode(x.data(), n, lo, inv_step, q.data());
+      quantize_decode(q.data(), n, lo, step, d.data());
+      EXPECT_EQ(ref_q, q) << "quantize_encode " << variant_name(v);
+      EXPECT_EQ(0, std::memcmp(d.data(), ref_d.data(), d.size() * 8))
+          << "quantize_decode " << variant_name(v);
+    }
+  }
+}
+
+TEST(KernelsReduction, QuantizeSpecialsAndDegenerateRange) {
+  // NaN and below-range values take code 0; above-range saturates.
+  const double lo = -1.0, step = 2.0 / 65535.0, inv_step = 1.0 / step;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double x[] = {nan, -inf, inf, -5.0, 5.0, lo, 1.0};
+  std::uint16_t q[7];
+  for (const Variant v : kAllVariants) {
+    ScopedVariant scope(v);
+    quantize_encode(x, 7, lo, inv_step, q);
+    EXPECT_EQ(0, q[0]) << variant_name(v);
+    EXPECT_EQ(0, q[1]) << variant_name(v);
+    EXPECT_EQ(65535, q[2]) << variant_name(v);
+    EXPECT_EQ(0, q[3]) << variant_name(v);
+    EXPECT_EQ(65535, q[4]) << variant_name(v);
+    EXPECT_EQ(0, q[5]) << variant_name(v);
+    EXPECT_EQ(65535, q[6]) << variant_name(v);
+    // Degenerate chunk (step == 0): everything codes to 0 and decodes
+    // to lo exactly.
+    quantize_encode(x, 7, 4.0, 0.0, q);
+    double d[7];
+    quantize_decode(q, 7, 4.0, 0.0, d);
+    for (int i = 0; i < 7; ++i) {
+      EXPECT_EQ(0, q[i]) << variant_name(v);
+      EXPECT_EQ(4.0, d[i]) << variant_name(v);
+    }
+  }
+}
+
+TEST(KernelsReduction, DeltaRoundTripIsBitLossless) {
+  for (const std::int64_t n : kSizes) {
+    const std::vector<double> x = make_values(n, 62, /*specials=*/true);
+    std::vector<double> prev = make_values(n, 63, /*specials=*/true);
+    std::vector<std::uint64_t> ref_w(static_cast<std::size_t>(n) + 1,
+                                     0x1234u);
+    {
+      ScopedVariant scope(Variant::kGeneric);
+      delta_encode(x.data(), prev.data(), n, ref_w.data());
+    }
+    for (const Variant v : kAllVariants) {
+      ScopedVariant scope(v);
+      std::vector<std::uint64_t> w(static_cast<std::size_t>(n) + 1, 0x1234u);
+      std::vector<double> back(static_cast<std::size_t>(n) + 1, -7.0);
+      delta_encode(x.data(), prev.data(), n, w.data());
+      EXPECT_EQ(ref_w, w) << "delta_encode " << variant_name(v);
+      delta_decode(w.data(), prev.data(), n, back.data());
+      // Bit identity, not value equality: NaN payloads, signed zeros and
+      // denormals must survive.
+      EXPECT_EQ(0, std::memcmp(back.data(), x.data(),
+                               static_cast<std::size_t>(n) * 8))
+          << "delta_decode " << variant_name(v);
+    }
+    // Unchanged values XOR to zero words — the property RLE exploits.
+    std::vector<std::uint64_t> self(static_cast<std::size_t>(n), 0x5678u);
+    delta_encode(x.data(), x.data(), n, self.data());
+    for (const std::uint64_t w : self) EXPECT_EQ(0u, w);
+  }
+}
+
+TEST(KernelsReduction, SubsampleGatherExpandBitIdentical) {
+  const int kComponents[] = {1, 3};
+  const int kStrides[] = {1, 2, 3, 7};
+  for (const std::int64_t tuples : kSizes) {
+    for (const int comps : kComponents) {
+      const std::vector<double> x =
+          make_values(tuples * comps, 64, /*specials=*/true);
+      for (const int stride : kStrides) {
+        const std::int64_t kept_tuples =
+            stride > 0 ? (tuples + stride - 1) / stride : tuples;
+        // Scalar reference for both directions.
+        std::vector<double> ref_kept(
+            static_cast<std::size_t>(kept_tuples * comps), -7.0);
+        std::vector<double> ref_full(static_cast<std::size_t>(tuples * comps),
+                                     -7.0);
+        for (std::int64_t t = 0; t < tuples; ++t) {
+          const std::int64_t k = t / stride;
+          for (int c = 0; c < comps; ++c) {
+            if (t % stride == 0) {
+              ref_kept[static_cast<std::size_t>(k * comps + c)] =
+                  x[static_cast<std::size_t>(t * comps + c)];
+            }
+            ref_full[static_cast<std::size_t>(t * comps + c)] =
+                x[static_cast<std::size_t>((t / stride) * stride * comps + c)];
+          }
+        }
+        for (const Variant v : kAllVariants) {
+          ScopedVariant scope(v);
+          std::vector<double> kept(
+              static_cast<std::size_t>(kept_tuples * comps) + 1, -9.0);
+          const std::int64_t got =
+              subsample_gather(x.data(), tuples, comps, stride, kept.data());
+          EXPECT_EQ(kept_tuples, got) << variant_name(v);
+          EXPECT_EQ(0, std::memcmp(kept.data(), ref_kept.data(),
+                                   ref_kept.size() * 8))
+              << "gather " << variant_name(v) << " tuples=" << tuples
+              << " comps=" << comps << " stride=" << stride;
+          std::vector<double> full(
+              static_cast<std::size_t>(tuples * comps) + 1, -9.0);
+          subsample_expand(kept.data(), tuples, comps, stride, full.data());
+          EXPECT_EQ(0, std::memcmp(full.data(), ref_full.data(),
+                                   ref_full.size() * 8))
+              << "expand " << variant_name(v) << " tuples=" << tuples
+              << " comps=" << comps << " stride=" << stride;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace insitu::kernels
