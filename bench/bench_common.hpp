@@ -79,6 +79,13 @@ class ObsSession {
   /// Carrier workers for the mn backend (`sched_workers=N`); 0 = one per
   /// hardware thread.
   int sched_workers() const { return sched_workers_; }
+  /// Collective engine requested via `coll=NAME` / `--coll NAME`; empty
+  /// when running the process default (INSITU_COLL or tree). An explicit
+  /// request also becomes the process default, like `sched=`.
+  const std::string& coll_engine_name() const { return coll_; }
+  /// Combining-tree arity requested via `coll_arity=N`; 0 when running
+  /// the process default (INSITU_COLL_ARITY or 64).
+  int coll_arity() const { return coll_arity_; }
   /// Executed rank counts requested via `ranks=N[,M...]` / `--ranks ...`;
   /// empty when the bench should use its own defaults. Values are
   /// validated at parse time (positive, no overflow) — an invalid list
@@ -120,6 +127,8 @@ class ObsSession {
   std::string kernels_;  ///< requested dispatch variant ("" = default)
   std::string sched_;    ///< requested scheduler backend ("" = default)
   int sched_workers_ = 0;
+  std::string coll_;     ///< requested collective engine ("" = default)
+  int coll_arity_ = 0;   ///< requested combining-tree arity (0 = default)
   std::vector<int> ranks_;  ///< executed-rank override (empty = default)
   int threads_ = 1;
   bool finished_ = false;

@@ -1,5 +1,6 @@
 #include "comm/communicator.hpp"
 
+#include "comm/coll.hpp"
 #include "comm/group_factory.hpp"
 #include "exec/fiber.hpp"
 #include "obs/context.hpp"
@@ -7,110 +8,546 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <span>
+#include <utility>
 
 namespace insitu::comm {
 namespace detail {
 
+class Group;
+
 namespace {
+
 struct Message {
   int src = 0;
   int tag = 0;
   double arrival_vtime = 0.0;
+  std::uint64_t seq = 0;  // mailbox arrival order (any-source FIFO)
   std::vector<std::byte> payload;
 };
+
+// ---- mailbox wakeup keys ----
+//
+// Receivers waiting on an exact (src, tag) pair register under
+// exact_key, any-source receivers under any_key, and a delivery notifies
+// both — so a deep queue never wakes receivers its message cannot match.
+// Keys only filter wakeups (the predicate loop re-checks the queue), but
+// the packing below is injective for valid ranks/tags anyway: exact keys
+// carry src+1 in the high word, any keys leave it zero.
+
+std::uint64_t exact_key(int src, int tag) {
+  return ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) + 1)
+          << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+std::uint64_t any_key(int tag) { return static_cast<std::uint32_t>(tag); }
+
+// ---- collective rounds ----
+
+/// Element-wise combiner for one reduce round (same signature the public
+/// API takes). All ranks of a round pass the same operation.
+using CombineFn = std::function<void(void*, const void*, std::size_t)>;
+
+enum class CollOp { kBarrier, kBcast, kReduce, kGather, kExchange, kSplit };
+
+const char* coll_op_name(CollOp op) {
+  switch (op) {
+    case CollOp::kBarrier: return "barrier";
+    case CollOp::kBcast: return "bcast";
+    case CollOp::kReduce: return "reduce";
+    case CollOp::kGather: return "gather";
+    case CollOp::kExchange: return "allgather";
+    case CollOp::kSplit: return "split";
+  }
+  return "?";
+}
+
+/// Per-rank input to one collective round. Pointer fields refer into the
+/// calling rank's frame and stay valid for the whole call.
+struct CollInput {
+  CollOp op = CollOp::kBarrier;
+  double entry = 0.0;  ///< the rank's virtual clock at the rendezvous
+  // reduce
+  const std::byte* reduce_data = nullptr;
+  std::size_t reduce_bytes = 0;
+  const CombineFn* combine = nullptr;
+  // bcast (root rank only)
+  bool bcast_root = false;
+  const std::byte* bcast_data = nullptr;
+  std::size_t bcast_bytes = 0;
+  // gather / allgather
+  BlobPtr blob;
+  // split
+  int split_color = 0;
+  int split_size = 0;
+};
+
+/// Execution-side cost of one collective call on the calling rank
+/// (wall-clock, not virtual time): seconds parked at rendezvous points
+/// and slot-lock acquisitions that found the lock held.
+struct CollStats {
+  double wait_seconds = 0.0;
+  std::int64_t contended = 0;
+};
+
+/// Folds `items` (each `bytes` long) with the canonical blocked
+/// schedule: consecutive blocks of `arity` fold left to right, and the
+/// block partials fold recursively under the same rule. The schedule
+/// depends only on (item count, arity) — never on arrival order — which
+/// is what makes floating-point reductions bit-identical across runs,
+/// sched backends, and engines: the tree engine's per-slot folds compose
+/// to exactly this schedule, and the flat engine calls it directly when
+/// its single slot completes.
+void canonical_fold(std::span<const std::byte* const> items, std::size_t bytes,
+                    int arity, const CombineFn& combine,
+                    std::vector<std::byte>& out) {
+  const std::size_t n = items.size();
+  assert(n > 0);
+  if (bytes == 0) {
+    out.clear();
+    return;
+  }
+  if (n <= static_cast<std::size_t>(arity)) {
+    out.assign(items[0], items[0] + bytes);
+    for (std::size_t i = 1; i < n; ++i) combine(out.data(), items[i], bytes);
+    return;
+  }
+  const std::size_t blocks = (n + static_cast<std::size_t>(arity) - 1) /
+                             static_cast<std::size_t>(arity);
+  std::vector<std::vector<std::byte>> partials(blocks);
+  std::vector<const std::byte*> heads(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * static_cast<std::size_t>(arity);
+    const std::size_t hi =
+        std::min(n, lo + static_cast<std::size_t>(arity));
+    canonical_fold(items.subspan(lo, hi - lo), bytes, arity, combine,
+                   partials[b]);
+    heads[b] = partials[b].data();
+  }
+  canonical_fold(heads, bytes, arity, combine, out);
+}
+
 }  // namespace
 
-/// Shared state for one communicator: per-rank mailboxes plus a reusable
-/// collective rendezvous slot. Thread-safe; one instance is shared by all
-/// rank threads of the communicator.
+/// Result of one collective round, produced once by the rank that
+/// completes the root slot and shared read-only by every rank of the
+/// round. Field meaning depends on the operation; unused fields stay
+/// empty.
+struct CollOutcome {
+  double max_entry = 0.0;   ///< max virtual entry time across ranks
+  double root_entry = 0.0;  ///< bcast: the root rank's entry time
+  std::vector<std::byte> reduce;  ///< reduce: folded bytes; bcast: payload
+  BlobTable table;                ///< gather/allgather: rank-indexed blobs
+  std::size_t total_bytes = 0;    ///< sum of table blob sizes
+  std::size_t max_blob = 0;       ///< largest table blob
+  std::map<int, std::shared_ptr<Group>> split_groups;  ///< split: per color
+};
+
+/// Shared state for one communicator: per-rank mailboxes plus the
+/// collective rendezvous slots. Thread-safe; one instance is shared by
+/// all rank threads/fibers of the communicator.
+///
+/// Collectives execute over a combining tree of rendezvous slots. Ranks
+/// deposit their contribution into a leaf slot shared by a block of
+/// `arity` consecutive ranks; the last arrival of each slot folds the
+/// block and ascends to the parent slot, so only one rank per block ever
+/// touches the next level. The rank completing the root slot finalizes
+/// the shared CollOutcome and publishes it back down the slots it
+/// completed; parked members wake through generation-tagged targeted
+/// notifies and read the outcome without copying. The flat engine is the
+/// degenerate single-slot tree (every rank serializes through one mutex
+/// and one wake herd — kept as the measurable baseline), but it folds
+/// with the same canonical schedule, so both engines produce identical
+/// bits.
+///
+/// Blocking here must be fiber-aware: under the M:N scheduler a rank
+/// that waits on an unmatched receive or an incomplete rendezvous parks
+/// its continuation and frees the carrier worker instead of blocking an
+/// OS thread. exec::WaitSet degrades to a plain condition variable for
+/// thread-backed ranks and the async bridge's OS workers.
 class Group {
  public:
-  explicit Group(int size) : size_(size), mailboxes_(size) {}
+  Group(int size, CollEngine engine, int arity)
+      : size_(size),
+        engine_(engine),
+        arity_(std::max(arity, kMinCollArity)),
+        mailboxes_(static_cast<std::size_t>(size)) {
+    build_topology();
+  }
 
   int size() const { return size_; }
+  CollEngine engine() const { return engine_; }
+  int arity() const { return arity_; }
 
   // ---- point to point ----
 
   void deliver(int dest, Message msg) {
-    Mailbox& box = mailboxes_[dest];
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.queue.push_back(std::move(msg));
-    box.cv.notify_all();
+    msg.seq = box.next_seq++;
+    box.by_tag[msg.tag].emplace(msg.seq, msg.src);
+    const std::uint64_t exact = exact_key(msg.src, msg.tag);
+    const std::uint64_t any = any_key(msg.tag);
+    box.buckets[{msg.src, msg.tag}].push_back(std::move(msg));
+    box.cv.notify_key(exact);
+    box.cv.notify_key(any);
   }
 
   Message take(int dest, int src, int tag) {
-    Mailbox& box = mailboxes_[dest];
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
     std::unique_lock<std::mutex> lock(box.mutex);
-    while (true) {
-      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-        if ((src < 0 || it->src == src) && it->tag == tag) {
-          Message msg = std::move(*it);
-          box.queue.erase(it);
-          return msg;
+    for (;;) {
+      if (src >= 0) {
+        auto it = box.buckets.find({src, tag});
+        if (it != box.buckets.end()) return pop_bucket(box, it);
+      } else {
+        auto ti = box.by_tag.find(tag);
+        if (ti != box.by_tag.end()) {
+          // Oldest matching arrival across all sources.
+          const int oldest_src = ti->second.begin()->second;
+          return pop_bucket(box, box.buckets.find({oldest_src, tag}));
         }
       }
-      box.cv.wait(lock);
+      box.cv.wait_key(lock, src >= 0 ? exact_key(src, tag) : any_key(tag));
     }
   }
 
   bool probe(int dest, int src, int tag) const {
-    const Mailbox& box = mailboxes_[dest];
+    const Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
     std::lock_guard<std::mutex> lock(box.mutex);
-    for (const auto& msg : box.queue) {
-      if ((src < 0 || msg.src == src) && msg.tag == tag) return true;
-    }
-    return false;
+    if (src >= 0) return box.buckets.count({src, tag}) > 0;
+    return box.by_tag.count(tag) > 0;
   }
 
-  // ---- collective rendezvous ----
-  //
-  // One reusable slot: ranks arrive, contribute, and the last arrival
-  // publishes the result; ranks then drain (copy results out) before the
-  // slot can be reused. Generation counting makes the slot reusable
-  // back-to-back without races.
+  // ---- collectives ----
 
-  // Blocking here must be fiber-aware: under the M:N scheduler a rank
-  // that waits on an unmatched receive or an incomplete rendezvous parks
-  // its continuation and frees the carrier worker instead of blocking an
-  // OS thread. exec::WaitSet degrades to a plain condition variable for
-  // thread-backed ranks and the async bridge's OS workers.
+  /// Runs one collective round for `rank`. Blocks until the round's
+  /// outcome is available; wall-clock costs land in `stats`.
+  std::shared_ptr<const CollOutcome> collective(int rank, const CollInput& in,
+                                                CollStats& stats) {
+    Carry carry;
+    carry.contrib.max_entry = in.entry;
+    carry.contrib.has_root = in.bcast_root;
+    carry.contrib.root_entry = in.entry;
+    carry.contrib.reduce_data = in.reduce_data;
+    carry.contrib.bcast_data = in.bcast_data;
+    carry.contrib.bcast_bytes = in.bcast_bytes;
+    if (in.op == CollOp::kGather || in.op == CollOp::kExchange) {
+      carry.contrib.blobs.push_back(in.blob);
+    }
+    if (in.op == CollOp::kSplit) {
+      carry.contrib.colors[in.split_color] = in.split_size;
+    }
 
-  struct CollectiveState {
-    std::mutex mutex;
-    exec::WaitSet cv;
-    long generation = 0;
-    int arrived = 0;
-    int readers_pending = 0;
-    double max_entry = 0.0;
-    double root_entry = 0.0;
-    // Payload areas; meaning depends on the operation.
-    std::vector<std::byte> buffer;
-    std::vector<std::vector<std::byte>> blobs;
-    bool buffer_initialized = false;
-    // split(): first proposer per color registers the new group here.
-    std::map<int, std::shared_ptr<Group>> split_registry;
-  };
+    int slot_idx = rank / leaf_block_;
+    int member = rank % leaf_block_;
+    std::shared_ptr<const CollOutcome> outcome;
+    // Slots this rank completed on the way up; their members stay parked
+    // until we publish the outcome back down.
+    std::vector<int> completed;
+    // The flat engine keeps the original wakeup discipline — broadcast
+    // notify_all herds that every waiter re-checks — so the ablation
+    // measures what targeted wakeups actually buy. The tree engine tags
+    // every wait with a key only the matching state change notifies.
+    const bool targeted = engine_ == CollEngine::kTree;
 
-  CollectiveState& collective() { return collective_; }
+    for (;;) {
+      Slot& slot = slots_[static_cast<std::size_t>(slot_idx)];
+      std::unique_lock<std::mutex> lock(slot.mutex, std::try_to_lock);
+      if (!lock.owns_lock()) {
+        ++stats.contended;
+        lock.lock();
+      }
+      // Wait out the previous round's readers before reusing the slot.
+      wait_timed(slot, lock, targeted ? kDrainKey : exec::WaitSet::kAnyKey,
+                 stats, [&] { return slot.readers_pending == 0; });
+      if (slot.arrived == 0) {
+        slot.contribs.assign(static_cast<std::size_t>(slot.expected),
+                             Contribution{});
+      }
+      slot.contribs[static_cast<std::size_t>(member)] =
+          std::move(carry.contrib);
+      ++slot.arrived;
+      if (slot.arrived < slot.expected) {
+        // Park until the round's outcome lands in this slot. The wait is
+        // tagged with the generation we joined, so publishes for other
+        // rounds or the drain protocol never wake us.
+        const long generation = slot.generation;
+        wait_timed(slot, lock,
+                   targeted ? generation_key(generation)
+                            : exec::WaitSet::kAnyKey,
+                   stats, [&] { return slot.generation != generation; });
+        outcome = slot.outcome;
+        if (--slot.readers_pending == 0) {
+          if (targeted) {
+            slot.cv.notify_key(kDrainKey);
+          } else {
+            slot.cv.notify_all();
+          }
+        }
+        break;
+      }
+      // Last arrival: fold this slot in canonical member order, then
+      // ascend — or finalize the round if this is the root slot.
+      fold_slot(slot, in, carry);
+      if (slot.parent < 0) {
+        outcome = finalize(std::move(carry), in);
+        publish(slot, outcome);
+        break;
+      }
+      completed.push_back(slot_idx);
+      member = slot.index_in_parent;
+      slot_idx = slot.parent;
+    }
+
+    // Publish down the chain of slots we completed (top-down; members of
+    // each are parked on their tagged generation wait).
+    for (auto it = completed.rbegin(); it != completed.rend(); ++it) {
+      Slot& slot = slots_[static_cast<std::size_t>(*it)];
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      publish(slot, outcome);
+    }
+    return outcome;
+  }
 
  private:
   struct Mailbox {
     mutable std::mutex mutex;
     exec::WaitSet cv;
-    std::deque<Message> queue;
+    std::uint64_t next_seq = 0;
+    // Per-(src, tag) FIFO buckets plus a per-tag arrival index: exact
+    // receives match their bucket's front, any-source receives take the
+    // globally oldest message of the tag — the same match order the old
+    // single-deque scan produced, without O(queue) rescans per wakeup.
+    std::map<std::pair<int, int>, std::deque<Message>> buckets;
+    std::map<int, std::map<std::uint64_t, int>> by_tag;  // tag->seq->src
   };
 
+  /// What one member deposits into a slot: at a leaf, the rank's own
+  /// input; at an interior slot, the folded partial of the child block
+  /// the member completed. Pointers refer into a member's frame; the
+  /// member stays inside the round (parked or ascending) until the
+  /// outcome reaches it, so they outlive every fold that reads them.
+  struct Contribution {
+    double max_entry = 0.0;
+    bool has_root = false;
+    double root_entry = 0.0;
+    const std::byte* reduce_data = nullptr;
+    const std::byte* bcast_data = nullptr;
+    std::size_t bcast_bytes = 0;
+    std::vector<BlobPtr> blobs;  ///< rank-order blobs of the subtree
+    std::map<int, int> colors;   ///< split: color -> member count
+  };
+
+  /// Ascender-local fold state. `partial` owns the reduce bytes that
+  /// contrib.reduce_data points at after a fold.
+  struct Carry {
+    Contribution contrib;
+    std::vector<std::byte> partial;
+  };
+
+  /// One rendezvous slot of the combining tree. Leaf slots serve a block
+  /// of consecutive ranks; interior slots serve the last arrivals of a
+  /// block of child slots.
+  struct Slot {
+    std::mutex mutex;
+    exec::WaitSet cv;
+    long generation = 0;
+    int arrived = 0;
+    int readers_pending = 0;
+    int expected = 0;  ///< members rendezvousing here
+    int parent = -1;   ///< parent slot index; -1 at the root
+    int index_in_parent = 0;
+    std::vector<Contribution> contribs;  ///< per member, reset each round
+    std::shared_ptr<const CollOutcome> outcome;
+  };
+
+  // WaitSet keys on a slot: next-round arrivals waiting for the previous
+  // round's readers to drain use kDrainKey; round members park under the
+  // generation they joined.
+  static constexpr std::uint64_t kDrainKey = 0;
+  static std::uint64_t generation_key(long generation) {
+    return static_cast<std::uint64_t>(generation) + 1;
+  }
+
+  void build_topology() {
+    leaf_block_ = engine_ == CollEngine::kFlat ? size_ : arity_;
+    // Level sizes: ceil(P / block) leaf slots over consecutive rank
+    // blocks, then arity-wide levels until a single root remains.
+    std::vector<int> levels;
+    int n = (size_ + leaf_block_ - 1) / leaf_block_;
+    levels.push_back(n);
+    while (n > 1) {
+      n = (n + arity_ - 1) / arity_;
+      levels.push_back(n);
+    }
+    int total = 0;
+    std::vector<int> offset(levels.size());
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      offset[l] = total;
+      total += levels[l];
+    }
+    slots_ = std::vector<Slot>(static_cast<std::size_t>(total));
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      for (int i = 0; i < levels[l]; ++i) {
+        Slot& slot = slots_[static_cast<std::size_t>(offset[l] + i)];
+        slot.expected =
+            l == 0 ? std::min(leaf_block_, size_ - i * leaf_block_)
+                   : std::min(arity_, levels[l - 1] - i * arity_);
+        if (l + 1 < levels.size()) {
+          slot.parent = offset[l + 1] + i / arity_;
+          slot.index_in_parent = i % arity_;
+        }
+      }
+    }
+  }
+
+  template <typename Predicate>
+  void wait_timed(Slot& slot, std::unique_lock<std::mutex>& lock,
+                  std::uint64_t key, CollStats& stats, Predicate predicate) {
+    if (predicate()) return;
+    const auto start = std::chrono::steady_clock::now();
+    slot.cv.wait_key(lock, key, predicate);
+    stats.wait_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+
+  /// Folds a completed slot's contributions into `carry`. Members are
+  /// indexed in rank order, so the fold order is canonical by
+  /// construction; the reduce fold uses the canonical blocked schedule,
+  /// which makes the flat single slot (expected == P) bit-compatible
+  /// with the composed tree folds.
+  void fold_slot(Slot& slot, const CollInput& in, Carry& carry) {
+    auto& contribs = slot.contribs;
+    Contribution folded;
+    folded.max_entry = contribs[0].max_entry;
+    for (std::size_t i = 1; i < contribs.size(); ++i) {
+      folded.max_entry = std::max(folded.max_entry, contribs[i].max_entry);
+    }
+    for (const Contribution& c : contribs) {
+      if (c.has_root) {
+        folded.has_root = true;
+        folded.root_entry = c.root_entry;
+        folded.bcast_data = c.bcast_data;
+        folded.bcast_bytes = c.bcast_bytes;
+      }
+    }
+    switch (in.op) {
+      case CollOp::kReduce: {
+        std::vector<const std::byte*> items;
+        items.reserve(contribs.size());
+        for (const Contribution& c : contribs) items.push_back(c.reduce_data);
+        std::vector<std::byte> out;
+        canonical_fold(items, in.reduce_bytes, arity_, *in.combine, out);
+        carry.partial = std::move(out);
+        folded.reduce_data = carry.partial.data();
+        break;
+      }
+      case CollOp::kGather:
+      case CollOp::kExchange: {
+        std::size_t total = 0;
+        for (const Contribution& c : contribs) total += c.blobs.size();
+        folded.blobs.reserve(total);
+        for (Contribution& c : contribs) {
+          for (BlobPtr& blob : c.blobs) folded.blobs.push_back(std::move(blob));
+        }
+        break;
+      }
+      case CollOp::kSplit: {
+        // Same-color proposals agree on the count; last write wins.
+        for (const Contribution& c : contribs) {
+          for (const auto& [color, count] : c.colors) {
+            folded.colors[color] = count;
+          }
+        }
+        break;
+      }
+      default: break;
+    }
+    carry.contrib = std::move(folded);
+  }
+
+  std::shared_ptr<const CollOutcome> finalize(Carry&& carry,
+                                              const CollInput& in) {
+    auto outcome = std::make_shared<CollOutcome>();
+    outcome->max_entry = carry.contrib.max_entry;
+    outcome->root_entry = carry.contrib.root_entry;
+    switch (in.op) {
+      case CollOp::kReduce:
+        outcome->reduce = std::move(carry.partial);
+        break;
+      case CollOp::kBcast:
+        // Copy the root's payload exactly once. The root rank is still
+        // inside the round (parked or ascending) here, so its pointer is
+        // valid; readers then alias the outcome's copy.
+        if (carry.contrib.bcast_bytes > 0) {
+          outcome->reduce.assign(
+              carry.contrib.bcast_data,
+              carry.contrib.bcast_data + carry.contrib.bcast_bytes);
+        }
+        break;
+      case CollOp::kGather:
+      case CollOp::kExchange:
+        outcome->table = std::move(carry.contrib.blobs);
+        for (const BlobPtr& blob : outcome->table) {
+          outcome->total_bytes += blob->size();
+          outcome->max_blob = std::max(outcome->max_blob, blob->size());
+        }
+        break;
+      case CollOp::kSplit:
+        for (const auto& [color, count] : carry.contrib.colors) {
+          outcome->split_groups.emplace(
+              color, std::make_shared<Group>(count, engine_, arity_));
+        }
+        break;
+      case CollOp::kBarrier:
+        break;
+    }
+    return outcome;
+  }
+
+  /// Publishes a round's outcome into a slot (lock held): bumps the
+  /// generation and wakes exactly the members parked on it. The
+  /// publisher was a member too and already holds the outcome, so only
+  /// expected-1 readers remain to drain.
+  void publish(Slot& slot, const std::shared_ptr<const CollOutcome>& outcome) {
+    slot.outcome = outcome;
+    slot.arrived = 0;
+    slot.readers_pending = slot.expected - 1;
+    const long generation = slot.generation++;
+    if (slot.readers_pending > 0) slot.cv.notify_key(generation_key(generation));
+  }
+
+  static Message pop_bucket(
+      Mailbox& box,
+      std::map<std::pair<int, int>, std::deque<Message>>::iterator it) {
+    Message msg = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) box.buckets.erase(it);
+    auto ti = box.by_tag.find(msg.tag);
+    ti->second.erase(msg.seq);
+    if (ti->second.empty()) box.by_tag.erase(ti);
+    return msg;
+  }
+
   int size_;
+  CollEngine engine_;
+  int arity_;
+  int leaf_block_ = 1;  ///< ranks per leaf slot (P for the flat engine)
   std::vector<Mailbox> mailboxes_;
-  CollectiveState collective_;
+  std::vector<Slot> slots_;  ///< leaf level first, root slot last
 };
 
 std::shared_ptr<Group> make_group(int size) {
-  return std::make_shared<Group>(size);
+  return std::make_shared<Group>(size, default_coll_engine(),
+                                 default_coll_arity());
 }
 
 }  // namespace detail
@@ -136,6 +573,29 @@ obs::Counter& collective_bytes(const char* op) {
 }
 
 }  // namespace
+
+/// Execution-side collective accounting (wall-clock, per rank): calls,
+/// seconds parked at the rendezvous, and contended slot-lock
+/// acquisitions. Labeled by op and engine so flat/tree ablations show up
+/// side by side in perf_report's collectives table. Handles are bound
+/// once per op and cached, matching the p2p bytes_sent_ idiom.
+void Communicator::record_coll_stats(int op, double wait_seconds,
+                                     std::int64_t contended) {
+  assert(op >= 0 && op < kNumCollOps);
+  CollMetricHandles& h = coll_metrics_[op];
+  if (h.calls == nullptr) {
+    const obs::Labels labels = {
+        {"engine", to_string(group_->engine())},
+        {"op", detail::coll_op_name(static_cast<detail::CollOp>(op))}};
+    auto& registry = obs::metrics();
+    h.calls = &registry.counter("comm.collective.calls", labels);
+    h.wait = &registry.histogram("comm.collective.wait.seconds", labels);
+    h.contended = &registry.counter("comm.collective.contended", labels);
+  }
+  h.calls->add(1);
+  if (wait_seconds > 0.0) h.wait->record(wait_seconds);
+  if (contended > 0) h.contended->add(contended);
+}
 
 void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
   assert(dest >= 0 && dest < size());
@@ -185,59 +645,16 @@ bool Communicator::probe(int src, int tag) const {
   return group_->probe(rank_, src, tag);
 }
 
-namespace {
-
-/// Runs one collective round trip against the group's rendezvous slot.
-/// `contribute` runs under the slot lock when this rank arrives;
-/// `finalize` runs under the lock on the *last* arriving rank;
-/// `collect` runs under the lock once results are published.
-/// Returns the max entry virtual time across ranks.
-struct CollectiveRound {
-  Group::CollectiveState& slot;
-  int group_size;
-
-  template <typename ContributeFn, typename FinalizeFn, typename CollectFn>
-  double run(double my_entry, ContributeFn&& contribute,
-             FinalizeFn&& finalize, CollectFn&& collect) {
-    std::unique_lock<std::mutex> lock(slot.mutex);
-    // Wait for the previous collective's readers to drain.
-    slot.cv.wait(lock, [&] { return slot.readers_pending == 0; });
-    if (slot.arrived == 0) {
-      slot.max_entry = my_entry;
-      slot.buffer.clear();
-      slot.blobs.assign(static_cast<std::size_t>(group_size), {});
-      slot.buffer_initialized = false;
-    } else {
-      slot.max_entry = std::max(slot.max_entry, my_entry);
-    }
-    contribute();
-    ++slot.arrived;
-    const long my_generation = slot.generation;
-    if (slot.arrived == group_size) {
-      finalize();
-      slot.arrived = 0;
-      slot.readers_pending = group_size;
-      ++slot.generation;
-      slot.cv.notify_all();
-    } else {
-      slot.cv.wait(lock, [&] { return slot.generation != my_generation; });
-    }
-    const double max_entry = slot.max_entry;
-    collect();
-    if (--slot.readers_pending == 0) slot.cv.notify_all();
-    return max_entry;
-  }
-};
-
-}  // namespace
-
 void Communicator::barrier() {
   obs::TraceScope span(obs::Category::kComm, "comm.barrier");
-  auto& slot = group_->collective();
-  CollectiveRound round{slot, size()};
-  const double max_entry =
-      round.run(clock_->now(), [] {}, [] {}, [] {});
-  clock_->observe(max_entry + machine_->barrier_time(size()));
+  detail::CollInput in;
+  in.op = detail::CollOp::kBarrier;
+  in.entry = clock_->now();
+  detail::CollStats stats;
+  const auto outcome = group_->collective(rank_, in, stats);
+  record_coll_stats(static_cast<int>(in.op), stats.wait_seconds,
+                    stats.contended);
+  clock_->observe(outcome->max_entry + machine_->barrier_time(size()));
 }
 
 std::vector<std::byte> Communicator::coll_bcast(
@@ -247,59 +664,53 @@ std::vector<std::byte> Communicator::coll_bcast(
     collective_bytes("bcast").add(static_cast<std::int64_t>(data.size()));
     span.arg("bytes", static_cast<double>(data.size()));
   }
-  auto& slot = group_->collective();
-  CollectiveRound round{slot, size()};
+  detail::CollInput in;
+  in.op = detail::CollOp::kBcast;
+  in.entry = clock_->now();
+  if (rank_ == root) {
+    in.bcast_root = true;
+    in.bcast_data = data.data();
+    in.bcast_bytes = data.size();
+  }
+  detail::CollStats stats;
+  const auto outcome = group_->collective(rank_, in, stats);
+  record_coll_stats(static_cast<int>(in.op), stats.wait_seconds,
+                    stats.contended);
   std::vector<std::byte> result;
-  round.run(
-      clock_->now(),
-      [&] {
-        if (rank_ == root) {
-          slot.buffer.assign(data.begin(), data.end());
-          slot.root_entry = clock_->now();
-        }
-      },
-      [] {},
-      [&] {
-        if (rank_ != root) {
-          result.assign(slot.buffer.begin(), slot.buffer.end());
-        }
-      });
+  if (rank_ != root) {
+    result.assign(outcome->reduce.begin(), outcome->reduce.end());
+  }
   const std::size_t bytes = rank_ == root ? data.size() : result.size();
-  clock_->observe(slot.root_entry + machine_->bcast_time(size(), bytes));
+  clock_->observe(outcome->root_entry + machine_->bcast_time(size(), bytes));
   return result;
 }
 
 void Communicator::coll_reduce(
-    const void* in, void* out, std::size_t bytes, int root, bool all,
+    const void* in_data, void* out_data, std::size_t bytes, int root, bool all,
     const std::function<void(void*, const void*, std::size_t)>& combine) {
   obs::TraceScope span(obs::Category::kComm,
                        all ? "comm.allreduce" : "comm.reduce");
   span.arg("bytes", static_cast<double>(bytes));
   collective_bytes(all ? "allreduce" : "reduce")
       .add(static_cast<std::int64_t>(bytes));
-  auto& slot = group_->collective();
-  CollectiveRound round{slot, size()};
-  const auto* in_bytes = static_cast<const std::byte*>(in);
-  const double max_entry = round.run(
-      clock_->now(),
-      [&] {
-        if (!slot.buffer_initialized) {
-          slot.buffer.assign(in_bytes, in_bytes + bytes);
-          slot.buffer_initialized = true;
-        } else {
-          combine(slot.buffer.data(), in, bytes);
-        }
-      },
-      [] {},
-      [&] {
-        if (all || rank_ == root) {
-          std::memcpy(out, slot.buffer.data(), bytes);
-        }
-      });
+  detail::CollInput in;
+  in.op = detail::CollOp::kReduce;
+  in.entry = clock_->now();
+  in.reduce_data = static_cast<const std::byte*>(in_data);
+  in.reduce_bytes = bytes;
+  in.combine = &combine;
+  detail::CollStats stats;
+  const auto outcome = group_->collective(rank_, in, stats);
+  record_coll_stats(static_cast<int>(in.op), stats.wait_seconds,
+                    stats.contended);
+  if ((all || rank_ == root) && bytes > 0) {
+    std::memcpy(out_data, outcome->reduce.data(), bytes);
+  }
   if (all) {
-    clock_->observe(max_entry + machine_->allreduce_time(size(), bytes));
+    clock_->observe(outcome->max_entry +
+                    machine_->allreduce_time(size(), bytes));
   } else if (rank_ == root) {
-    clock_->observe(max_entry + machine_->reduce_time(size(), bytes));
+    clock_->observe(outcome->max_entry + machine_->reduce_time(size(), bytes));
   } else {
     // Non-root ranks participate in the tree but do not wait for the root's
     // final combine.
@@ -307,58 +718,62 @@ void Communicator::coll_reduce(
   }
 }
 
-std::vector<std::vector<std::byte>> Communicator::coll_gather(
-    std::span<const std::byte> mine, int root) {
+BlobTablePtr Communicator::coll_gather(std::span<const std::byte> mine,
+                                       int root) {
   obs::TraceScope span(obs::Category::kComm, "comm.gather");
   span.arg("bytes", static_cast<double>(mine.size()));
   collective_bytes("gather").add(static_cast<std::int64_t>(mine.size()));
-  auto& slot = group_->collective();
-  CollectiveRound round{slot, size()};
-  std::vector<std::vector<std::byte>> result;
-  std::size_t max_blob = 0;
-  const double max_entry = round.run(
-      clock_->now(),
-      [&] {
-        slot.blobs[static_cast<std::size_t>(rank_)].assign(mine.begin(),
-                                                           mine.end());
-      },
-      [] {},
-      [&] {
-        for (const auto& blob : slot.blobs) {
-          max_blob = std::max(max_blob, blob.size());
-        }
-        if (rank_ == root) result = slot.blobs;
-      });
+  detail::CollInput in;
+  in.op = detail::CollOp::kGather;
+  in.entry = clock_->now();
+  in.blob = std::make_shared<Blob>(mine.begin(), mine.end());
+  detail::CollStats stats;
+  const auto outcome = group_->collective(rank_, in, stats);
+  record_coll_stats(static_cast<int>(in.op), stats.wait_seconds,
+                    stats.contended);
   if (rank_ == root) {
-    clock_->observe(max_entry + machine_->gather_time(size(), max_blob));
+    clock_->observe(outcome->max_entry +
+                    machine_->gather_time(size(), outcome->max_blob));
   } else {
     clock_->advance(machine_->ptp_time(mine.size()));
   }
-  return result;
+  return BlobTablePtr(outcome, &outcome->table);
 }
 
-std::vector<std::vector<std::byte>> Communicator::coll_exchange(
-    std::span<const std::byte> mine) {
+BlobTablePtr Communicator::coll_exchange(std::span<const std::byte> mine) {
   obs::TraceScope span(obs::Category::kComm, "comm.allgather");
   span.arg("bytes", static_cast<double>(mine.size()));
   collective_bytes("allgather").add(static_cast<std::int64_t>(mine.size()));
-  auto& slot = group_->collective();
-  CollectiveRound round{slot, size()};
-  std::vector<std::vector<std::byte>> result;
-  const double max_entry = round.run(
-      clock_->now(),
-      [&] {
-        slot.blobs[static_cast<std::size_t>(rank_)].assign(mine.begin(),
-                                                           mine.end());
-      },
-      [] {},
-      [&] { result = slot.blobs; });
-  std::size_t total = 0;
-  for (const auto& blob : result) total += blob.size();
+  detail::CollInput in;
+  in.op = detail::CollOp::kExchange;
+  in.entry = clock_->now();
+  in.blob = std::make_shared<Blob>(mine.begin(), mine.end());
+  detail::CollStats stats;
+  const auto outcome = group_->collective(rank_, in, stats);
+  record_coll_stats(static_cast<int>(in.op), stats.wait_seconds,
+                    stats.contended);
   // Allgather ~ gather to a virtual root + broadcast of the concatenation.
-  clock_->observe(max_entry + machine_->gather_time(size(), mine.size()) +
-                  machine_->bcast_time(size(), total));
-  return result;
+  clock_->observe(outcome->max_entry +
+                  machine_->gather_time(size(), mine.size()) +
+                  machine_->bcast_time(size(), outcome->total_bytes));
+  if (group_->engine() == CollEngine::kFlat) {
+    // The flat engine keeps the original fan-out cost: every rank
+    // materializes its own copy of all P contributions — O(P^2) bytes
+    // and allocations per allgather across the group. The tree engine
+    // returns an aliased view of the shared table instead, which is the
+    // zero-copy half of the ablation (docs/SCALING.md).
+    auto copy = std::make_shared<BlobTable>();
+    copy->reserve(outcome->table.size());
+    for (const BlobPtr& blob : outcome->table) {
+      copy->push_back(std::make_shared<Blob>(*blob));
+    }
+    return copy;
+  }
+  return BlobTablePtr(outcome, &outcome->table);
+}
+
+BlobTablePtr Communicator::allgather_blobs(std::span<const std::byte> mine) {
+  return coll_exchange(mine);
 }
 
 Communicator Communicator::split(int color, int key) {
@@ -368,14 +783,14 @@ Communicator Communicator::split(int color, int key) {
     int old_rank;
   };
   const Entry mine{color, key, rank_};
-  std::vector<std::vector<std::byte>> blobs = coll_exchange(
-      std::as_bytes(std::span<const Entry>(&mine, 1)));
+  BlobTablePtr table =
+      coll_exchange(std::as_bytes(std::span<const Entry>(&mine, 1)));
 
   // Deterministically order the members of my color group.
   std::vector<Entry> members;
-  for (const auto& blob : blobs) {
+  for (const BlobPtr& blob : *table) {
     Entry e;
-    std::memcpy(&e, blob.data(), sizeof e);
+    std::memcpy(&e, blob->data(), sizeof e);
     if (e.color == color) members.push_back(e);
   }
   std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
@@ -386,30 +801,21 @@ Communicator Communicator::split(int color, int key) {
     if (members[i].old_rank == rank_) new_rank = static_cast<int>(i);
   }
 
-  // The first arriving rank of each color registers the new Group in the
-  // parent slot's registry; everyone of that color picks it up under the
-  // same lock. The last arrival clears the registry for reuse.
-  auto& slot = group_->collective();
-  CollectiveRound round{slot, size()};
-  std::shared_ptr<detail::Group> picked;
-  const int my_size = static_cast<int>(members.size());
-  round.run(
-      clock_->now(),
-      [&] {
-        auto it = slot.split_registry.find(color);
-        if (it == slot.split_registry.end()) {
-          it = slot.split_registry
-                   .emplace(color, std::make_shared<detail::Group>(my_size))
-                   .first;
-        }
-        picked = it->second;
-      },
-      [] {},
-      [&] {
-        if (slot.readers_pending == 1) slot.split_registry.clear();
-      });
+  // Registry round: leaf contributions carry {color -> size} maps that
+  // merge up the tree, and the finalizer creates one Group per color, so
+  // all members of a color alias the same shared state.
+  detail::CollInput in;
+  in.op = detail::CollOp::kSplit;
+  in.entry = clock_->now();
+  in.split_color = color;
+  in.split_size = static_cast<int>(members.size());
+  detail::CollStats stats;
+  const auto outcome = group_->collective(rank_, in, stats);
+  record_coll_stats(static_cast<int>(in.op), stats.wait_seconds,
+                    stats.contended);
   clock_->observe(clock_->now() + machine_->barrier_time(size()));
-  return Communicator(picked, new_rank, clock_, machine_, rng_);
+  return Communicator(outcome->split_groups.at(color), new_rank, clock_,
+                      machine_, rng_);
 }
 
 Communicator Communicator::sibling(VirtualClock* clock, pal::Rng* rng) const {

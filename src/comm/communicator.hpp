@@ -33,6 +33,17 @@ namespace detail {
 class Group;  // shared state for one communicator (mailboxes + collectives)
 }
 
+/// Immutable blob published into a gather/allgather. A contributor copies
+/// its data exactly once; every reader aliases that copy through the
+/// shared pointer instead of receiving a deep copy of all P blobs.
+using Blob = std::vector<std::byte>;
+using BlobPtr = std::shared_ptr<const Blob>;
+
+/// Rank-indexed table of published blobs; one shared instance per
+/// collective round, aliased by every reader.
+using BlobTable = std::vector<BlobPtr>;
+using BlobTablePtr = std::shared_ptr<const BlobTable>;
+
 /// Element-wise combination used by reduce/allreduce/scan.
 enum class ReduceOp { kSum, kMin, kMax, kProd };
 
@@ -173,13 +184,13 @@ class Communicator {
   template <typename T>
   std::vector<std::vector<T>> gatherv(std::span<const T> mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::vector<std::byte>> blobs =
-        coll_gather(std::as_bytes(mine), root);
+    BlobTablePtr table = coll_gather(std::as_bytes(mine), root);
     std::vector<std::vector<T>> out;
-    out.reserve(blobs.size());
-    for (const auto& blob : blobs) {
-      std::vector<T> values(blob.size() / sizeof(T));
-      std::memcpy(values.data(), blob.data(), blob.size());
+    if (rank_ != root) return out;
+    out.reserve(table->size());
+    for (const BlobPtr& blob : *table) {
+      std::vector<T> values(blob->size() / sizeof(T));
+      std::memcpy(values.data(), blob->data(), blob->size());
       out.push_back(std::move(values));
     }
     return out;
@@ -189,11 +200,11 @@ class Communicator {
   template <typename T>
   std::vector<T> allgather_value(T value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::vector<std::byte>> blobs =
+    BlobTablePtr table =
         coll_exchange(std::as_bytes(std::span<const T>(&value, 1)));
-    std::vector<T> out(blobs.size());
-    for (std::size_t r = 0; r < blobs.size(); ++r) {
-      std::memcpy(&out[r], blobs[r].data(), sizeof(T));
+    std::vector<T> out(table->size());
+    for (std::size_t r = 0; r < table->size(); ++r) {
+      std::memcpy(&out[r], (*table)[r]->data(), sizeof(T));
     }
     return out;
   }
@@ -202,17 +213,23 @@ class Communicator {
   template <typename T>
   std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::vector<std::byte>> blobs =
-        coll_exchange(std::as_bytes(mine));
+    BlobTablePtr table = coll_exchange(std::as_bytes(mine));
     std::vector<std::vector<T>> out;
-    out.reserve(blobs.size());
-    for (const auto& blob : blobs) {
-      std::vector<T> values(blob.size() / sizeof(T));
-      std::memcpy(values.data(), blob.data(), blob.size());
+    out.reserve(table->size());
+    for (const BlobPtr& blob : *table) {
+      std::vector<T> values(blob->size() / sizeof(T));
+      std::memcpy(values.data(), blob->data(), blob->size());
       out.push_back(std::move(values));
     }
     return out;
   }
+
+  /// Zero-copy allgather: publishes `mine` once and returns the shared
+  /// rank-indexed blob table. Every rank's table aliases the same
+  /// per-contributor copies, so the data volume is O(total bytes), not
+  /// O(P * total bytes). Table and blobs are immutable and stay valid as
+  /// long as the caller holds the pointer.
+  BlobTablePtr allgather_blobs(std::span<const std::byte> mine);
 
   /// Exclusive prefix scan (rank 0 receives the identity-initialized T{}).
   template <typename T>
@@ -245,10 +262,11 @@ class Communicator {
   void coll_reduce(
       const void* in, void* out, std::size_t bytes, int root, bool all,
       const std::function<void(void*, const void*, std::size_t)>& combine);
-  std::vector<std::vector<std::byte>> coll_gather(
-      std::span<const std::byte> mine, int root);
-  std::vector<std::vector<std::byte>> coll_exchange(
-      std::span<const std::byte> mine);
+  BlobTablePtr coll_gather(std::span<const std::byte> mine, int root);
+  BlobTablePtr coll_exchange(std::span<const std::byte> mine);
+  /// Bumps comm.collective.{calls,wait.seconds,contended} for one
+  /// finished collective. `op` indexes coll_metrics_ (detail::CollOp).
+  void record_coll_stats(int op, double wait_seconds, std::int64_t contended);
 
   std::shared_ptr<detail::Group> group_;
   int rank_;
@@ -261,6 +279,18 @@ class Communicator {
   obs::Counter* bytes_sent_ = nullptr;
   obs::Counter* msgs_sent_ = nullptr;
   obs::Counter* bytes_recv_ = nullptr;
+
+  // Collective metrics handles, one set per collective op, bound lazily
+  // like the p2p handles above. The labels carry the group's engine,
+  // fixed for the communicator's lifetime, so the rendezvous hot path
+  // never rebuilds label vectors or touches the registry maps.
+  struct CollMetricHandles {
+    obs::Counter* calls = nullptr;
+    obs::Histogram* wait = nullptr;
+    obs::Counter* contended = nullptr;
+  };
+  static constexpr int kNumCollOps = 6;
+  CollMetricHandles coll_metrics_[kNumCollOps];
 };
 
 }  // namespace insitu::comm

@@ -188,28 +188,58 @@ void Fiber::suspend() {
 
 // ---- WaitSet ----
 
-void WaitSet::wait(std::unique_lock<std::mutex>& lock) {
+void WaitSet::wait_key(std::unique_lock<std::mutex>& lock,
+                       std::uint64_t key) {
   Fiber* fiber = t_current_fiber;
   if (fiber == nullptr) {
+    // The waiter's key stays registered while it blocks so notify_key can
+    // skip the condition variable entirely when no thread waiter matches.
+    // Insert/erase both run under the caller's mutex; cv_.wait reacquires
+    // it before returning.
+    const auto it = cv_keys_.insert(key);
     cv_.wait(lock);
+    cv_keys_.erase(it);
     return;
   }
-  // Register under the caller's mutex: any notify_all after our unlock
-  // runs with the mutex held, so it observes both the registration and
-  // the kParking state, and resolves the park/wake race through the CAS
+  // Register under the caller's mutex: any notify after our unlock runs
+  // with the mutex held, so it observes both the registration and the
+  // kParking state, and resolves the park/wake race through the CAS
   // protocol in FiberScheduler::wake / resume.
-  fibers_.push_back(fiber);
+  fibers_.emplace_back(fiber, key);
   fiber->state_.store(Fiber::State::kParking, std::memory_order_release);
   lock.unlock();
   fiber->suspend();  // resumes here once a waker re-enqueued us
   lock.lock();
 }
 
-void WaitSet::notify_all() {
-  cv_.notify_all();
+void WaitSet::notify_all() { notify_key(kAnyKey); }
+
+void WaitSet::notify_key(std::uint64_t key) {
+  if (!cv_keys_.empty() &&
+      (key == kAnyKey || cv_keys_.count(key) > 0 ||
+       cv_keys_.count(kAnyKey) > 0)) {
+    // One condition variable serves every thread waiter; wake them all
+    // and let non-matching ones re-wait (spurious wakeups are already
+    // part of the contract).
+    cv_.notify_all();
+  }
   if (fibers_.empty()) return;
+  if (key == kAnyKey) {
+    std::vector<std::pair<Fiber*, std::uint64_t>> to_wake;
+    to_wake.swap(fibers_);
+    for (const auto& [fiber, k] : to_wake) fiber->scheduler()->wake(fiber);
+    return;
+  }
   std::vector<Fiber*> to_wake;
-  to_wake.swap(fibers_);
+  auto keep = fibers_.begin();
+  for (auto it = fibers_.begin(); it != fibers_.end(); ++it) {
+    if (it->second == key || it->second == kAnyKey) {
+      to_wake.push_back(it->first);
+    } else {
+      *keep++ = *it;
+    }
+  }
+  fibers_.erase(keep, fibers_.end());
   for (Fiber* fiber : to_wake) fiber->scheduler()->wake(fiber);
 }
 

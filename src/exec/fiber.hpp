@@ -38,10 +38,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include <ucontext.h>
@@ -121,15 +124,39 @@ Fiber* current_fiber();
 /// kinds of waiter are woken by notify_all(). All calls must hold the
 /// one mutex that guards the associated state (the same discipline as a
 /// condition variable).
+///
+/// Waiters may additionally register under a 64-bit wakeup key
+/// (wait_key) so wakers can target just the waiters a state change can
+/// actually unblock (notify_key) instead of stampeding every waiter.
+/// Keys only filter wakeups — they carry no data, and the usual
+/// predicate-loop discipline still applies. Fiber waiters are woken
+/// exactly by key; thread waiters share one condition variable, so a
+/// matching notify may wake non-matching thread waiters spuriously
+/// (harmless, and no notify is issued at all when no thread waiter can
+/// match).
 class WaitSet {
  public:
+  /// Matches every key, in both directions: an any-key waiter is woken
+  /// by every notify, and notify_key(kAnyKey) behaves like notify_all.
+  static constexpr std::uint64_t kAnyKey = ~std::uint64_t{0};
+
   /// Block until notified. Spurious wakeups happen (exactly as with a
   /// condition variable): always wait in a predicate loop.
-  void wait(std::unique_lock<std::mutex>& lock);
+  void wait(std::unique_lock<std::mutex>& lock) { wait_key(lock, kAnyKey); }
 
   template <typename Predicate>
   void wait(std::unique_lock<std::mutex>& lock, Predicate predicate) {
     while (!predicate()) wait(lock);
+  }
+
+  /// Block until a notify matching `key` (notify_all, notify_key(key),
+  /// or notify_key(kAnyKey)). Spurious wakeups happen.
+  void wait_key(std::unique_lock<std::mutex>& lock, std::uint64_t key);
+
+  template <typename Predicate>
+  void wait_key(std::unique_lock<std::mutex>& lock, std::uint64_t key,
+                Predicate predicate) {
+    while (!predicate()) wait_key(lock, key);
   }
 
   /// Wake every registered waiter (cv waiters and parked fibers). Must be
@@ -137,9 +164,14 @@ class WaitSet {
   /// from plain threads and fibers alike.
   void notify_all();
 
+  /// Wake only the waiters registered under `key` (plus any-key waiters).
+  /// Same locking discipline as notify_all.
+  void notify_key(std::uint64_t key);
+
  private:
   std::condition_variable cv_;
-  std::vector<Fiber*> fibers_;
+  std::vector<std::pair<Fiber*, std::uint64_t>> fibers_;
+  std::multiset<std::uint64_t> cv_keys_;  // keys of blocked cv waiters
 };
 
 class TaskPool;

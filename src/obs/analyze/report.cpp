@@ -345,6 +345,102 @@ std::string render_tenant_table(const MetricsTable& metrics) {
   return table.to_string();
 }
 
+std::string render_collectives_table(const MetricsTable& metrics) {
+  // One row per (run, engine, op), in first-appearance order. Keys look
+  // like "comm.collective.calls{engine=tree,op=allgather}". Contributed
+  // bytes are joined from the run's engine-agnostic
+  // "comm.bytes_sent{op=...}" counters; allreduce bytes fold into the
+  // reduce row because both run through the one reduce rendezvous op.
+  struct CollRow {
+    std::string run, engine, op;
+    double calls = 0.0;
+    double waits = 0.0, wait_sum = 0.0, wait_p99 = 0.0;
+    double contended = 0.0;
+    double bytes = 0.0;
+  };
+  std::vector<CollRow> rows;
+  auto row_for = [&rows](const std::string& run, const std::string& engine,
+                         const std::string& op) -> CollRow& {
+    for (CollRow& row : rows) {
+      if (row.run == run && row.engine == engine && row.op == op) return row;
+    }
+    rows.push_back(CollRow{run, engine, op});
+    return rows.back();
+  };
+  auto label_value = [](const obs::Labels& labels,
+                        std::string_view key) -> std::string {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return v;
+    }
+    return "";
+  };
+  struct BytesRow {
+    std::string run, op;
+    double bytes = 0.0;
+  };
+  std::vector<BytesRow> bytes_rows;
+  for (const MetricsRow& row : metrics.rows) {
+    std::string field;
+    obs::Labels labels;
+    if (!obs::parse_metric_key(row.metric, field, labels) || labels.empty()) {
+      continue;
+    }
+    if (field == "comm.bytes_sent") {
+      const std::string op = label_value(labels, "op");
+      if (!op.empty() && op != "p2p") {
+        bytes_rows.push_back(BytesRow{row.run, op, row.value});
+      }
+      continue;
+    }
+    if (field.rfind("comm.collective.", 0) != 0) continue;
+    const std::string engine = label_value(labels, "engine");
+    const std::string op = label_value(labels, "op");
+    if (engine.empty() || op.empty()) continue;
+    CollRow& cell = row_for(row.run, engine, op);
+    if (field == "comm.collective.calls") {
+      cell.calls = row.value;
+    } else if (field == "comm.collective.wait.seconds") {
+      cell.waits = static_cast<double>(row.count);
+      cell.wait_sum = row.sum;
+      cell.wait_p99 = row.p99;
+    } else if (field == "comm.collective.contended") {
+      cell.contended = row.value;
+    }
+  }
+  if (rows.empty()) return "";
+
+  auto bytes_for = [&bytes_rows](const std::string& run,
+                                 std::string_view op) -> double {
+    double total = 0.0;
+    for (const BytesRow& b : bytes_rows) {
+      if (b.run == run && (b.op == op ||
+                           (op == "reduce" && b.op == "allreduce"))) {
+        total += b.bytes;
+      }
+    }
+    return total;
+  };
+  constexpr double kMiB = 1024.0 * 1024.0;
+  TablePrinter table("collectives");
+  table.set_header({"run", "engine", "op", "calls", "MiB sent", "waits",
+                    "wait s", "wait p99 ms", "contended"});
+  for (CollRow& row : rows) {
+    row.bytes = bytes_for(row.run, row.op);
+    table.add_row({row.run, row.engine, row.op,
+                   TablePrinter::num(row.calls, 0),
+                   TablePrinter::num(row.bytes / kMiB, 3),
+                   TablePrinter::num(row.waits, 0),
+                   TablePrinter::num(row.wait_sum, 3),
+                   TablePrinter::num(row.wait_p99 * 1000.0, 3),
+                   TablePrinter::num(row.contended, 0)});
+  }
+  table.add_note("per-rank totals from comm.collective.*; wait columns "
+                 "are real wall seconds parked at the rendezvous (count "
+                 "of waits that blocked, their sum, p99), contended = "
+                 "slot try_lock misses (docs/SCALING.md)");
+  return table.to_string();
+}
+
 std::string render_reduction_table(const MetricsTable& metrics) {
   // One row per (run, backend, variable). Per-variable series carry
   // both labels ("io.reduction.bytes_in{backend=flexpath,variable=data}");

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
+#include "comm/coll.hpp"
 #include "comm/runtime.hpp"
+#include "comm/sched.hpp"
 #include "pal/memory_tracker.hpp"
 
 namespace insitu::comm {
@@ -233,6 +236,279 @@ TEST(CollectivesStress, SixtyFourRanksMixedTraffic) {
     }
   });
   EXPECT_EQ(failures.load(), 0);
+}
+
+/// Restores the process-default collective engine/arity on scope exit so
+/// engine-matrix tests cannot leak their overrides into later tests.
+struct CollEngineGuard {
+  CollEngine engine = default_coll_engine();
+  int arity = default_coll_arity();
+  ~CollEngineGuard() {
+    set_default_coll_engine(engine);
+    set_default_coll_arity(arity);
+  }
+};
+
+/// Everything a rank observes from a mixed collective workload, bit-for
+/// bit: the defaulted operator== makes "engines are interchangeable" a
+/// one-line assertion. The float fields go through memcpy'd bit patterns
+/// so -ffast-math-style tolerance can never creep in.
+struct RankDigest {
+  double vtime = 0.0;
+  std::uint64_t sum_bits = 0;     ///< chained float allreduce
+  std::uint64_t gather_hash = 0;  ///< FNV of root's gatherv concatenation
+  std::uint64_t sub_bits = 0;     ///< allreduce on a split subgroup
+  bool operator==(const RankDigest&) const = default;
+};
+
+/// Order-sensitive mixed workload: chained float sums (non-associative),
+/// a ragged gatherv hashed at the root, a split + subgroup reduction, and
+/// enough compute skew that rendezvous order would differ if the engine
+/// let it matter.
+std::vector<RankDigest> run_digest_matrix(CollEngine engine, int arity,
+                                          int ranks, SchedBackend backend) {
+  set_default_coll_engine(engine);
+  set_default_coll_arity(arity);
+  std::vector<RankDigest> out(static_cast<std::size_t>(ranks));
+  Runtime::Options options;
+  options.sched.backend = backend;
+  Runtime::run(ranks, options, [&](Communicator& comm) {
+    const int rank = comm.rank();
+    comm.advance_compute(0.0001 * (rank % 5));
+    double value = (rank + 1) * 1e-7 + (rank % 3) / 3.0;
+    for (int i = 0; i < 4; ++i) {
+      value = comm.allreduce_value(value, ReduceOp::kSum) / comm.size() +
+              rank * 1e-9;
+    }
+    RankDigest digest;
+    std::memcpy(&digest.sum_bits, &value, sizeof value);
+
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(rank % 3 + 1),
+                                   rank);
+    auto gathered = comm.gatherv(std::span<const std::int32_t>(mine), 0);
+    std::uint64_t hash = 14695981039346656037ull;
+    if (rank == 0) {
+      for (const auto& block : gathered) {
+        for (const std::int32_t v : block) {
+          hash ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+          hash *= 1099511628211ull;
+        }
+      }
+    }
+    comm.broadcast_value(hash, 0);
+    digest.gather_hash = hash;
+
+    Communicator sub = comm.split(rank % 2, rank);
+    double subv = sub.allreduce_value(value + sub.rank(), ReduceOp::kSum);
+    comm.barrier();
+    std::memcpy(&digest.sub_bits, &subv, sizeof subv);
+    digest.vtime = comm.clock().now();
+    out[static_cast<std::size_t>(rank)] = digest;
+  });
+  return out;
+}
+
+TEST(CollectiveEngines, TreeMatchesFlatAcrossAritiesAndSizes) {
+  CollEngineGuard guard;
+  // The canonical combine schedule is fixed by (P, arity) for BOTH
+  // engines, so flat and tree must agree bit-for-bit at every arity —
+  // including sizes that leave ragged last blocks at every tree level.
+  for (const int ranks : {5, 16, 33, 64, 129}) {
+    for (const int arity : {2, 4, 8}) {
+      const auto flat = run_digest_matrix(CollEngine::kFlat, arity, ranks,
+                                          SchedBackend::kThreads);
+      const auto tree = run_digest_matrix(CollEngine::kTree, arity, ranks,
+                                          SchedBackend::kThreads);
+      EXPECT_EQ(flat, tree) << ranks << " ranks, arity " << arity;
+    }
+  }
+}
+
+TEST(CollectiveEngines, BackendsAgreeOnTreeResults) {
+  CollEngineGuard guard;
+  for (const int ranks : {16, 129}) {
+    for (const int arity : {2, 8}) {
+      const auto threads = run_digest_matrix(CollEngine::kTree, arity, ranks,
+                                             SchedBackend::kThreads);
+      const auto mn = run_digest_matrix(CollEngine::kTree, arity, ranks,
+                                        SchedBackend::kMn);
+      EXPECT_EQ(threads, mn) << ranks << " ranks, arity " << arity;
+    }
+  }
+}
+
+TEST(CollectiveEngines, FloatAllreduceIsRunToRunDeterministic) {
+  CollEngineGuard guard;
+  // Regression for the latent arrival-order combine: under mn the
+  // rendezvous order varies run to run, so only a canonical schedule
+  // keeps non-associative float sums bit-identical across repeats.
+  const auto first =
+      run_digest_matrix(CollEngine::kTree, 4, 64, SchedBackend::kMn);
+  const auto second =
+      run_digest_matrix(CollEngine::kTree, 4, 64, SchedBackend::kMn);
+  EXPECT_EQ(first, second);
+}
+
+TEST(CollectiveEngines, SubgroupCollectivesInterleaveWithParent) {
+  CollEngineGuard guard;
+  set_default_coll_engine(CollEngine::kTree);
+  set_default_coll_arity(4);
+  const int p = 48;
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    const int color = comm.rank() % 3;
+    Communicator sub = comm.split(color, comm.rank());
+    for (int iter = 0; iter < 8; ++iter) {
+      // Colors issue different numbers of subgroup rounds between parent
+      // rounds, so parent and child slot trees are mid-flight at once
+      // and generations advance at different rates per group.
+      for (int k = 0; k <= color; ++k) {
+        if (sub.allreduce_value(1, ReduceOp::kSum) != sub.size()) ++failures;
+      }
+      if (comm.allreduce_value(1, ReduceOp::kSum) != p) ++failures;
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(CollectiveEngines, TreeAllgatherBlobsAliasOneTable) {
+  CollEngineGuard guard;
+  set_default_coll_engine(CollEngine::kTree);
+  set_default_coll_arity(4);
+  const int p = 24;
+  std::vector<const void*> first_blob(static_cast<std::size_t>(p), nullptr);
+  std::vector<BlobTablePtr> tables(static_cast<std::size_t>(p));
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    const int rank = comm.rank();
+    const double mine = rank * 1.5;
+    BlobTablePtr table =
+        comm.allgather_blobs(std::as_bytes(std::span<const double>(&mine, 1)));
+    if (table->size() != static_cast<std::size_t>(p)) ++failures;
+    for (int r = 0; r < p; ++r) {
+      double v = 0.0;
+      std::memcpy(&v, (*table)[static_cast<std::size_t>(r)]->data(), sizeof v);
+      if (v != r * 1.5) ++failures;
+    }
+    first_blob[static_cast<std::size_t>(rank)] = (*table)[0]->data();
+    tables[static_cast<std::size_t>(rank)] = table;  // outlive the round
+    // Later rounds reuse the slots; the published table must stay put.
+    comm.barrier();
+    (void)comm.allreduce_value(1, ReduceOp::kSum);
+  });
+  EXPECT_EQ(failures.load(), 0);
+  // Zero-copy: every rank aliases the same shared storage.
+  for (int r = 1; r < p; ++r) {
+    EXPECT_EQ(first_blob[static_cast<std::size_t>(r)], first_blob[0])
+        << "rank " << r;
+  }
+  // The shared table is still readable after the runtime tore down.
+  double v = 0.0;
+  std::memcpy(&v, (*tables[3])[5]->data(), sizeof v);
+  EXPECT_EQ(v, 7.5);
+}
+
+TEST(CollectiveEngines, FlatAllgatherBlobsCopyPerRank) {
+  CollEngineGuard guard;
+  set_default_coll_engine(CollEngine::kFlat);
+  const int p = 8;
+  std::vector<const void*> first_blob(static_cast<std::size_t>(p), nullptr);
+  // Tables stay alive together; otherwise the allocator could hand a
+  // freed blob's address to another rank's copy and fake an alias.
+  std::vector<BlobTablePtr> tables(static_cast<std::size_t>(p));
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    const double mine = comm.rank() * 2.0;
+    BlobTablePtr table =
+        comm.allgather_blobs(std::as_bytes(std::span<const double>(&mine, 1)));
+    for (int r = 0; r < p; ++r) {
+      double v = 0.0;
+      std::memcpy(&v, (*table)[static_cast<std::size_t>(r)]->data(), sizeof v);
+      if (v != r * 2.0) ++failures;
+    }
+    first_blob[static_cast<std::size_t>(comm.rank())] = (*table)[0]->data();
+    tables[static_cast<std::size_t>(comm.rank())] = std::move(table);
+  });
+  EXPECT_EQ(failures.load(), 0);
+  // The flat engine reproduces the original per-reader deep copy (the
+  // ablation baseline), so no two ranks share blob storage.
+  for (int a = 0; a < p; ++a) {
+    for (int b = a + 1; b < p; ++b) {
+      EXPECT_NE(first_blob[static_cast<std::size_t>(a)],
+                first_blob[static_cast<std::size_t>(b)])
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(CollectiveEngines, BackToBackRoundsReuseSlots) {
+  CollEngineGuard guard;
+  set_default_coll_engine(CollEngine::kTree);
+  set_default_coll_arity(2);  // 33 ranks -> a 6-level tree
+  const int p = 33;
+  std::atomic<int> failures{0};
+  Runtime::run(p, [&](Communicator& comm) {
+    for (int iter = 0; iter < 60; ++iter) {
+      if (comm.allreduce_value(1, ReduceOp::kSum) != p) ++failures;
+      int v = iter;
+      comm.broadcast_value(v, iter % p);
+      if (v != iter) ++failures;
+      if (iter % 5 == 0) {
+        const std::int32_t mine = comm.rank();
+        auto g = comm.gatherv(std::span<const std::int32_t>(&mine, 1),
+                              iter % p);
+        if (comm.rank() == iter % p &&
+            g.size() != static_cast<std::size_t>(p)) {
+          ++failures;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// The TSan job's collective-engine stressor: a thousand fibers on few
+// carriers force heavy park/wake traffic through every tree level.
+TEST(CollectiveEngines, TsanStressThousandFiberCollectives) {
+  CollEngineGuard guard;
+  set_default_coll_engine(CollEngine::kTree);
+  set_default_coll_arity(8);
+  const int ranks = 1024;
+  std::atomic<int> failures{0};
+  Runtime::Options options;
+  options.sched.backend = SchedBackend::kMn;
+  options.sched.workers = 4;
+  const RunReport report =
+      Runtime::run(ranks, options, [&](Communicator& comm) {
+        for (int iter = 0; iter < 3; ++iter) {
+          comm.barrier();
+          if (comm.allreduce_value(1, ReduceOp::kSum) != ranks) ++failures;
+          if (iter == 1) {
+            const std::int32_t mine = comm.rank();
+            auto g =
+                comm.gatherv(std::span<const std::int32_t>(&mine, 1), 0);
+            if (comm.rank() == 0 &&
+                g.size() != static_cast<std::size_t>(ranks)) {
+              ++failures;
+            }
+          }
+        }
+      });
+  EXPECT_FALSE(report.failed);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(CollectiveEngines, KnobsRoundTrip) {
+  EXPECT_EQ(parse_coll_engine("flat"), CollEngine::kFlat);
+  EXPECT_EQ(parse_coll_engine("tree"), CollEngine::kTree);
+  EXPECT_FALSE(parse_coll_engine("").has_value());
+  EXPECT_FALSE(parse_coll_engine("ring").has_value());
+  EXPECT_STREQ(to_string(CollEngine::kFlat), "flat");
+  EXPECT_STREQ(to_string(CollEngine::kTree), "tree");
+  CollEngineGuard guard;
+  set_default_coll_arity(1);  // below kMinCollArity: clamped, not honored
+  EXPECT_EQ(default_coll_arity(), kMinCollArity);
 }
 
 TEST(RunReport, AggregatesStats) {

@@ -171,6 +171,87 @@ TEST(PointToPoint, RingExchange) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(PointToPoint, DeepCrossTagQueuesMatchExactly) {
+  // 64 messages across 8 tags drained in reverse tag order: every take
+  // must hit its (src, tag) bucket's front directly — under the old
+  // single-deque mailbox each of these receives rescanned the full
+  // queue.
+  std::atomic<int> failures{0};
+  Runtime::run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int tag = 0; tag < 8; ++tag) {
+        for (int i = 0; i < 8; ++i) {
+          const int v = tag * 100 + i;
+          comm.send_values(1, tag, std::span<const int>(&v, 1));
+        }
+      }
+    } else {
+      for (int tag = 7; tag >= 0; --tag) {
+        for (int i = 0; i < 8; ++i) {
+          auto got = comm.recv_values<int>(0, tag);
+          if (got[0] != tag * 100 + i) ++failures;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(PointToPoint, RecvAnyIsFifoPerTag) {
+  // Any-source receives must drain the tag's globally oldest message
+  // first (the per-tag seq index), preserving per-sender FIFO.
+  std::atomic<int> failures{0};
+  Runtime::run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.send_values(1, 4, std::span<const int>(&i, 1));
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int src = -1;
+        auto payload = comm.recv_any(4, &src);
+        int v = 0;
+        std::memcpy(&v, payload.data(), sizeof v);
+        if (src != 0 || v != i) ++failures;
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(PointToPoint, ExactRecvPicksItsSourceNotArrivalOrder) {
+  // Ranks 1 and 2 both queue messages on one tag before rank 0 receives
+  // anything (the barrier guarantees it); exact-source receives must
+  // match per-bucket regardless of which source delivered first, and a
+  // trailing recv_any gets the oldest leftover.
+  std::atomic<int> failures{0};
+  Runtime::run(3, [&](Communicator& comm) {
+    const int tag = 9;
+    if (comm.rank() == 0) {
+      comm.barrier();
+      auto from2 = comm.recv_values<int>(2, tag);
+      if (from2[0] != 200) ++failures;
+      auto from1 = comm.recv_values<int>(1, tag);
+      if (from1[0] != 100) ++failures;
+      int src = -1;
+      auto rest = comm.recv_any(tag, &src);
+      int v = 0;
+      std::memcpy(&v, rest.data(), sizeof v);
+      if (src != 1 || v != 101) ++failures;
+      if (comm.probe(2, tag)) ++failures;  // bucket (2, tag) is drained
+      if (!comm.probe(1, tag)) ++failures;  // (1, tag) still holds 102
+      (void)comm.recv_values<int>(1, tag);
+    } else {
+      for (int i = 0; i < (comm.rank() == 1 ? 3 : 1); ++i) {
+        const int v = comm.rank() * 100 + i;
+        comm.send_values(0, tag, std::span<const int>(&v, 1));
+      }
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(PointToPoint, StartupModelChargesLaunchCost) {
   Runtime::Options opts;
   opts.machine = cori_haswell();

@@ -10,7 +10,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -199,6 +201,86 @@ TEST(SchedTest, FiberStacksAreRecycled) {
   // The second run reuses the first run's stacks instead of growing the
   // pool.
   EXPECT_EQ(exec::FiberScheduler::pooled_stack_bytes(), before);
+}
+
+// Keyed-wakeup semantics of exec::WaitSet on the plain-thread path (the
+// fiber path is exercised end-to-end by every mn-backend test above).
+// Predicates are flag-driven, so a waiter can only finish if its own
+// flag was set — "the wrong waiter was woken" shows up as a hang on the
+// final join, never as a flaky sleep-based assertion.
+TEST(WaitSetKeys, NotifyKeyWakesOnlyMatchingWaiters) {
+  exec::WaitSet ws;
+  std::mutex m;
+  bool flag1 = false;
+  bool flag2 = false;
+  std::atomic<bool> done1{false};
+  std::atomic<bool> done2{false};
+  std::thread t1([&] {
+    std::unique_lock<std::mutex> lock(m);
+    ws.wait_key(lock, 1, [&] { return flag1; });
+    done1 = true;
+  });
+  std::thread t2([&] {
+    std::unique_lock<std::mutex> lock(m);
+    ws.wait_key(lock, 2, [&] { return flag2; });
+    done2 = true;
+  });
+  {
+    std::lock_guard<std::mutex> lock(m);
+    flag2 = true;
+    ws.notify_key(2);
+  }
+  t2.join();
+  EXPECT_TRUE(done2.load());
+  EXPECT_FALSE(done1.load());  // flag1 unset: t1 must still be parked
+  {
+    std::lock_guard<std::mutex> lock(m);
+    flag1 = true;
+    ws.notify_key(1);
+  }
+  t1.join();
+  EXPECT_TRUE(done1.load());
+}
+
+TEST(WaitSetKeys, AnyKeyWaiterMatchesEveryNotify) {
+  exec::WaitSet ws;
+  std::mutex m;
+  bool flag = false;
+  std::atomic<bool> done{false};
+  std::thread t([&] {
+    std::unique_lock<std::mutex> lock(m);
+    ws.wait_key(lock, exec::WaitSet::kAnyKey, [&] { return flag; });
+    done = true;
+  });
+  {
+    std::lock_guard<std::mutex> lock(m);
+    flag = true;
+    ws.notify_key(42);  // unrelated key must still wake an any-key waiter
+  }
+  t.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(WaitSetKeys, NotifyAllWakesEveryKey) {
+  exec::WaitSet ws;
+  std::mutex m;
+  bool flag = false;
+  std::atomic<int> done{0};
+  std::vector<std::thread> waiters;
+  for (std::uint64_t key = 1; key <= 4; ++key) {
+    waiters.emplace_back([&ws, &m, &flag, &done, key] {
+      std::unique_lock<std::mutex> lock(m);
+      ws.wait_key(lock, key, [&] { return flag; });
+      ++done;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(m);
+    flag = true;
+    ws.notify_all();
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(done.load(), 4);
 }
 
 TEST(SchedTest, BackendNamesRoundTrip) {

@@ -437,6 +437,7 @@ int main(int argc, char** argv) {
       std::fputs(render_pool_table(*metrics).c_str(), stdout);
       std::fputs(render_kernel_table(*metrics).c_str(), stdout);
       std::fputs(render_tenant_table(*metrics).c_str(), stdout);
+      std::fputs(render_collectives_table(*metrics).c_str(), stdout);
       std::fputs(render_reduction_table(*metrics).c_str(), stdout);
       break;
     }
@@ -449,6 +450,7 @@ int main(int argc, char** argv) {
     std::fputs(render_pool_table(*metrics).c_str(), stdout);
     std::fputs(render_kernel_table(*metrics).c_str(), stdout);
     std::fputs(render_tenant_table(*metrics).c_str(), stdout);
+    std::fputs(render_collectives_table(*metrics).c_str(), stdout);
     std::fputs(render_reduction_table(*metrics).c_str(), stdout);
   }
 
